@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 6 (sensitivity to λ_facet)."""
+
+from repro.experiments import hyperparams
+
+
+def test_fig6_lambda_facet_sweep(run_experiment):
+    result = run_experiment(hyperparams.run_lambda_facet, scale="quick", random_state=0)
+    assert len(result.rows) >= 3
+    assert all(0.0 <= value <= 1.0 for value in result.column("mars_ndcg@10"))

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 7 (item-embedding category separation).
+
+Shape to compare with the paper: the facet spaces of MAR/MARS separate item
+categories better than the single CML space (higher separation ratio).
+"""
+
+from repro.experiments import case_study
+
+
+def test_fig7_embedding_visualisation(run_experiment):
+    result = run_experiment(case_study.run_case_study, scale="quick", random_state=0)
+    separation = dict(zip(result.column("model"), result.column("best_separation")))
+    assert separation["MARS"] > 0
+    assert separation["MAR"] > 0

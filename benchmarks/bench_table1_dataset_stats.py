@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table I (dataset statistics)."""
+
+from repro.experiments import table1_stats
+
+
+def test_table1_dataset_statistics(run_experiment):
+    result = run_experiment(table1_stats.run)
+    assert len(result.rows) == 6

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table II (overall comparison of all models).
+
+Quick scale runs the full Table II model list on two representative presets
+(dense Delicious-like, sparse Ciao-like).  The shape to compare with the
+paper: metric-learning models beat the MF family, and MAR/MARS sit on top
+with the largest margins on the sparse preset.
+"""
+
+from repro.experiments import table2_overall
+from repro.experiments.configs import ModelZoo
+
+
+def test_table2_overall_comparison(run_experiment):
+    result = run_experiment(table2_overall.run, scale="quick", random_state=0)
+    assert set(result.column("model")) == set(ModelZoo.TABLE2_MODELS)
+    improvements = result.metadata["improvements_over_best_baseline"]
+    assert improvements, "expected MAR/MARS improvement summary per dataset"

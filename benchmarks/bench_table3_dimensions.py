@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table III (effect of embedding dimension)."""
+
+from repro.experiments import table3_dimensions
+
+
+def test_table3_embedding_dimension(run_experiment):
+    result = run_experiment(table3_dimensions.run, scale="quick", random_state=0)
+    models = result.column("model")
+    assert "MARS" in models and "TransCF" in models and "SML" in models

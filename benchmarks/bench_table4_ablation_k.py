@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table IV (ablation over the number of facets K).
+
+Shape to compare with the paper: MAR and MARS improve over CML for K ≥ 2,
+with the sweet spot at small K (2-4).
+"""
+
+from repro.experiments import table4_ablation
+
+
+def test_table4_facet_ablation(run_experiment):
+    result = run_experiment(table4_ablation.run, scale="quick", random_state=0)
+    assert set(result.column("K")) >= {1, 2}
+    # Multi-facet MAR at K >= 2 should not be worse than at K = 1.
+    mar = dict(zip(result.column("K"), result.column("MAR")))
+    assert max(mar[k] for k in mar if k >= 2) >= mar[1] * 0.95

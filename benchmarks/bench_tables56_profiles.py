@@ -1,0 +1,9 @@
+"""Benchmark regenerating Tables V and VI (facet and user profiles)."""
+
+from repro.experiments import case_study
+
+
+def test_tables5_6_profiles(run_experiment):
+    result = run_experiment(case_study.run_profiles, scale="quick", random_state=0)
+    tables = result.column("table")
+    assert "V" in tables and "VI" in tables

@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at the "quick"
+experiment scale and prints the resulting table, so the numbers can be
+compared against EXPERIMENTS.md (and, in shape, against the paper).
+Benchmarks run a single round/iteration because each experiment is itself a
+full train-and-evaluate cycle.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment runner once under pytest-benchmark and print its table."""
+
+    def _run(runner, **kwargs):
+        result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result.to_text())
+        return result
+
+    return _run

@@ -1,0 +1,13 @@
+"""Pytest bootstrap.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (useful in fully offline environments where ``pip install -e .``
+cannot build an editable wheel).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

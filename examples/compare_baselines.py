@@ -1,0 +1,31 @@
+"""Compare MAR/MARS against the paper's baselines on one dataset.
+
+Reproduces a single-dataset slice of Table II and prints the relative
+improvement of the multi-facet models over the best single-space baseline.
+
+Run with:  python examples/compare_baselines.py [dataset] [scale]
+           e.g.  python examples/compare_baselines.py ciao quick
+"""
+
+import sys
+
+from repro.experiments import format_table
+from repro.experiments.table2_overall import run
+
+
+def main(dataset: str = "ciao", scale: str = "quick") -> None:
+    result = run(scale=scale, datasets=[dataset],
+                 models=["BPR", "NMF", "CML", "TransCF", "SML", "MAR", "MARS"],
+                 random_state=0)
+    print(result.to_text())
+
+    improvements = result.metadata["improvements_over_best_baseline"][dataset]
+    print()
+    for key, value in improvements.items():
+        print(f"{key}: {value:+.2f}%")
+
+
+if __name__ == "__main__":
+    dataset_arg = sys.argv[1] if len(sys.argv) > 1 else "ciao"
+    scale_arg = sys.argv[2] if len(sys.argv) > 2 else "quick"
+    main(dataset_arg, scale_arg)

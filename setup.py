@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that fully offline environments (no ``wheel`` package available) can still
+perform an editable install via the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

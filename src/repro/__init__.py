@@ -1,0 +1,54 @@
+"""repro — a reproduction of MARS (Multi-Facet Recommender Networks with
+Spherical Optimization, ICDE 2021).
+
+Public API overview
+-------------------
+* :mod:`repro.autograd` — NumPy reverse-mode autodiff substrate (replaces the
+  PyTorch dependency of the original implementation).
+* :mod:`repro.data` — implicit-feedback datasets, the multi-facet synthetic
+  generator standing in for the six public benchmarks, and samplers.
+* :mod:`repro.core` — the paper's contribution: :class:`~repro.core.MAR` and
+  :class:`~repro.core.MARS`.
+* :mod:`repro.baselines` — BPR, NMF, NeuMF, CML, MetricF, TransCF, LRML, SML
+  and simple non-learned baselines.
+* :mod:`repro.eval` — HR@K / nDCG@K and the sampled leave-one-out protocol.
+* :mod:`repro.training` — trainer, early stopping and grid search.
+* :mod:`repro.experiments` — runners that regenerate every table and figure.
+* :mod:`repro.analysis` — embedding visualisation and facet profiling.
+
+Quick example
+-------------
+>>> from repro import MARS, load_benchmark, LeaveOneOutEvaluator
+>>> dataset = load_benchmark("delicious", random_state=0)
+>>> model = MARS(n_facets=2, embedding_dim=16, n_epochs=5).fit(dataset)
+>>> evaluator = LeaveOneOutEvaluator(dataset, n_negatives=100, random_state=0)
+>>> metrics = evaluator.evaluate(model).metrics
+"""
+
+from repro.core import MAR, MARS, MARConfig, MARSConfig
+from repro.data import (
+    ImplicitFeedbackDataset,
+    InteractionMatrix,
+    MultiFacetSyntheticGenerator,
+    SyntheticConfig,
+    list_benchmarks,
+    load_benchmark,
+)
+from repro.eval import LeaveOneOutEvaluator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MAR",
+    "MARS",
+    "MARConfig",
+    "MARSConfig",
+    "InteractionMatrix",
+    "ImplicitFeedbackDataset",
+    "MultiFacetSyntheticGenerator",
+    "SyntheticConfig",
+    "load_benchmark",
+    "list_benchmarks",
+    "LeaveOneOutEvaluator",
+]

@@ -1,0 +1,17 @@
+"""Case-study analysis: embedding visualisation (Figure 7) and facet/user
+profiling (Tables V and VI)."""
+
+from repro.analysis.visualization import (
+    cluster_separation,
+    pca_coordinates,
+    visualize_item_embeddings,
+)
+from repro.analysis.profiling import facet_category_profiles, user_facet_profiles
+
+__all__ = [
+    "pca_coordinates",
+    "cluster_separation",
+    "visualize_item_embeddings",
+    "facet_category_profiles",
+    "user_facet_profiles",
+]

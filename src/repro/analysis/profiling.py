@@ -1,0 +1,119 @@
+"""Facet and user profiling (paper Tables V and VI).
+
+Table V lists the top item categories represented in each facet-specific
+space of MARS; Table VI profiles individual users as mixtures of facets
+(their learned Θ_u weights) together with the categories they interact with.
+Both are recomputed here from a fitted multi-facet model, its training data
+and the ground-truth item categories of the synthetic presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ImplicitFeedbackDataset
+
+
+@dataclass
+class FacetProfile:
+    """Top categories associated with one facet space (one Table V column)."""
+
+    facet: int
+    top_categories: List[int]
+    proportions: List[float]
+
+
+@dataclass
+class UserProfile:
+    """One Table VI row: a user's facet weights and per-facet categories."""
+
+    user: int
+    facet_weights: np.ndarray
+    interacted_categories: Dict[int, int] = field(default_factory=dict)
+    dominant_facet: int = 0
+
+
+def facet_category_profiles(model, dataset: ImplicitFeedbackDataset,
+                            top_n: int = 5) -> List[FacetProfile]:
+    """Table V: which item categories dominate each facet space.
+
+    Each user is assigned to their highest-weight facet; the categories of
+    the items those users interact with are then aggregated per facet and the
+    ``top_n`` categories (with proportions) are reported.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.mar.MAR` / :class:`~repro.core.mars.MARS`
+        (anything exposing ``facet_weights()``).
+    dataset:
+        The dataset the model was trained on; must carry ``item_categories``.
+    """
+    if dataset.item_categories is None:
+        raise ValueError("dataset has no ground-truth item categories")
+
+    weights = model.facet_weights()
+    n_facets = weights.shape[1]
+    categories = np.asarray(dataset.item_categories)
+    n_categories = int(categories.max()) + 1
+
+    counts = np.zeros((n_facets, n_categories))
+    for user in range(dataset.n_users):
+        items = dataset.train.items_of_user(user)
+        if items.size == 0:
+            continue
+        facet = int(np.argmax(weights[user]))
+        for category in categories[items]:
+            counts[facet, int(category)] += 1
+
+    profiles = []
+    for facet in range(n_facets):
+        total = counts[facet].sum()
+        if total == 0:
+            profiles.append(FacetProfile(facet=facet, top_categories=[], proportions=[]))
+            continue
+        order = np.argsort(-counts[facet])[:top_n]
+        profiles.append(FacetProfile(
+            facet=facet,
+            top_categories=[int(c) for c in order],
+            proportions=[float(counts[facet, c] / total) for c in order],
+        ))
+    return profiles
+
+
+def user_facet_profiles(model, dataset: ImplicitFeedbackDataset,
+                        users: Optional[Sequence[int]] = None,
+                        n_users: int = 2) -> List[UserProfile]:
+    """Table VI: profile example users as facet mixtures.
+
+    Parameters
+    ----------
+    users:
+        Explicit user ids to profile; when omitted, the ``n_users`` most
+        active users are selected (they have the richest profiles, matching
+        the paper's hand-picked examples).
+    """
+    weights = model.facet_weights()
+    if users is None:
+        degrees = dataset.train.user_degrees()
+        users = np.argsort(-degrees)[:n_users].tolist()
+
+    categories = dataset.item_categories
+    profiles = []
+    for user in users:
+        user = int(user)
+        items = dataset.train.items_of_user(user)
+        interacted: Dict[int, int] = {}
+        if categories is not None and items.size:
+            values, counts = np.unique(categories[items], return_counts=True)
+            interacted = {int(v): int(c) for v, c in zip(values, counts)}
+        profiles.append(UserProfile(
+            user=user,
+            facet_weights=weights[user],
+            interacted_categories=interacted,
+            dominant_facet=int(np.argmax(weights[user])),
+        ))
+    return profiles

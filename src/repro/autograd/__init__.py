@@ -1,0 +1,42 @@
+"""A small reverse-mode automatic differentiation engine on NumPy.
+
+This subpackage replaces the PyTorch dependency of the original MARS
+implementation.  It provides:
+
+* :class:`~repro.autograd.tensor.Tensor` — an ndarray wrapper recording a
+  dynamic computation graph, with :meth:`backward` for reverse-mode
+  differentiation;
+* :mod:`~repro.autograd.functional` — composite operations (softmax, cosine
+  similarity, squared Euclidean distance, hinge, log-sigmoid, ...);
+* :mod:`~repro.autograd.module` — ``Module``/``Parameter`` containers plus
+  ``Linear``, ``Embedding`` and ``MLP`` layers;
+* :mod:`~repro.autograd.optim` — ``SGD``, ``Adagrad``, ``Adam`` and the
+  calibrated ``RiemannianSGD`` used by MARS (paper Eq. 20-21);
+* :mod:`~repro.autograd.init` — parameter initialisers;
+* :mod:`~repro.autograd.gradcheck` — finite-difference gradient checking.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd.module import Embedding, Linear, MLP, Module, Parameter, Sequential
+from repro.autograd.optim import SGD, Adagrad, Adam, Optimizer, RiemannianSGD
+from repro.autograd import functional, init
+from repro.autograd.gradcheck import check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Parameter",
+    "Module",
+    "Linear",
+    "Embedding",
+    "Sequential",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adagrad",
+    "Adam",
+    "RiemannianSGD",
+    "functional",
+    "init",
+    "check_gradients",
+]

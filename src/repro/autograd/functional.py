@@ -1,0 +1,165 @@
+"""Composite differentiable operations built on :class:`~repro.autograd.tensor.Tensor`.
+
+These functions are the vocabulary shared by all recommender models in the
+repository: softmax facet weighting, cosine and Euclidean facet similarities,
+hinge losses with (possibly per-example) margins, and the usual neural-network
+activations.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+ArrayOrTensor = Union[np.ndarray, Tensor, float, int]
+
+_EPS = 1e-12
+
+
+def as_tensor(value: ArrayOrTensor) -> Tensor:
+    """Promote ``value`` to a :class:`Tensor` (no-op for tensors)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``."""
+    x = as_tensor(x)
+    # log(1 + exp(x)) = max(x, 0) + log(1 + exp(-|x|))
+    return x.clip_min(0.0) + ((x.abs() * -1.0).exp() + 1.0).log()
+
+
+def log_sigmoid(x: Tensor) -> Tensor:
+    """``log(sigmoid(x))`` computed without overflow."""
+    return softplus(as_tensor(x) * -1.0) * -1.0
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with the usual max-shift for stability."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """``log(sum(exp(x)))`` along ``axis`` with the max-shift trick."""
+    x = as_tensor(x)
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    out = ((x - shift).exp().sum(axis=axis, keepdims=True)).log() + shift
+    if not keepdims:
+        new_shape = list(out.shape)
+        del new_shape[axis % out.ndim]
+        out = out.reshape(tuple(new_shape))
+    return out
+
+
+def squared_norm(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Sum of squares along ``axis``."""
+    x = as_tensor(x)
+    return (x * x).sum(axis=axis, keepdims=keepdims)
+
+
+def norm(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """L2 norm along ``axis``, floored at a small epsilon for stability."""
+    return (squared_norm(x, axis=axis, keepdims=keepdims) + _EPS).sqrt()
+
+
+def normalize(x: Tensor, axis: int = -1) -> Tensor:
+    """Project vectors onto the unit sphere along ``axis``."""
+    x = as_tensor(x)
+    return x / norm(x, axis=axis, keepdims=True)
+
+
+def squared_euclidean(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Squared Euclidean distance ``‖a - b‖²`` along ``axis``."""
+    diff = as_tensor(a) - as_tensor(b)
+    return squared_norm(diff, axis=axis)
+
+
+def euclidean(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Euclidean distance ``‖a - b‖`` along ``axis``."""
+    return (squared_euclidean(a, b, axis=axis) + _EPS).sqrt()
+
+
+def dot(a: Tensor, b: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Inner product along ``axis``."""
+    return (as_tensor(a) * as_tensor(b)).sum(axis=axis, keepdims=keepdims)
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Cosine of the angle between ``a`` and ``b`` along ``axis``.
+
+    This is the facet-specific similarity of MARS (paper Eq. 13).
+    """
+    a = as_tensor(a)
+    b = as_tensor(b)
+    return dot(a, b, axis=axis) / (norm(a, axis=axis) * norm(b, axis=axis))
+
+
+def hinge(x: Tensor) -> Tensor:
+    """``max(x, 0)`` — the positive part used by large-margin losses."""
+    return as_tensor(x).clip_min(0.0)
+
+
+def hinge_loss(positive_scores: Tensor, negative_scores: Tensor,
+               margin: ArrayOrTensor) -> Tensor:
+    """Large-margin ranking loss ``[margin - pos + neg]₊`` averaged over the batch.
+
+    ``margin`` may be a scalar or a per-example array (the adaptive margins
+    γ_u of paper Eq. 7-8).
+    """
+    positive_scores = as_tensor(positive_scores)
+    negative_scores = as_tensor(negative_scores)
+    margin = as_tensor(margin)
+    violations = hinge(margin - positive_scores + negative_scores)
+    return violations.mean()
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+    """Bayesian Personalised Ranking loss ``-log σ(pos - neg)`` (mean)."""
+    diff = as_tensor(positive_scores) - as_tensor(negative_scores)
+    return (log_sigmoid(diff) * -1.0).mean()
+
+
+def binary_cross_entropy(predictions: Tensor, targets: ArrayOrTensor) -> Tensor:
+    """Binary cross-entropy between probabilities and {0,1} targets (mean)."""
+    predictions = as_tensor(predictions)
+    targets = as_tensor(targets)
+    clipped = predictions * (1.0 - 2.0 * _EPS) + _EPS
+    losses = (targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log()) * -1.0
+    return losses.mean()
+
+
+def mse_loss(predictions: Tensor, targets: ArrayOrTensor) -> Tensor:
+    """Mean squared error."""
+    diff = as_tensor(predictions) - as_tensor(targets)
+    return (diff * diff).mean()
+
+
+def l2_regularization(*tensors: Tensor) -> Tensor:
+    """Sum of squared entries of all given tensors (weight decay helper)."""
+    total = None
+    for tensor in tensors:
+        term = squared_norm(as_tensor(tensor), axis=None)
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("l2_regularization requires at least one tensor")
+    return total

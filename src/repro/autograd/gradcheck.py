@@ -1,0 +1,68 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used by the test-suite to certify that every operation used by the
+recommender models back-propagates the exact gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numeric_gradient(fn: Callable[..., Tensor], inputs: Sequence[np.ndarray],
+                     index: int, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``fn`` w.r.t. ``inputs[index]``.
+
+    ``fn`` must return a scalar :class:`Tensor` when called with plain
+    ndarrays wrapped into tensors.
+    """
+    base = [np.array(x, dtype=np.float64, copy=True) for x in inputs]
+    target = base[index]
+    grad = np.zeros_like(target)
+    iterator = np.nditer(target, flags=["multi_index"])
+    while not iterator.finished:
+        idx = iterator.multi_index
+        original = target[idx]
+
+        target[idx] = original + epsilon
+        plus = fn(*[Tensor(x) for x in base]).item()
+
+        target[idx] = original - epsilon
+        minus = fn(*[Tensor(x) for x in base]).item()
+
+        target[idx] = original
+        grad[idx] = (plus - minus) / (2 * epsilon)
+        iterator.iternext()
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[np.ndarray],
+                    atol: float = 1e-5, rtol: float = 1e-4,
+                    epsilon: float = 1e-6) -> bool:
+    """Compare analytic and numeric gradients of ``fn`` for every input.
+
+    Raises
+    ------
+    AssertionError
+        If any analytic gradient deviates from the finite-difference
+        estimate beyond the given tolerances.
+    """
+    tensors = [Tensor(np.array(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    output = fn(*tensors)
+    if output.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    output.backward()
+
+    for index, tensor in enumerate(tensors):
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numeric_gradient(fn, [t.data for t in tensors], index, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs error {max_err:.3e}"
+            )
+    return True

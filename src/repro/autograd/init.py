@@ -1,0 +1,75 @@
+"""Parameter initialisers.
+
+Each initialiser returns a plain ``numpy.ndarray``; callers wrap the result in
+a :class:`~repro.autograd.module.Parameter`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01,
+           random_state: RandomState = None) -> np.ndarray:
+    """Zero-mean Gaussian initialisation with standard deviation ``std``."""
+    rng = ensure_rng(random_state)
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], low: float = -0.05, high: float = 0.05,
+            random_state: RandomState = None) -> np.ndarray:
+    """Uniform initialisation on ``[low, high)``."""
+    rng = ensure_rng(random_state)
+    return rng.uniform(low, high, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0,
+                   random_state: RandomState = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for weight matrices."""
+    rng = ensure_rng(random_state)
+    fan_in = shape[0] if len(shape) > 0 else 1
+    fan_out = shape[1] if len(shape) > 1 else shape[0]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], gain: float = 1.0,
+                  random_state: RandomState = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation for weight matrices."""
+    rng = ensure_rng(random_state)
+    fan_in = shape[0] if len(shape) > 0 else 1
+    fan_out = shape[1] if len(shape) > 1 else shape[0]
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def spherical(shape: Tuple[int, ...], random_state: RandomState = None) -> np.ndarray:
+    """Rows drawn uniformly from the unit hypersphere.
+
+    Used to initialise MARS embeddings so that the strict spherical
+    constraint ‖x‖ = 1 holds from the very first step.
+    """
+    rng = ensure_rng(random_state)
+    samples = rng.normal(0.0, 1.0, size=shape)
+    norms = np.linalg.norm(samples, axis=-1, keepdims=True)
+    norms = np.maximum(norms, 1e-12)
+    return samples / norms
+
+
+def identity_stack(n_matrices: int, dim: int, noise: float = 0.01,
+                   random_state: RandomState = None) -> np.ndarray:
+    """A stack of near-identity ``dim × dim`` matrices.
+
+    Used to initialise the facet projection matrices Φ and Ψ so that the
+    facet spaces start close to the universal space and diverge during
+    training (driven by the facet-separating loss).
+    """
+    rng = ensure_rng(random_state)
+    stack = np.tile(np.eye(dim), (n_matrices, 1, 1))
+    if noise > 0:
+        stack = stack + rng.normal(0.0, noise, size=stack.shape)
+    return stack

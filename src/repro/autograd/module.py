@@ -1,0 +1,235 @@
+"""Parameter containers and common layers.
+
+The :class:`Module` base class mirrors the familiar deep-learning API surface
+(``parameters()``, ``zero_grad()``, ``state_dict()``) at the scale this
+repository needs.  Layers register their parameters as attributes; nested
+modules are discovered recursively.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.tensor import Tensor
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable model parameter."""
+
+    def __init__(self, data, spherical: bool = False) -> None:
+        super().__init__(data, requires_grad=True)
+        #: Whether optimizers should keep each row of this parameter on the
+        #: unit sphere (used by :class:`~repro.autograd.optim.RiemannianSGD`).
+        self.spherical = spherical
+
+    # Tensor defines __slots__; Parameter needs an instance attribute, so it
+    # gets its own slot here.
+    __slots__ = ("spherical",)
+
+
+class Module:
+    """Base class for everything that owns parameters."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, parameter: Parameter) -> Parameter:
+        """Register ``parameter`` under ``name`` and return it."""
+        self._parameters[name] = parameter
+        object.__setattr__(self, name, parameter)
+        return parameter
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth first."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for child_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of this module and its children."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def n_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # (de)serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter keyed by its qualified name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values previously produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 random_state: RandomState = None) -> None:
+        super().__init__()
+        rng = ensure_rng(random_state)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), random_state=rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.as_tensor(x) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """A lookup table of ``n_embeddings`` vectors of size ``dim``."""
+
+    def __init__(self, n_embeddings: int, dim: int, std: float = 0.01,
+                 spherical: bool = False, random_state: RandomState = None) -> None:
+        super().__init__()
+        rng = ensure_rng(random_state)
+        self.n_embeddings = n_embeddings
+        self.dim = dim
+        if spherical:
+            weight = init.spherical((n_embeddings, dim), random_state=rng)
+        else:
+            weight = init.normal((n_embeddings, dim), std=std, random_state=rng)
+        self.weight = Parameter(weight, spherical=spherical)
+
+    def forward(self, indices) -> Tensor:
+        return self.weight.gather_rows(np.asarray(indices, dtype=np.int64))
+
+    def clip_to_unit_ball(self) -> None:
+        """Project every embedding row into the closed unit ball (CML censoring)."""
+        norms = np.linalg.norm(self.weight.data, axis=1, keepdims=True)
+        scale = np.maximum(norms, 1.0)
+        self.weight.data = self.weight.data / scale
+
+    def project_to_sphere(self) -> None:
+        """Project every embedding row exactly onto the unit sphere."""
+        norms = np.linalg.norm(self.weight.data, axis=1, keepdims=True)
+        norms = np.maximum(norms, 1e-12)
+        self.weight.data = self.weight.data / norms
+
+
+class ReLU(Module):
+    """Module wrapper around the ReLU activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Sigmoid(Module):
+    """Module wrapper around the sigmoid activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    """Module wrapper around the tanh activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for index, layer in enumerate(layers):
+            self._modules[f"layer{index}"] = layer
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations between hidden layers.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sequence of layer widths, e.g. ``[64, 32, 16, 1]``.
+    output_activation:
+        Optional module applied after the last linear layer (e.g.
+        :class:`Sigmoid` for NeuMF's prediction head).
+    """
+
+    def __init__(self, layer_sizes: Sequence[int],
+                 output_activation: Optional[Module] = None,
+                 random_state: RandomState = None) -> None:
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        rng = ensure_rng(random_state)
+        layers: List[Module] = []
+        for index in range(len(layer_sizes) - 1):
+            layers.append(Linear(layer_sizes[index], layer_sizes[index + 1], random_state=rng))
+            if index < len(layer_sizes) - 2:
+                layers.append(ReLU())
+        if output_activation is not None:
+            layers.append(output_activation)
+        self.network = Sequential(*layers)
+        self.layer_sizes = list(layer_sizes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)

@@ -1,0 +1,205 @@
+"""Optimizers, including the calibrated Riemannian SGD used by MARS.
+
+All optimizers operate on :class:`~repro.autograd.module.Parameter` objects
+and read the gradients accumulated in ``parameter.grad`` by
+:meth:`Tensor.backward`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.autograd.module import Parameter
+
+_EPS = 1e-12
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared bookkeeping."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocity.get(id(parameter))
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(parameter)] = velocity
+                update = velocity
+            else:
+                update = grad
+            parameter.data = parameter.data - self.lr * update
+
+
+class Adagrad(Optimizer):
+    """Adagrad: per-coordinate learning rates from accumulated squared gradients."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.05,
+                 eps: float = 1e-10, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._accumulator: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            acc = self._accumulator.get(id(parameter))
+            if acc is None:
+                acc = np.zeros_like(parameter.data)
+            acc = acc + grad ** 2
+            self._accumulator[id(parameter)] = acc
+            parameter.data = parameter.data - self.lr * grad / (np.sqrt(acc) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moment estimates."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.001,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m = self._m.get(id(parameter), np.zeros_like(parameter.data))
+            v = self._v.get(id(parameter), np.zeros_like(parameter.data))
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
+            self._m[id(parameter)] = m
+            self._v[id(parameter)] = v
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RiemannianSGD(Optimizer):
+    """Calibrated Riemannian SGD on the unit hypersphere (paper Eq. 20-21).
+
+    Parameters flagged ``spherical=True`` are treated as stacks of row
+    vectors living on the unit sphere.  Each update:
+
+    1. projects the Euclidean gradient onto the tangent space of the sphere
+       at the current point, ``(I - x xᵀ) ∇f(x)``;
+    2. scales it by the calibration factor ``1 + xᵀ∇f(x) / ‖∇f(x)‖`` so that
+       rows whose gradient points far from their current direction take a
+       larger step;
+    3. retracts the result back onto the sphere with
+       ``R_x(z) = (x + z) / ‖x + z‖``.
+
+    Parameters not flagged spherical fall back to plain SGD, which lets a
+    single optimizer drive both the spherical embeddings and the Euclidean
+    projection matrices / facet weights of MARS.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.05,
+                 calibrate: bool = True, euclidean_lr: Optional[float] = None,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.calibrate = bool(calibrate)
+        self.euclidean_lr = float(euclidean_lr) if euclidean_lr is not None else float(lr)
+        self.weight_decay = float(weight_decay)
+
+    # ------------------------------------------------------------------ #
+    def _spherical_update(self, parameter: Parameter) -> None:
+        x = parameter.data
+        grad = parameter.grad
+        if x.ndim == 1:
+            x = x[None, :]
+            grad = grad[None, :]
+            squeeze = True
+        else:
+            squeeze = False
+
+        grad_norm = np.linalg.norm(grad, axis=-1, keepdims=True)
+        # Rows with a zero gradient stay put.
+        safe_norm = np.maximum(grad_norm, _EPS)
+
+        # Tangent-space projection: (I - x xᵀ) ∇f(x), computed row-wise.
+        radial = np.sum(x * grad, axis=-1, keepdims=True)
+        tangent = grad - radial * x
+
+        if self.calibrate:
+            calibration = 1.0 + radial / safe_norm
+        else:
+            calibration = np.ones_like(radial)
+
+        step = -self.lr * calibration * tangent
+        updated = x + step
+        norms = np.maximum(np.linalg.norm(updated, axis=-1, keepdims=True), _EPS)
+        updated = updated / norms
+        # Rows that had no gradient signal keep their previous value exactly.
+        updated = np.where(grad_norm > 0, updated, x)
+
+        parameter.data = updated[0] if squeeze else updated
+
+    def _euclidean_update(self, parameter: Parameter) -> None:
+        grad = parameter.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        parameter.data = parameter.data - self.euclidean_lr * grad
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            if getattr(parameter, "spherical", False):
+                self._spherical_update(parameter)
+            else:
+                self._euclidean_update(parameter)

@@ -1,0 +1,33 @@
+"""Baseline recommenders compared against MAR/MARS in the paper's Table II.
+
+Matrix-factorisation family: :class:`BPR`, :class:`NMF`, :class:`NeuMF`.
+Metric-learning family: :class:`CML`, :class:`MetricF`, :class:`TransCF`,
+:class:`LRML`, :class:`SML`.
+Non-learned references: :class:`Popularity`, :class:`ItemKNN`.
+"""
+
+from repro.baselines.popularity import Popularity
+from repro.baselines.itemknn import ItemKNN
+from repro.baselines.bpr import BPR
+from repro.baselines.nmf import NMF
+from repro.baselines.neumf import NeuMF
+from repro.baselines.cml import CML
+from repro.baselines.metricf import MetricF
+from repro.baselines.transcf import TransCF
+from repro.baselines.lrml import LRML
+from repro.baselines.sml import SML
+
+ALL_BASELINES = {
+    "Popularity": Popularity,
+    "ItemKNN": ItemKNN,
+    "BPR": BPR,
+    "NMF": NMF,
+    "NeuMF": NeuMF,
+    "CML": CML,
+    "MetricF": MetricF,
+    "TransCF": TransCF,
+    "LRML": LRML,
+    "SML": SML,
+}
+
+__all__ = list(ALL_BASELINES) + ["ALL_BASELINES"]

@@ -1,0 +1,132 @@
+"""Shared training scaffolding for the learned baselines.
+
+Every learned baseline (BPR, NeuMF, CML, MetricF, TransCF, LRML, SML) trains
+on triplet batches drawn by the same :class:`~repro.data.batching.TripletBatcher`
+used by MAR/MARS, which keeps the comparison fair.  Subclasses implement
+:meth:`_build` (create parameters), :meth:`_batch_loss` (differentiable loss
+of one batch) and :meth:`_score_pairs_numpy` (fast inference), and optionally
+:meth:`_post_step` (norm constraints) and :meth:`_on_epoch_start`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Module, Tensor
+from repro.autograd.optim import Adagrad, Optimizer, SGD
+from repro.core.base import BaseRecommender
+from repro.data.batching import TripletBatch, TripletBatcher
+from repro.data.interactions import InteractionMatrix
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_in_range, check_positive_int
+
+logger = get_logger("baselines")
+
+
+class EmbeddingRecommender(BaseRecommender):
+    """Base class for baselines trained with stochastic triplet batches.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Latent dimensionality.
+    n_epochs, batch_size, learning_rate:
+        Optimization schedule.
+    optimizer:
+        ``"sgd"`` or ``"adagrad"``.
+    user_sampling:
+        ``"uniform"`` (default for baselines, matching their original
+        implementations) or ``"frequency"``.
+    """
+
+    def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
+                 batch_size: int = 256, learning_rate: float = 0.1,
+                 optimizer: str = "adagrad", user_sampling: str = "uniform",
+                 random_state: Optional[int] = 0, verbose: bool = False) -> None:
+        super().__init__()
+        self.embedding_dim = check_positive_int(embedding_dim, "embedding_dim")
+        self.n_epochs = check_positive_int(n_epochs, "n_epochs")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.learning_rate = check_in_range(learning_rate, "learning_rate", 1e-8, 10.0)
+        if optimizer not in ("sgd", "adagrad"):
+            raise ValueError("optimizer must be 'sgd' or 'adagrad'")
+        self.optimizer = optimizer
+        self.user_sampling = user_sampling
+        self.random_state = random_state
+        self.verbose = verbose
+        self.network: Optional[Module] = None
+        self.loss_history_: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks
+    # ------------------------------------------------------------------ #
+    def _build(self, interactions: InteractionMatrix) -> Module:  # pragma: no cover
+        raise NotImplementedError
+
+    def _batch_loss(self, batch: TripletBatch) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _post_step(self) -> None:
+        """Hook applied after every optimizer step (e.g. norm clipping)."""
+
+    def _on_epoch_start(self, epoch: int, interactions: InteractionMatrix) -> None:
+        """Hook before each epoch (e.g. refresh cached neighbourhood vectors)."""
+
+    # ------------------------------------------------------------------ #
+    # training loop
+    # ------------------------------------------------------------------ #
+    def _fit(self, interactions: InteractionMatrix) -> None:
+        self.network = self._build(interactions)
+        batcher = TripletBatcher(
+            interactions,
+            batch_size=self.batch_size,
+            user_sampling=self.user_sampling,
+            random_state=self.random_state,
+        )
+        optimizer = self._make_optimizer()
+        self.loss_history_ = []
+        for epoch in range(self.n_epochs):
+            self._on_epoch_start(epoch, interactions)
+            epoch_loss, n_batches = 0.0, 0
+            for batch in batcher.epoch():
+                optimizer.zero_grad()
+                loss = self._batch_loss(batch)
+                loss.backward()
+                optimizer.step()
+                self._post_step()
+                epoch_loss += float(loss.item())
+                n_batches += 1
+            mean_loss = epoch_loss / max(n_batches, 1)
+            self.loss_history_.append(mean_loss)
+            if self.verbose:
+                logger.warning("%s epoch %d/%d loss %.4f",
+                               self.name, epoch + 1, self.n_epochs, mean_loss)
+
+    def _make_optimizer(self) -> Optimizer:
+        parameters = self.network.parameters()
+        if self.optimizer == "adagrad":
+            return Adagrad(parameters, lr=self.learning_rate)
+        return SGD(parameters, lr=self.learning_rate)
+
+    # ------------------------------------------------------------------ #
+    # inference / persistence
+    # ------------------------------------------------------------------ #
+    def score_items(self, user: int, items: Sequence[int]) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before scoring")
+        return self._score_pairs_numpy(int(user), np.asarray(items, dtype=np.int64))
+
+    def get_parameters(self) -> Dict[str, np.ndarray]:
+        if self.network is None:
+            raise RuntimeError("model is not fitted")
+        return self.network.state_dict()
+
+    def set_parameters(self, parameters: Dict[str, np.ndarray]) -> None:
+        if self.network is None:
+            raise RuntimeError("fit the model (to build its network) before loading")
+        self.network.load_state_dict(dict(parameters))

@@ -1,0 +1,61 @@
+"""Bayesian Personalised Ranking with a matrix-factorisation scorer
+(Rendle et al., UAI 2009)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Module, Parameter, Tensor
+from repro.autograd import functional as F
+from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.data.batching import TripletBatch
+from repro.data.interactions import InteractionMatrix
+
+
+class _BPRNetwork(Module):
+    def __init__(self, n_users: int, n_items: int, dim: int, random_state) -> None:
+        super().__init__()
+        self.user_embeddings = Embedding(n_users, dim, std=0.1, random_state=random_state)
+        self.item_embeddings = Embedding(n_items, dim, std=0.1, random_state=random_state)
+        self.item_bias = Parameter(np.zeros(n_items))
+
+
+class BPR(EmbeddingRecommender):
+    """Pairwise ranking with the ``-log σ(x̂_uvp − x̂_uvq)`` objective.
+
+    The scorer is the inner product plus an item bias; parameters are learned
+    with Adagrad and L2 weight decay applied inside the loss.
+    """
+
+    name = "BPR"
+
+    def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
+                 batch_size: int = 256, learning_rate: float = 0.1,
+                 weight_decay: float = 1e-4, random_state=0, verbose: bool = False) -> None:
+        super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
+                         batch_size=batch_size, learning_rate=learning_rate,
+                         optimizer="adagrad", random_state=random_state, verbose=verbose)
+        self.weight_decay = float(weight_decay)
+
+    def _build(self, interactions: InteractionMatrix) -> Module:
+        return _BPRNetwork(interactions.n_users, interactions.n_items,
+                           self.embedding_dim, self.random_state)
+
+    def _batch_loss(self, batch: TripletBatch) -> Tensor:
+        net: _BPRNetwork = self.network
+        users = net.user_embeddings(batch.users)
+        positives = net.item_embeddings(batch.positives)
+        negatives = net.item_embeddings(batch.negatives)
+        pos_scores = F.dot(users, positives, axis=-1) + net.item_bias.gather_rows(batch.positives)
+        neg_scores = F.dot(users, negatives, axis=-1) + net.item_bias.gather_rows(batch.negatives)
+        loss = F.bpr_loss(pos_scores, neg_scores)
+        if self.weight_decay:
+            reg = F.l2_regularization(users, positives, negatives)
+            loss = loss + reg * (self.weight_decay / len(batch))
+        return loss
+
+    def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
+        net: _BPRNetwork = self.network
+        user_vec = net.user_embeddings.weight.data[user]
+        item_vecs = net.item_embeddings.weight.data[items]
+        return item_vecs @ user_vec + net.item_bias.data[items]

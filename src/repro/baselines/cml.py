@@ -1,0 +1,72 @@
+"""CML — Collaborative Metric Learning (Hsieh et al., WWW 2017).
+
+Users and items live in a single Euclidean metric space; training minimises a
+large-margin hinge loss that pushes sampled negative items further from the
+user than positive items, and all embeddings are censored into the unit ball
+after every update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Module, Tensor
+from repro.autograd import functional as F
+from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.data.batching import TripletBatch
+from repro.data.interactions import InteractionMatrix
+
+
+class _CMLNetwork(Module):
+    def __init__(self, n_users: int, n_items: int, dim: int, random_state) -> None:
+        super().__init__()
+        self.user_embeddings = Embedding(n_users, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+        self.item_embeddings = Embedding(n_items, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+
+
+class CML(EmbeddingRecommender):
+    """Single-space metric learning with a fixed-margin hinge loss.
+
+    This is the single-space reference the paper's ablation (Table IV)
+    compares MAR and MARS against.
+    """
+
+    name = "CML"
+
+    def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
+                 batch_size: int = 256, learning_rate: float = 0.3,
+                 margin: float = 0.5, random_state=0, verbose: bool = False) -> None:
+        super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
+                         batch_size=batch_size, learning_rate=learning_rate,
+                         optimizer="sgd", random_state=random_state, verbose=verbose)
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.margin = float(margin)
+
+    def _build(self, interactions: InteractionMatrix) -> Module:
+        return _CMLNetwork(interactions.n_users, interactions.n_items,
+                           self.embedding_dim, self.random_state)
+
+    def _batch_loss(self, batch: TripletBatch) -> Tensor:
+        net: _CMLNetwork = self.network
+        users = net.user_embeddings(batch.users)
+        positives = net.item_embeddings(batch.positives)
+        negatives = net.item_embeddings(batch.negatives)
+        pos_distance = F.squared_euclidean(users, positives, axis=-1)
+        neg_distance = F.squared_euclidean(users, negatives, axis=-1)
+        # hinge(margin + d(u, v+)² − d(u, v−)²)
+        return F.hinge(pos_distance - neg_distance + self.margin).mean()
+
+    def _post_step(self) -> None:
+        net: _CMLNetwork = self.network
+        net.user_embeddings.clip_to_unit_ball()
+        net.item_embeddings.clip_to_unit_ball()
+
+    def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
+        net: _CMLNetwork = self.network
+        user_vec = net.user_embeddings.weight.data[user]
+        item_vecs = net.item_embeddings.weight.data[items]
+        distances = np.sum((item_vecs - user_vec) ** 2, axis=-1)
+        return -distances

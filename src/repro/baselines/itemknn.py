@@ -1,0 +1,69 @@
+"""Item-based k-nearest-neighbour collaborative filtering."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.base import BaseRecommender
+from repro.data.interactions import InteractionMatrix
+from repro.utils.validation import check_positive_int
+
+
+class ItemKNN(BaseRecommender):
+    """Score items by their cosine similarity to the user's training items.
+
+    Parameters
+    ----------
+    k_neighbours:
+        Number of most similar items retained per item (sparsifies the
+        similarity matrix and is the classic kNN knob).
+    shrinkage:
+        Additive shrinkage in the cosine denominator, damping similarities
+        supported by few co-occurrences.
+    """
+
+    name = "ItemKNN"
+
+    def __init__(self, k_neighbours: int = 50, shrinkage: float = 10.0) -> None:
+        super().__init__()
+        self.k_neighbours = check_positive_int(k_neighbours, "k_neighbours")
+        if shrinkage < 0:
+            raise ValueError("shrinkage must be non-negative")
+        self.shrinkage = float(shrinkage)
+        self.similarity_: sparse.csr_matrix = sparse.csr_matrix((0, 0))
+
+    def _fit(self, interactions: InteractionMatrix) -> None:
+        matrix = interactions.csr().astype(np.float64)
+        co_occurrence = (matrix.T @ matrix).toarray()
+        np.fill_diagonal(co_occurrence, 0.0)
+
+        norms = np.sqrt(np.asarray(matrix.power(2).sum(axis=0)).ravel())
+        denom = np.outer(norms, norms) + self.shrinkage + 1e-12
+        similarity = co_occurrence / denom
+
+        # Keep only the top-k neighbours of each item.
+        n_items = similarity.shape[0]
+        k = min(self.k_neighbours, max(n_items - 1, 1))
+        pruned = np.zeros_like(similarity)
+        for item in range(n_items):
+            if similarity[item].max() <= 0:
+                continue
+            top = np.argpartition(-similarity[item], kth=k - 1)[:k]
+            pruned[item, top] = similarity[item, top]
+        self.similarity_ = sparse.csr_matrix(pruned)
+
+    def score_items(self, user: int, items: Sequence[int]) -> np.ndarray:
+        interactions = self._require_fitted()
+        profile = np.zeros(interactions.n_items)
+        profile[interactions.items_of_user(user)] = 1.0
+        scores = self.similarity_ @ profile
+        return scores[np.asarray(items, dtype=np.int64)]
+
+    def get_parameters(self) -> Dict[str, np.ndarray]:
+        return {"similarity": self.similarity_.toarray()}
+
+    def set_parameters(self, parameters: Dict[str, np.ndarray]) -> None:
+        self.similarity_ = sparse.csr_matrix(np.asarray(parameters["similarity"]))

@@ -1,0 +1,92 @@
+"""LRML — Latent Relational Metric Learning (Tay et al., WWW 2018).
+
+Each user-item pair induces a latent relation vector read from a shared
+memory module with attention: the attention weights come from the Hadamard
+product of the user and item embeddings projected onto memory keys, and the
+relation is the attention-weighted sum of memory slots.  The score is the
+negative squared distance ``‖u + r − v‖²``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Module, Parameter, Tensor
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.data.batching import TripletBatch
+from repro.data.interactions import InteractionMatrix
+
+
+class _LRMLNetwork(Module):
+    def __init__(self, n_users: int, n_items: int, dim: int, n_memories: int,
+                 random_state) -> None:
+        super().__init__()
+        self.user_embeddings = Embedding(n_users, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+        self.item_embeddings = Embedding(n_items, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+        self.memory_keys = Parameter(init.xavier_uniform((dim, n_memories),
+                                                         random_state=random_state))
+        self.memory_slots = Parameter(init.xavier_uniform((n_memories, dim),
+                                                          random_state=random_state))
+
+    def relation(self, users: Tensor, items: Tensor) -> Tensor:
+        joint = users * items
+        attention = F.softmax(joint @ self.memory_keys, axis=-1)
+        return attention @ self.memory_slots
+
+
+class LRML(EmbeddingRecommender):
+    """Memory-attention relational metric learning."""
+
+    name = "LRML"
+
+    def __init__(self, embedding_dim: int = 32, n_memories: int = 10,
+                 n_epochs: int = 30, batch_size: int = 256, learning_rate: float = 0.3,
+                 margin: float = 0.5, random_state=0, verbose: bool = False) -> None:
+        super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
+                         batch_size=batch_size, learning_rate=learning_rate,
+                         optimizer="sgd", random_state=random_state, verbose=verbose)
+        if n_memories <= 0:
+            raise ValueError("n_memories must be positive")
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.n_memories = int(n_memories)
+        self.margin = float(margin)
+
+    def _build(self, interactions: InteractionMatrix) -> Module:
+        return _LRMLNetwork(interactions.n_users, interactions.n_items,
+                            self.embedding_dim, self.n_memories, self.random_state)
+
+    def _batch_loss(self, batch: TripletBatch) -> Tensor:
+        net: _LRMLNetwork = self.network
+        users = net.user_embeddings(batch.users)
+        positives = net.item_embeddings(batch.positives)
+        negatives = net.item_embeddings(batch.negatives)
+
+        pos_relation = net.relation(users, positives)
+        neg_relation = net.relation(users, negatives)
+        pos_distance = F.squared_euclidean(users + pos_relation, positives, axis=-1)
+        neg_distance = F.squared_euclidean(users + neg_relation, negatives, axis=-1)
+        return F.hinge(pos_distance - neg_distance + self.margin).mean()
+
+    def _post_step(self) -> None:
+        net: _LRMLNetwork = self.network
+        net.user_embeddings.clip_to_unit_ball()
+        net.item_embeddings.clip_to_unit_ball()
+
+    def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
+        net: _LRMLNetwork = self.network
+        user_vec = net.user_embeddings.weight.data[user][None, :]
+        item_vecs = net.item_embeddings.weight.data[items]
+
+        joint = user_vec * item_vecs
+        logits = joint @ net.memory_keys.data
+        logits = logits - logits.max(axis=-1, keepdims=True)
+        attention = np.exp(logits)
+        attention = attention / attention.sum(axis=-1, keepdims=True)
+        relation = attention @ net.memory_slots.data
+        translated = user_vec + relation
+        return -np.sum((translated - item_vecs) ** 2, axis=-1)

@@ -1,0 +1,81 @@
+"""MetricF — Metric Factorization (Zhang et al., 2018).
+
+Converts implicit preference into distances: positive user-item pairs are
+*pulled* together (the paper contrasts this with CML's pushing term) while a
+small confidence-weighted hinge keeps non-interacted items from collapsing
+onto the user.  Embeddings are censored into a ball of configurable radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Module, Tensor
+from repro.autograd import functional as F
+from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.data.batching import TripletBatch
+from repro.data.interactions import InteractionMatrix
+
+
+class _MetricFNetwork(Module):
+    def __init__(self, n_users: int, n_items: int, dim: int, random_state) -> None:
+        super().__init__()
+        self.user_embeddings = Embedding(n_users, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+        self.item_embeddings = Embedding(n_items, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+
+
+class MetricF(EmbeddingRecommender):
+    """Pull-dominated metric factorisation for implicit feedback.
+
+    Parameters
+    ----------
+    max_distance:
+        Target distance for sampled negatives; the loss only activates when a
+        negative item comes closer than this.
+    negative_weight:
+        Relative weight of the negative (anti-collapse) term versus the
+        positive pulling term.
+    """
+
+    name = "MetricF"
+
+    def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
+                 batch_size: int = 256, learning_rate: float = 0.3,
+                 max_distance: float = 2.0, negative_weight: float = 0.5,
+                 random_state=0, verbose: bool = False) -> None:
+        super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
+                         batch_size=batch_size, learning_rate=learning_rate,
+                         optimizer="sgd", random_state=random_state, verbose=verbose)
+        if max_distance <= 0:
+            raise ValueError("max_distance must be positive")
+        self.max_distance = float(max_distance)
+        self.negative_weight = float(negative_weight)
+
+    def _build(self, interactions: InteractionMatrix) -> Module:
+        return _MetricFNetwork(interactions.n_users, interactions.n_items,
+                               self.embedding_dim, self.random_state)
+
+    def _batch_loss(self, batch: TripletBatch) -> Tensor:
+        net: _MetricFNetwork = self.network
+        users = net.user_embeddings(batch.users)
+        positives = net.item_embeddings(batch.positives)
+        negatives = net.item_embeddings(batch.negatives)
+        # Pull positives towards the user (squared distance), gently push
+        # negatives out to at least ``max_distance``.
+        pull = F.squared_euclidean(users, positives, axis=-1).mean()
+        neg_distance = F.squared_euclidean(users, negatives, axis=-1)
+        push = F.hinge(neg_distance * -1.0 + self.max_distance).mean()
+        return pull + push * self.negative_weight
+
+    def _post_step(self) -> None:
+        net: _MetricFNetwork = self.network
+        net.user_embeddings.clip_to_unit_ball()
+        net.item_embeddings.clip_to_unit_ball()
+
+    def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
+        net: _MetricFNetwork = self.network
+        user_vec = net.user_embeddings.weight.data[user]
+        item_vecs = net.item_embeddings.weight.data[items]
+        return -np.sum((item_vecs - user_vec) ** 2, axis=-1)

@@ -1,0 +1,77 @@
+"""Non-negative matrix factorisation (Lee & Seung, 1999) for implicit feedback.
+
+Trained with the classic multiplicative update rules on the binary interaction
+matrix.  The paper also uses NMF factors to initialise the facet structure of
+its own model, which is why the factor matrices are exposed publicly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.base import BaseRecommender
+from repro.data.interactions import InteractionMatrix
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+_EPS = 1e-9
+
+
+class NMF(BaseRecommender):
+    """Multiplicative-update NMF on the user-item matrix.
+
+    Parameters
+    ----------
+    n_factors:
+        Rank of the factorisation (the paper sets it to the number of metric
+        spaces when using NMF as an initialiser).
+    n_iterations:
+        Number of multiplicative update sweeps.
+    """
+
+    name = "NMF"
+
+    def __init__(self, n_factors: int = 16, n_iterations: int = 100,
+                 random_state=0) -> None:
+        super().__init__()
+        self.n_factors = check_positive_int(n_factors, "n_factors")
+        self.n_iterations = check_positive_int(n_iterations, "n_iterations")
+        self.random_state = random_state
+        self.user_factors_: np.ndarray = np.empty((0, 0))
+        self.item_factors_: np.ndarray = np.empty((0, 0))
+        self.reconstruction_errors_: list = []
+
+    def _fit(self, interactions: InteractionMatrix) -> None:
+        rng = ensure_rng(self.random_state)
+        matrix = interactions.toarray()
+        n_users, n_items = matrix.shape
+
+        W = rng.random((n_users, self.n_factors)) + 0.1
+        H = rng.random((self.n_factors, n_items)) + 0.1
+
+        self.reconstruction_errors_ = []
+        for _ in range(self.n_iterations):
+            # Multiplicative updates for the Frobenius objective.
+            WH = W @ H
+            H *= (W.T @ matrix) / (W.T @ WH + _EPS)
+            WH = W @ H
+            W *= (matrix @ H.T) / (WH @ H.T + _EPS)
+            error = float(np.linalg.norm(matrix - W @ H))
+            self.reconstruction_errors_.append(error)
+
+        self.user_factors_ = W
+        self.item_factors_ = H.T
+
+    def score_items(self, user: int, items: Sequence[int]) -> np.ndarray:
+        self._require_fitted()
+        items = np.asarray(items, dtype=np.int64)
+        return self.item_factors_[items] @ self.user_factors_[user]
+
+    def get_parameters(self) -> Dict[str, np.ndarray]:
+        return {"user_factors": self.user_factors_, "item_factors": self.item_factors_}
+
+    def set_parameters(self, parameters: Dict[str, np.ndarray]) -> None:
+        self.user_factors_ = np.asarray(parameters["user_factors"], dtype=np.float64)
+        self.item_factors_ = np.asarray(parameters["item_factors"], dtype=np.float64)

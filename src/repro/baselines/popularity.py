@@ -1,0 +1,39 @@
+"""Most-popular baseline: rank items by their training interaction count."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.base import BaseRecommender
+from repro.data.interactions import InteractionMatrix
+
+
+class Popularity(BaseRecommender):
+    """Non-personalised popularity ranking.
+
+    Serves as a sanity floor: any personalised model worth its salt should
+    beat it on the benchmark presets.
+    """
+
+    name = "Popularity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.item_scores_: np.ndarray = np.empty(0)
+
+    def _fit(self, interactions: InteractionMatrix) -> None:
+        degrees = interactions.item_degrees().astype(np.float64)
+        # Log-damped counts keep the scores in a small numeric range.
+        self.item_scores_ = np.log1p(degrees)
+
+    def score_items(self, user: int, items: Sequence[int]) -> np.ndarray:
+        self._require_fitted()
+        return self.item_scores_[np.asarray(items, dtype=np.int64)]
+
+    def get_parameters(self) -> Dict[str, np.ndarray]:
+        return {"item_scores": self.item_scores_}
+
+    def set_parameters(self, parameters: Dict[str, np.ndarray]) -> None:
+        self.item_scores_ = np.asarray(parameters["item_scores"], dtype=np.float64)

@@ -1,0 +1,96 @@
+"""SML — Symmetric Metric Learning with adaptive margins (Li et al., AAAI 2020).
+
+Extends CML with a symmetric, item-centric hinge term (negative items should
+also be far from the positive item) and learnable per-user and per-item
+margins regularised towards a target value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Module, Parameter, Tensor
+from repro.autograd import functional as F
+from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.data.batching import TripletBatch
+from repro.data.interactions import InteractionMatrix
+
+
+class _SMLNetwork(Module):
+    def __init__(self, n_users: int, n_items: int, dim: int, init_margin: float,
+                 random_state) -> None:
+        super().__init__()
+        self.user_embeddings = Embedding(n_users, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+        self.item_embeddings = Embedding(n_items, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+        self.user_margins = Parameter(np.full(n_users, init_margin))
+        self.item_margins = Parameter(np.full(n_items, init_margin))
+
+
+class SML(EmbeddingRecommender):
+    """Symmetric metric learning with learnable (dynamic) margins.
+
+    Parameters
+    ----------
+    item_weight:
+        Weight λ of the item-centric hinge term.
+    margin_weight:
+        Weight γ of the margin regulariser that keeps learnable margins from
+        collapsing to zero or exploding.
+    max_margin:
+        Upper clip for the learnable margins.
+    """
+
+    name = "SML"
+
+    def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
+                 batch_size: int = 256, learning_rate: float = 0.3,
+                 init_margin: float = 0.5, max_margin: float = 1.0,
+                 item_weight: float = 0.5, margin_weight: float = 0.1,
+                 random_state=0, verbose: bool = False) -> None:
+        super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
+                         batch_size=batch_size, learning_rate=learning_rate,
+                         optimizer="sgd", random_state=random_state, verbose=verbose)
+        if init_margin <= 0 or max_margin < init_margin:
+            raise ValueError("margins must satisfy 0 < init_margin <= max_margin")
+        self.init_margin = float(init_margin)
+        self.max_margin = float(max_margin)
+        self.item_weight = float(item_weight)
+        self.margin_weight = float(margin_weight)
+
+    def _build(self, interactions: InteractionMatrix) -> Module:
+        return _SMLNetwork(interactions.n_users, interactions.n_items,
+                           self.embedding_dim, self.init_margin, self.random_state)
+
+    def _batch_loss(self, batch: TripletBatch) -> Tensor:
+        net: _SMLNetwork = self.network
+        users = net.user_embeddings(batch.users)
+        positives = net.item_embeddings(batch.positives)
+        negatives = net.item_embeddings(batch.negatives)
+
+        user_margin = net.user_margins.gather_rows(batch.users)
+        item_margin = net.item_margins.gather_rows(batch.positives)
+
+        pos_distance = F.squared_euclidean(users, positives, axis=-1)
+        neg_user_distance = F.squared_euclidean(users, negatives, axis=-1)
+        neg_item_distance = F.squared_euclidean(positives, negatives, axis=-1)
+
+        user_term = F.hinge(pos_distance - neg_user_distance + user_margin).mean()
+        item_term = F.hinge(pos_distance - neg_item_distance + item_margin).mean()
+        # Encourage margins to stay large (the regulariser of the original paper).
+        margin_reg = (user_margin.mean() + item_margin.mean()) * -1.0
+        return user_term + item_term * self.item_weight + margin_reg * self.margin_weight
+
+    def _post_step(self) -> None:
+        net: _SMLNetwork = self.network
+        net.user_embeddings.clip_to_unit_ball()
+        net.item_embeddings.clip_to_unit_ball()
+        np.clip(net.user_margins.data, 0.01, self.max_margin, out=net.user_margins.data)
+        np.clip(net.item_margins.data, 0.01, self.max_margin, out=net.item_margins.data)
+
+    def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
+        net: _SMLNetwork = self.network
+        user_vec = net.user_embeddings.weight.data[user]
+        item_vecs = net.item_embeddings.weight.data[items]
+        return -np.sum((item_vecs - user_vec) ** 2, axis=-1)

@@ -1,0 +1,105 @@
+"""TransCF — Collaborative Translational Metric Learning (Park et al., ICDM 2018).
+
+Borrowing the translation idea from knowledge-graph embedding, each user-item
+pair gets a relation vector built from neighbourhood information: the user's
+translation context is the mean embedding of the items they interacted with,
+and the item's context is the mean embedding of the users who interacted with
+it.  The score is the negative distance ``‖u + r_uv − v‖²`` with
+``r_uv = context_u ⊙ context_v``.
+
+The neighbourhood context vectors are recomputed from the current embedding
+tables at the start of every epoch and treated as constants within the epoch,
+which keeps the gradient computation simple while preserving the model's
+behaviour at this scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Module, Tensor
+from repro.autograd import functional as F
+from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.data.batching import TripletBatch
+from repro.data.interactions import InteractionMatrix
+
+
+class _TransCFNetwork(Module):
+    def __init__(self, n_users: int, n_items: int, dim: int, random_state) -> None:
+        super().__init__()
+        self.user_embeddings = Embedding(n_users, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+        self.item_embeddings = Embedding(n_items, dim, std=1.0 / np.sqrt(dim),
+                                         random_state=random_state)
+
+
+class TransCF(EmbeddingRecommender):
+    """Translational metric learning with neighbourhood-based relation vectors."""
+
+    name = "TransCF"
+
+    def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
+                 batch_size: int = 256, learning_rate: float = 0.3,
+                 margin: float = 0.5, random_state=0, verbose: bool = False) -> None:
+        super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
+                         batch_size=batch_size, learning_rate=learning_rate,
+                         optimizer="sgd", random_state=random_state, verbose=verbose)
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.margin = float(margin)
+        self._user_context: np.ndarray = np.empty((0, 0))
+        self._item_context: np.ndarray = np.empty((0, 0))
+        self._norm_user: np.ndarray = np.empty((0, 0))
+        self._norm_item: np.ndarray = np.empty((0, 0))
+
+    def _build(self, interactions: InteractionMatrix) -> Module:
+        self._norm_user, self._norm_item = self._normalised_adjacency(interactions)
+        return _TransCFNetwork(interactions.n_users, interactions.n_items,
+                               self.embedding_dim, self.random_state)
+
+    @staticmethod
+    def _normalised_adjacency(interactions: InteractionMatrix):
+        matrix = interactions.csr().astype(np.float64)
+        user_deg = np.maximum(interactions.user_degrees(), 1).astype(np.float64)
+        item_deg = np.maximum(interactions.item_degrees(), 1).astype(np.float64)
+        user_norm = matrix.multiply(1.0 / user_deg[:, None]).tocsr()
+        item_norm = matrix.T.multiply(1.0 / item_deg[:, None]).tocsr()
+        return user_norm, item_norm
+
+    def _on_epoch_start(self, epoch: int, interactions: InteractionMatrix) -> None:
+        net: _TransCFNetwork = self.network
+        # context_u = mean of embeddings of items the user interacted with;
+        # context_v = mean of embeddings of users who interacted with the item.
+        self._user_context = self._norm_user @ net.item_embeddings.weight.data
+        self._item_context = self._norm_item @ net.user_embeddings.weight.data
+
+    def _relation(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        return self._user_context[users] * self._item_context[items]
+
+    def _batch_loss(self, batch: TripletBatch) -> Tensor:
+        net: _TransCFNetwork = self.network
+        users = net.user_embeddings(batch.users)
+        positives = net.item_embeddings(batch.positives)
+        negatives = net.item_embeddings(batch.negatives)
+
+        pos_relation = Tensor(self._relation(batch.users, batch.positives))
+        neg_relation = Tensor(self._relation(batch.users, batch.negatives))
+
+        pos_distance = F.squared_euclidean(users + pos_relation, positives, axis=-1)
+        neg_distance = F.squared_euclidean(users + neg_relation, negatives, axis=-1)
+        return F.hinge(pos_distance - neg_distance + self.margin).mean()
+
+    def _post_step(self) -> None:
+        net: _TransCFNetwork = self.network
+        net.user_embeddings.clip_to_unit_ball()
+        net.item_embeddings.clip_to_unit_ball()
+
+    def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
+        net: _TransCFNetwork = self.network
+        if self._user_context.size == 0:
+            self._on_epoch_start(0, self._require_fitted())
+        user_vec = net.user_embeddings.weight.data[user]
+        item_vecs = net.item_embeddings.weight.data[items]
+        relation = self._user_context[user] * self._item_context[items]
+        translated = user_vec[None, :] + relation
+        return -np.sum((translated - item_vecs) ** 2, axis=-1)

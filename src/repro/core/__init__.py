@@ -1,0 +1,21 @@
+"""The paper's contribution: multi-facet metric learning (MAR) and its
+spherically optimized variant (MARS)."""
+
+from repro.core.base import BaseRecommender
+from repro.core.config import MARConfig, MARSConfig
+from repro.core.margins import adaptive_margins
+from repro.core.mar import MAR
+from repro.core.mars import MARS
+from repro.core import losses, similarity, spherical
+
+__all__ = [
+    "BaseRecommender",
+    "MARConfig",
+    "MARSConfig",
+    "adaptive_margins",
+    "MAR",
+    "MARS",
+    "losses",
+    "similarity",
+    "spherical",
+]

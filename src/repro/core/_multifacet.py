@@ -1,0 +1,251 @@
+"""Shared implementation of the multi-facet recommender (MAR and MARS).
+
+Both models share the parameterisation of Section III-A — universal user and
+item embeddings, shared facet projection matrices Φ/Ψ and per-user facet
+weights Θ — and the training loop over triplet batches.  They differ only in
+
+* the per-facet similarity (negative squared Euclidean vs. cosine),
+* the norm constraint (unit ball vs. unit sphere), and
+* the optimizer (SGD with censoring vs. calibrated Riemannian SGD),
+
+which the subclasses select through :meth:`_spherical`, :meth:`_make_optimizer`
+and :meth:`_apply_constraints`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd import Embedding, Module, Parameter, Tensor
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.optim import Optimizer
+from repro.core import losses
+from repro.core.base import BaseRecommender
+from repro.core.config import MARConfig
+from repro.core.margins import adaptive_margins
+from repro.core.similarity import (
+    cross_facet_similarity,
+    cross_facet_similarity_numpy,
+    facet_similarities,
+    facet_similarities_numpy,
+    project_facets,
+    project_facets_numpy,
+    softmax_numpy,
+)
+from repro.data.batching import TripletBatcher
+from repro.data.interactions import InteractionMatrix
+from repro.utils.logging import get_logger
+from repro.utils.rng import ensure_rng
+
+logger = get_logger("core.multifacet")
+
+
+class _MultiFacetNetwork(Module):
+    """Parameter container: universal embeddings, projections and facet weights."""
+
+    def __init__(self, n_users: int, n_items: int, n_facets: int, dim: int,
+                 spherical: bool, projection_noise: float, random_state) -> None:
+        super().__init__()
+        rng = ensure_rng(random_state)
+        self.n_facets = n_facets
+        self.user_embeddings = Embedding(n_users, dim, spherical=spherical,
+                                         std=1.0 / np.sqrt(dim), random_state=rng)
+        self.item_embeddings = Embedding(n_items, dim, spherical=spherical,
+                                         std=1.0 / np.sqrt(dim), random_state=rng)
+        self.user_projections = Parameter(
+            init.identity_stack(n_facets, dim, noise=projection_noise, random_state=rng)
+        )
+        self.item_projections = Parameter(
+            init.identity_stack(n_facets, dim, noise=projection_noise, random_state=rng)
+        )
+        # Facet-weight logits Θ_u; softmax-normalised per user at use time.
+        self.facet_logits = Parameter(np.zeros((n_users, n_facets)))
+
+
+class MultiFacetRecommender(BaseRecommender):
+    """Common machinery of MAR and MARS (not exported directly)."""
+
+    def __init__(self, config: Optional[MARConfig] = None, **overrides) -> None:
+        super().__init__()
+        if config is None:
+            config = self._default_config(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+        self.network: Optional[_MultiFacetNetwork] = None
+        self.margins_: Optional[np.ndarray] = None
+        self.loss_history_: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _default_config(**overrides) -> MARConfig:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _spherical(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _make_optimizer(self, network: _MultiFacetNetwork) -> Optimizer:  # pragma: no cover
+        raise NotImplementedError
+
+    def _apply_constraints(self, network: _MultiFacetNetwork) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def _fit(self, interactions: InteractionMatrix) -> None:
+        config = self.config
+        self.network = _MultiFacetNetwork(
+            n_users=interactions.n_users,
+            n_items=interactions.n_items,
+            n_facets=config.n_facets,
+            dim=config.embedding_dim,
+            spherical=self._spherical(),
+            projection_noise=config.projection_noise,
+            random_state=config.random_state,
+        )
+        if config.adaptive_margin:
+            self.margins_ = adaptive_margins(interactions, min_margin=config.min_margin)
+        else:
+            self.margins_ = np.full(interactions.n_users, config.margin)
+
+        batcher = TripletBatcher(
+            interactions,
+            batch_size=config.batch_size,
+            user_sampling=config.user_sampling,
+            beta=config.beta,
+            random_state=config.random_state,
+        )
+        optimizer = self._make_optimizer(self.network)
+        self.loss_history_ = []
+
+        for epoch in range(config.n_epochs):
+            epoch_loss = 0.0
+            n_batches = 0
+            for batch in batcher.epoch():
+                loss = self._train_step(batch, optimizer)
+                epoch_loss += loss
+                n_batches += 1
+            mean_loss = epoch_loss / max(n_batches, 1)
+            self.loss_history_.append(mean_loss)
+            if config.verbose:
+                logger.warning("%s epoch %d/%d loss %.4f",
+                               self.name, epoch + 1, config.n_epochs, mean_loss)
+
+    def _train_step(self, batch, optimizer: Optimizer) -> float:
+        """One gradient step on a triplet batch; returns the batch loss."""
+        network = self.network
+        config = self.config
+
+        user_emb = network.user_embeddings(batch.users)
+        pos_emb = network.item_embeddings(batch.positives)
+        neg_emb = network.item_embeddings(batch.negatives)
+
+        user_facets = project_facets(user_emb, network.user_projections)
+        pos_facets = project_facets(pos_emb, network.item_projections)
+        neg_facets = project_facets(neg_emb, network.item_projections)
+
+        weights = F.softmax(network.facet_logits.gather_rows(batch.users), axis=-1)
+        spherical = self._spherical()
+
+        pos_scores = cross_facet_similarity(
+            facet_similarities(user_facets, pos_facets, spherical), weights
+        )
+        neg_scores = cross_facet_similarity(
+            facet_similarities(user_facets, neg_facets, spherical), weights
+        )
+
+        margins = self.margins_[batch.users]
+        loss = losses.combined_objective(
+            pos_scores, neg_scores, margins,
+            user_facets, pos_facets,
+            lambda_pull=config.lambda_pull,
+            lambda_facet=config.lambda_facet,
+            alpha=config.alpha,
+            spherical=spherical,
+        )
+
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        self._apply_constraints(network)
+        return float(loss.item())
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def _require_network(self) -> _MultiFacetNetwork:
+        if self.network is None:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before scoring")
+        return self.network
+
+    def score_items(self, user: int, items: Sequence[int]) -> np.ndarray:
+        """Cross-facet similarity of ``user`` to each candidate item."""
+        network = self._require_network()
+        items = np.asarray(items, dtype=np.int64)
+
+        user_vector = network.user_embeddings.weight.data[user:user + 1]
+        item_vectors = network.item_embeddings.weight.data[items]
+
+        user_facets = project_facets_numpy(user_vector, network.user_projections.data)
+        item_facets = project_facets_numpy(item_vectors, network.item_projections.data)
+        # Broadcast the single user against all candidate items.
+        user_facets = np.broadcast_to(user_facets, item_facets.shape)
+
+        scores = facet_similarities_numpy(user_facets, item_facets, self._spherical())
+        weights = softmax_numpy(network.facet_logits.data[user])
+        return cross_facet_similarity_numpy(scores, weights[None, :])
+
+    def facet_weights(self, user: Optional[int] = None) -> np.ndarray:
+        """Learned softmax facet weights Θ, for one user or all users."""
+        network = self._require_network()
+        logits = network.facet_logits.data
+        if user is not None:
+            return softmax_numpy(logits[user])
+        return softmax_numpy(logits, axis=-1)
+
+    def facet_item_embeddings(self) -> np.ndarray:
+        """All item embeddings in every facet space, shape ``(K, n_items, D)``.
+
+        Used by the Figure 7 / Table V case studies.
+        """
+        network = self._require_network()
+        facets = project_facets_numpy(network.item_embeddings.weight.data,
+                                      network.item_projections.data)
+        if self._spherical():
+            norms = np.linalg.norm(facets, axis=-1, keepdims=True)
+            facets = facets / np.maximum(norms, 1e-12)
+        return facets
+
+    def facet_user_embeddings(self) -> np.ndarray:
+        """All user embeddings in every facet space, shape ``(K, n_users, D)``."""
+        network = self._require_network()
+        facets = project_facets_numpy(network.user_embeddings.weight.data,
+                                      network.user_projections.data)
+        if self._spherical():
+            norms = np.linalg.norm(facets, axis=-1, keepdims=True)
+            facets = facets / np.maximum(norms, 1e-12)
+        return facets
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def get_parameters(self) -> Dict[str, np.ndarray]:
+        network = self._require_network()
+        state = network.state_dict()
+        state["margins"] = self.margins_ if self.margins_ is not None else np.array([])
+        return state
+
+    def set_parameters(self, parameters: Dict[str, np.ndarray]) -> None:
+        parameters = dict(parameters)
+        margins = parameters.pop("margins", None)
+        if self.network is None:
+            raise RuntimeError("fit (or construct the network) before loading parameters")
+        self.network.load_state_dict(parameters)
+        if margins is not None and margins.size:
+            self.margins_ = margins

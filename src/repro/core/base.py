@@ -1,0 +1,119 @@
+"""The recommender interface shared by MAR, MARS and every baseline.
+
+All models consume an :class:`~repro.data.dataset.ImplicitFeedbackDataset`
+(or a raw :class:`~repro.data.interactions.InteractionMatrix`) through
+:meth:`fit`, and expose scoring/ranking through :meth:`score_items` and
+:meth:`recommend`.  The evaluation protocol only relies on this interface,
+which is what makes the Table II comparison a like-for-like one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import ImplicitFeedbackDataset
+from repro.data.interactions import InteractionMatrix
+from repro.utils.io import load_arrays, save_arrays
+
+
+class BaseRecommender:
+    """Abstract base class for top-N recommenders trained on implicit feedback."""
+
+    #: Human-readable model name used in experiment reports.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._train_interactions: Optional[InteractionMatrix] = None
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(self, data: Union[ImplicitFeedbackDataset, InteractionMatrix]) -> "BaseRecommender":
+        """Train the model and return ``self``."""
+        interactions = self._unwrap(data)
+        self._train_interactions = interactions
+        self._fit(interactions)
+        return self
+
+    def _fit(self, interactions: InteractionMatrix) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    @staticmethod
+    def _unwrap(data: Union[ImplicitFeedbackDataset, InteractionMatrix]) -> InteractionMatrix:
+        if isinstance(data, ImplicitFeedbackDataset):
+            return data.train
+        if isinstance(data, InteractionMatrix):
+            return data
+        raise TypeError(
+            "fit expects an ImplicitFeedbackDataset or InteractionMatrix, "
+            f"got {type(data).__name__}"
+        )
+
+    def _require_fitted(self) -> InteractionMatrix:
+        if self._train_interactions is None:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before use")
+        return self._train_interactions
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train_interactions is not None
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def score_items(self, user: int, items: Sequence[int]) -> np.ndarray:
+        """Scores of ``items`` for ``user`` (higher means more recommended)."""
+        raise NotImplementedError
+
+    def score_all_items(self, user: int) -> np.ndarray:
+        """Scores of every item for ``user``."""
+        interactions = self._require_fitted()
+        return self.score_items(user, np.arange(interactions.n_items))
+
+    def recommend(self, user: int, k: int = 10,
+                  exclude_seen: bool = True) -> np.ndarray:
+        """Top-``k`` item ids for ``user``, best first.
+
+        Parameters
+        ----------
+        user:
+            User id.
+        k:
+            Number of recommendations.
+        exclude_seen:
+            Whether to filter out items the user interacted with in training.
+        """
+        interactions = self._require_fitted()
+        scores = np.asarray(self.score_all_items(user), dtype=np.float64).copy()
+        if exclude_seen:
+            seen = interactions.items_of_user(user)
+            scores[seen] = -np.inf
+        k = min(k, len(scores))
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        return top[np.argsort(-scores[top], kind="stable")]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def get_parameters(self) -> Dict[str, np.ndarray]:
+        """Return the learned parameters (models override when they have any)."""
+        return {}
+
+    def set_parameters(self, parameters: Dict[str, np.ndarray]) -> None:
+        """Load learned parameters produced by :meth:`get_parameters`."""
+        if parameters:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not support parameter loading"
+            )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist learned parameters to an ``.npz`` file."""
+        return save_arrays(path, self.get_parameters())
+
+    def load(self, path: Union[str, Path]) -> "BaseRecommender":
+        """Restore learned parameters from :meth:`save` output."""
+        self.set_parameters(load_arrays(path))
+        return self

@@ -1,0 +1,115 @@
+"""Configuration dataclasses for MAR and MARS.
+
+Defaults follow the paper's reported rule-of-thumb values: K = 3-4 facets,
+λ_facet = 0.01, α = 0.1, β = 0.8, batch size scaled down from the paper's
+1000 to suit CPU-sized presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.utils.validation import check_in_range, check_non_negative, check_positive_int
+
+
+@dataclass
+class MARConfig:
+    """Hyperparameters of the Euclidean multi-facet recommender (MAR).
+
+    Attributes
+    ----------
+    n_facets:
+        Number of facet-specific metric spaces K.
+    embedding_dim:
+        Dimension D of the universal and facet-specific embeddings.
+    learning_rate:
+        Step size of the (stochastic) optimizer.
+    n_epochs:
+        Training epochs; each epoch sees roughly every interaction once.
+    batch_size:
+        Triplets per batch.
+    lambda_pull, lambda_facet:
+        Weights of the pulling regulariser (Eq. 9) and the facet-separating
+        loss (Eq. 6).
+    alpha:
+        Scale of the facet-separating loss (paper default 0.1).
+    beta:
+        Exponent of the frequency-biased user sampling (Eq. 10, default 0.8).
+    adaptive_margin:
+        Use the per-user margins γ_u of Eq. 7; when ``False``, ``margin`` is
+        used for every user.
+    margin:
+        Fixed margin used when ``adaptive_margin`` is disabled.
+    min_margin:
+        Lower clip for adaptive margins (avoids degenerate zero margins).
+    projection_noise:
+        Standard deviation of the noise added to the near-identity
+        initialisation of the facet projection matrices.
+    user_sampling:
+        ``"frequency"`` (Eq. 10) or ``"uniform"``.
+    """
+
+    n_facets: int = 3
+    embedding_dim: int = 32
+    learning_rate: float = 0.5
+    n_epochs: int = 40
+    batch_size: int = 256
+    lambda_pull: float = 0.1
+    lambda_facet: float = 0.01
+    alpha: float = 0.1
+    beta: float = 0.8
+    adaptive_margin: bool = True
+    margin: float = 0.5
+    min_margin: float = 0.05
+    projection_noise: float = 0.05
+    user_sampling: str = "frequency"
+    random_state: Optional[int] = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_facets, "n_facets")
+        check_positive_int(self.embedding_dim, "embedding_dim")
+        check_positive_int(self.n_epochs, "n_epochs")
+        check_positive_int(self.batch_size, "batch_size")
+        check_in_range(self.learning_rate, "learning_rate", 1e-8, 10.0)
+        check_non_negative(self.lambda_pull, "lambda_pull")
+        check_non_negative(self.lambda_facet, "lambda_facet")
+        check_in_range(self.alpha, "alpha", 1e-6, 100.0)
+        check_in_range(self.beta, "beta", 0.0, 10.0)
+        check_non_negative(self.margin, "margin")
+        check_in_range(self.min_margin, "min_margin", 0.0, 1.0)
+        if self.user_sampling not in ("frequency", "uniform"):
+            raise ValueError("user_sampling must be 'frequency' or 'uniform'")
+
+
+@dataclass
+class MARSConfig(MARConfig):
+    """Hyperparameters of MARS (spherical optimization variant).
+
+    Additional attributes
+    ---------------------
+    calibrate:
+        Use the calibrated Riemannian gradient (Eq. 21) rather than plain
+        Riemannian SGD (Eq. 20).
+    euclidean_learning_rate:
+        Learning rate applied to the non-spherical parameters (projection
+        matrices and facet-weight logits); defaults to ``learning_rate``.
+
+    Notes
+    -----
+    The default learning rate is larger than MAR's because the loss is
+    averaged over the batch and the cosine-based gradients are bounded by 1,
+    so the per-row updates are small; the retraction keeps large steps safe.
+    """
+
+    learning_rate: float = 4.0
+    n_epochs: int = 60
+    calibrate: bool = True
+    euclidean_learning_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.euclidean_learning_rate is not None:
+            check_in_range(self.euclidean_learning_rate,
+                           "euclidean_learning_rate", 1e-8, 10.0)

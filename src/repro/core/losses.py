@@ -1,0 +1,108 @@
+"""Multi-facet optimization objectives (paper Section III-C and IV-A).
+
+* :func:`push_loss` — the relative large-margin objective with adaptive
+  margins (Eq. 8 / Eq. 15);
+* :func:`pull_loss` — the absolute pulling regulariser on positive pairs
+  (Eq. 9 / Eq. 16);
+* :func:`facet_separating_loss` — encourages the facet-specific embeddings of
+  the same entity to spread out across spaces (Eq. 6 / Eq. 12).
+
+All functions return scalar tensors and are shared by MAR (Euclidean mode)
+and MARS (spherical mode).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+
+def push_loss(positive_similarity: Tensor, negative_similarity: Tensor,
+              margins: Union[np.ndarray, float]) -> Tensor:
+    """Relative "pushing" objective ``[γ_u − g(u,v_p) + g(u,v_q)]₊`` (Eq. 8).
+
+    Parameters
+    ----------
+    positive_similarity, negative_similarity:
+        Cross-facet similarities of the positive and negative pairs in the
+        batch, shape ``(B,)``.
+    margins:
+        Scalar margin or per-example adaptive margins γ_u, shape ``(B,)``.
+    """
+    return F.hinge_loss(positive_similarity, negative_similarity, margins)
+
+
+def pull_loss(positive_similarity: Tensor) -> Tensor:
+    """Absolute "pulling" objective ``−g(u, v_p)`` averaged over the batch (Eq. 9)."""
+    return (positive_similarity * -1.0).mean()
+
+
+def facet_separating_loss(facet_embeddings: List[Tensor], alpha: float = 0.1,
+                          spherical: bool = False) -> Tensor:
+    """Spread the facet-specific embeddings of each entity across spaces.
+
+    Euclidean mode implements Eq. 6: for every pair of facets (i, j) the loss
+    ``(1/α) log(1 + exp(−α ‖x_i − x_j‖²))`` decreases as the two facet
+    embeddings of the same entity move apart.
+
+    Spherical mode adapts the same idea to directions: the penalty
+    ``(1/α) log(1 + exp(α cos(x_i, x_j)))`` decreases as the two facet
+    embeddings point away from each other.  (Eq. 12 of the paper keeps the
+    minus sign of the Euclidean formula, which would *reward* aligned facets;
+    we flip the sign so the loss matches the paper's stated intent of
+    encouraging diversity among facet spaces — see DESIGN.md.)
+
+    Parameters
+    ----------
+    facet_embeddings:
+        List of K tensors of shape ``(B, D)`` — the same batch of entities
+        projected into each facet space.
+    alpha:
+        Scale hyperparameter (paper default 0.1).
+    spherical:
+        Select the cosine-based variant.
+    """
+    n_facets = len(facet_embeddings)
+    if n_facets < 2:
+        return Tensor(0.0)
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+
+    total = None
+    for i in range(n_facets):
+        for j in range(i + 1, n_facets):
+            if spherical:
+                closeness = F.cosine_similarity(
+                    facet_embeddings[i], facet_embeddings[j], axis=-1
+                )
+                pairwise = F.softplus(closeness * alpha) * (1.0 / alpha)
+            else:
+                distance = F.squared_euclidean(
+                    facet_embeddings[i], facet_embeddings[j], axis=-1
+                )
+                pairwise = F.softplus(distance * -alpha) * (1.0 / alpha)
+            term = pairwise.mean()
+            total = term if total is None else total + term
+    return total
+
+
+def combined_objective(positive_similarity: Tensor, negative_similarity: Tensor,
+                       margins: Union[np.ndarray, float],
+                       user_facets: List[Tensor], item_facets: List[Tensor],
+                       lambda_pull: float, lambda_facet: float,
+                       alpha: float = 0.1, spherical: bool = False) -> Tensor:
+    """Full training objective of Eq. 11 (MAR) / Eq. 17 (MARS) for a batch."""
+    loss = push_loss(positive_similarity, negative_similarity, margins)
+    if lambda_pull:
+        loss = loss + pull_loss(positive_similarity) * lambda_pull
+    if lambda_facet:
+        separation = facet_separating_loss(user_facets, alpha=alpha, spherical=spherical)
+        separation = separation + facet_separating_loss(
+            item_facets, alpha=alpha, spherical=spherical
+        )
+        loss = loss + separation * lambda_facet
+    return loss

@@ -1,0 +1,124 @@
+"""Cross-facet similarity measurement (paper Section III-B and IV-A).
+
+The three-step measurement:
+
+1. project universal user/item embeddings into K facet-specific spaces with
+   the shared projection matrices Φ and Ψ (Eq. 1-2);
+2. compute the per-facet similarity — negative squared Euclidean distance in
+   MAR (Eq. 3) or cosine similarity in MARS (Eq. 13);
+3. aggregate across facets with the user-specific softmax weights Θ_u
+   (Eq. 4 / Eq. 14).
+
+Both a differentiable (autograd) path used during training and a plain NumPy
+path used for fast inference/ranking are provided; the NumPy path is tested
+against the autograd path for consistency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+
+# --------------------------------------------------------------------------- #
+# differentiable (training) path
+# --------------------------------------------------------------------------- #
+def project_facets(embeddings: Tensor, projections: Tensor) -> List[Tensor]:
+    """Project a batch of universal embeddings into each facet space.
+
+    Parameters
+    ----------
+    embeddings:
+        Batch of universal embeddings, shape ``(B, D)``.
+    projections:
+        Stack of facet projection matrices, shape ``(K, D, D)``.
+
+    Returns
+    -------
+    list of Tensor
+        ``K`` tensors of shape ``(B, D)`` — the facet-specific embeddings.
+    """
+    n_facets = projections.shape[0]
+    return [embeddings @ projections[k] for k in range(n_facets)]
+
+
+def facet_similarities(user_facets: List[Tensor], item_facets: List[Tensor],
+                       spherical: bool) -> Tensor:
+    """Per-facet similarity scores, shape ``(B, K)``.
+
+    Euclidean mode returns ``-‖u_k − v_k‖²`` (Eq. 3); spherical mode returns
+    ``cos(u_k, v_k)`` (Eq. 13).
+    """
+    scores = []
+    for user_k, item_k in zip(user_facets, item_facets):
+        if spherical:
+            scores.append(F.cosine_similarity(user_k, item_k, axis=-1))
+        else:
+            scores.append(F.squared_euclidean(user_k, item_k, axis=-1) * -1.0)
+    return Tensor.stack(scores, axis=1)
+
+
+def cross_facet_similarity(facet_scores: Tensor, facet_weights: Tensor) -> Tensor:
+    """Aggregate per-facet scores with user-specific weights (Eq. 4 / Eq. 14).
+
+    Parameters
+    ----------
+    facet_scores:
+        Shape ``(B, K)``.
+    facet_weights:
+        Softmax-normalised weights Θ_u for the batch, shape ``(B, K)``.
+    """
+    return (facet_scores * facet_weights).sum(axis=1)
+
+
+# --------------------------------------------------------------------------- #
+# inference (NumPy) path
+# --------------------------------------------------------------------------- #
+def project_facets_numpy(embeddings: np.ndarray, projections: np.ndarray) -> np.ndarray:
+    """Vectorised facet projection: ``(B, D) × (K, D, D) → (K, B, D)``."""
+    return np.einsum("bd,kde->kbe", embeddings, projections)
+
+
+def facet_similarities_numpy(user_facets: np.ndarray, item_facets: np.ndarray,
+                             spherical: bool) -> np.ndarray:
+    """Per-facet similarities for pre-projected embeddings.
+
+    Parameters
+    ----------
+    user_facets, item_facets:
+        Shape ``(K, B, D)`` (broadcastable against each other on the batch
+        axis, e.g. a single user against many candidate items).
+    spherical:
+        Cosine similarity when true, negative squared Euclidean otherwise.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(B, K)``
+    """
+    if spherical:
+        user_norm = np.linalg.norm(user_facets, axis=-1, keepdims=True)
+        item_norm = np.linalg.norm(item_facets, axis=-1, keepdims=True)
+        user_unit = user_facets / np.maximum(user_norm, 1e-12)
+        item_unit = item_facets / np.maximum(item_norm, 1e-12)
+        scores = np.sum(user_unit * item_unit, axis=-1)
+    else:
+        diff = user_facets - item_facets
+        scores = -np.sum(diff * diff, axis=-1)
+    return scores.T  # (K, B) -> (B, K)
+
+
+def softmax_numpy(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Plain NumPy softmax used for the inference path."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def cross_facet_similarity_numpy(facet_scores: np.ndarray,
+                                 facet_weights: np.ndarray) -> np.ndarray:
+    """NumPy counterpart of :func:`cross_facet_similarity`."""
+    return np.sum(facet_scores * facet_weights, axis=-1)

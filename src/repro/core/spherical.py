@@ -1,0 +1,110 @@
+"""Spherical-geometry utilities used by MARS and its tests.
+
+Covers projection onto the unit hypersphere, tangent-space projection,
+the retraction used by Riemannian SGD, and sampling from the von Mises-Fisher
+distribution that Section IV-A uses to give the cosine objective a
+probabilistic interpretation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+_EPS = 1e-12
+
+
+def project_to_sphere(vectors: np.ndarray) -> np.ndarray:
+    """Normalise the last axis of ``vectors`` to unit norm."""
+    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    return vectors / np.maximum(norms, _EPS)
+
+
+def tangent_projection(points: np.ndarray, gradients: np.ndarray) -> np.ndarray:
+    """Project ``gradients`` onto the tangent space of the sphere at ``points``.
+
+    Implements ``(I − x xᵀ) ∇f(x)`` row-wise, assuming ``points`` has unit
+    rows.
+    """
+    radial = np.sum(points * gradients, axis=-1, keepdims=True)
+    return gradients - radial * points
+
+
+def retract(points: np.ndarray, step: np.ndarray) -> np.ndarray:
+    """Retraction ``R_x(z) = (x + z) / ‖x + z‖`` (paper Eq. 21)."""
+    return project_to_sphere(points + step)
+
+
+def calibration_factor(points: np.ndarray, gradients: np.ndarray) -> np.ndarray:
+    """Calibration multiplier ``1 + xᵀ∇f(x) / ‖∇f(x)‖`` of Eq. 21 (row-wise)."""
+    norms = np.linalg.norm(gradients, axis=-1, keepdims=True)
+    radial = np.sum(points * gradients, axis=-1, keepdims=True)
+    return 1.0 + radial / np.maximum(norms, _EPS)
+
+
+def geodesic_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Great-circle distance between unit vectors along the last axis."""
+    cosines = np.clip(np.sum(a * b, axis=-1), -1.0, 1.0)
+    return np.arccos(cosines)
+
+
+def sample_vmf(mean_direction: np.ndarray, concentration: float, size: int,
+               random_state: RandomState = None) -> np.ndarray:
+    """Sample from the von Mises-Fisher distribution on the unit sphere.
+
+    Uses Wood's (1994) rejection algorithm for the radial component and an
+    orthonormal completion for the tangential component.
+
+    Parameters
+    ----------
+    mean_direction:
+        Mean direction μ (any norm; it is normalised internally).
+    concentration:
+        Concentration κ ≥ 0.  κ = 0 gives the uniform distribution on the
+        sphere.
+    size:
+        Number of samples.
+    """
+    rng = ensure_rng(random_state)
+    mu = np.asarray(mean_direction, dtype=np.float64).ravel()
+    dim = mu.size
+    if dim < 2:
+        raise ValueError("the vMF distribution requires dimension >= 2")
+    if concentration < 0:
+        raise ValueError("concentration must be non-negative")
+    mu = mu / max(np.linalg.norm(mu), _EPS)
+
+    if concentration == 0:
+        return project_to_sphere(rng.normal(size=(size, dim)))
+
+    # Wood's algorithm for the cosine of the angle to the mean direction.
+    b = (-2 * concentration + np.sqrt(4 * concentration**2 + (dim - 1) ** 2)) / (dim - 1)
+    x0 = (1 - b) / (1 + b)
+    c = concentration * x0 + (dim - 1) * np.log(1 - x0**2)
+
+    cosines = np.empty(size)
+    for index in range(size):
+        while True:
+            z = rng.beta((dim - 1) / 2.0, (dim - 1) / 2.0)
+            w = (1 - (1 + b) * z) / (1 - (1 - b) * z)
+            u = rng.uniform()
+            if concentration * w + (dim - 1) * np.log(1 - x0 * w) - c >= np.log(u):
+                cosines[index] = w
+                break
+
+    # Tangential directions orthogonal to mu.
+    tangential = rng.normal(size=(size, dim))
+    tangential = tangential - np.outer(tangential @ mu, mu)
+    tangential = project_to_sphere(tangential)
+
+    sines = np.sqrt(np.clip(1.0 - cosines**2, 0.0, 1.0))
+    return cosines[:, None] * mu[None, :] + sines[:, None] * tangential
+
+
+def vmf_log_density(points: np.ndarray, mean_direction: np.ndarray,
+                    concentration: float) -> np.ndarray:
+    """Unnormalised vMF log-density ``κ cos(x, μ)`` (Eq. 18 up to a constant)."""
+    mu = project_to_sphere(np.asarray(mean_direction, dtype=np.float64))
+    pts = project_to_sphere(np.asarray(points, dtype=np.float64))
+    return concentration * np.sum(pts * mu, axis=-1)

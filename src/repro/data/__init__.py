@@ -1,0 +1,41 @@
+"""Implicit-feedback data substrate.
+
+Provides the interaction-matrix container, the leave-one-out dataset split
+used by the paper's evaluation protocol, the multi-facet synthetic generator
+that stands in for the six public benchmark datasets, raw-file loaders,
+negative samplers and triplet batchers.
+"""
+
+from repro.data.interactions import InteractionMatrix
+from repro.data.dataset import ImplicitFeedbackDataset, train_validation_test_split
+from repro.data.synthetic import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.data.loaders import (
+    BENCHMARK_PRESETS,
+    DatasetSpec,
+    list_benchmarks,
+    load_benchmark,
+    load_interactions_csv,
+)
+from repro.data.negative_sampling import (
+    FrequencyBiasedUserSampler,
+    PopularityNegativeSampler,
+    UniformNegativeSampler,
+)
+from repro.data.batching import TripletBatcher
+
+__all__ = [
+    "InteractionMatrix",
+    "ImplicitFeedbackDataset",
+    "train_validation_test_split",
+    "MultiFacetSyntheticGenerator",
+    "SyntheticConfig",
+    "BENCHMARK_PRESETS",
+    "DatasetSpec",
+    "list_benchmarks",
+    "load_benchmark",
+    "load_interactions_csv",
+    "FrequencyBiasedUserSampler",
+    "PopularityNegativeSampler",
+    "UniformNegativeSampler",
+    "TripletBatcher",
+]

@@ -1,0 +1,201 @@
+"""Sparse implicit-feedback interaction matrix.
+
+The :class:`InteractionMatrix` is the common currency between data loaders,
+samplers, models and the evaluation protocol.  It wraps a SciPy CSR matrix of
+binary interactions and exposes the statistics the paper relies on: user and
+item degrees, density (Table I), the per-user item sets, and the two-hop
+neighbourhood sizes that drive the adaptive margins of Eq. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.utils.validation import check_positive_int
+
+
+class InteractionMatrix:
+    """Binary user-item interaction matrix with recommendation-centric helpers.
+
+    Parameters
+    ----------
+    n_users, n_items:
+        Matrix dimensions.
+    user_indices, item_indices:
+        Parallel arrays of interaction coordinates.  Duplicates are merged.
+    timestamps:
+        Optional per-interaction timestamps (used by the leave-one-out split
+        to hold out each user's most recent item, as in the paper).
+    """
+
+    def __init__(self, n_users: int, n_items: int,
+                 user_indices: Sequence[int], item_indices: Sequence[int],
+                 timestamps: Optional[Sequence[float]] = None) -> None:
+        self.n_users = check_positive_int(n_users, "n_users")
+        self.n_items = check_positive_int(n_items, "n_items")
+
+        users = np.asarray(user_indices, dtype=np.int64)
+        items = np.asarray(item_indices, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("user_indices and item_indices must have equal length")
+        if users.size and (users.min() < 0 or users.max() >= n_users):
+            raise ValueError("user index out of range")
+        if items.size and (items.min() < 0 or items.max() >= n_items):
+            raise ValueError("item index out of range")
+
+        data = np.ones(users.size, dtype=np.float64)
+        matrix = sparse.coo_matrix((data, (users, items)), shape=(n_users, n_items))
+        matrix = matrix.tocsr()
+        matrix.data[:] = 1.0  # merge duplicates into binary entries
+        matrix.eliminate_zeros()
+        self._matrix = matrix
+
+        self._timestamps: Dict[Tuple[int, int], float] = {}
+        if timestamps is not None:
+            stamps = np.asarray(timestamps, dtype=np.float64)
+            if stamps.shape != users.shape:
+                raise ValueError("timestamps must align with the interaction arrays")
+            for u, i, t in zip(users, items, stamps):
+                key = (int(u), int(i))
+                # Keep the most recent timestamp for duplicated interactions.
+                if key not in self._timestamps or t > self._timestamps[key]:
+                    self._timestamps[key] = float(t)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]], n_users: Optional[int] = None,
+                   n_items: Optional[int] = None) -> "InteractionMatrix":
+        """Build a matrix from an iterable of ``(user, item)`` pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            raise ValueError("cannot build an InteractionMatrix from zero interactions")
+        users = [int(u) for u, _ in pairs]
+        items = [int(i) for _, i in pairs]
+        n_users = n_users if n_users is not None else max(users) + 1
+        n_items = n_items if n_items is not None else max(items) + 1
+        return cls(n_users, n_items, users, items)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "InteractionMatrix":
+        """Build a matrix from a dense 0/1 array (mostly for tests)."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("dense interaction array must be 2-D")
+        users, items = np.nonzero(dense)
+        return cls(dense.shape[0], dense.shape[1], users, items)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_users, self.n_items)
+
+    @property
+    def n_interactions(self) -> int:
+        """Number of distinct (user, item) interactions."""
+        return int(self._matrix.nnz)
+
+    @property
+    def density(self) -> float:
+        """Fraction of the user-item matrix that is observed (Table I)."""
+        return self.n_interactions / float(self.n_users * self.n_items)
+
+    def csr(self) -> sparse.csr_matrix:
+        """Return the underlying CSR matrix (do not mutate)."""
+        return self._matrix
+
+    def toarray(self) -> np.ndarray:
+        """Densify (only sensible for small matrices / tests)."""
+        return self._matrix.toarray()
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        user, item = pair
+        return bool(self._matrix[user, item] != 0)
+
+    # ------------------------------------------------------------------ #
+    # per-user / per-item views
+    # ------------------------------------------------------------------ #
+    def items_of_user(self, user: int) -> np.ndarray:
+        """Item ids the user interacted with (sorted ascending)."""
+        return self._matrix.indices[
+            self._matrix.indptr[user]:self._matrix.indptr[user + 1]
+        ].copy()
+
+    def users_of_item(self, item: int) -> np.ndarray:
+        """User ids that interacted with the item."""
+        csc = self._csc()
+        return csc.indices[csc.indptr[item]:csc.indptr[item + 1]].copy()
+
+    def _csc(self) -> sparse.csc_matrix:
+        if not hasattr(self, "_csc_cache"):
+            self._csc_cache = self._matrix.tocsc()
+        return self._csc_cache
+
+    def user_degrees(self) -> np.ndarray:
+        """Number of interactions per user, shape ``(n_users,)``."""
+        return np.diff(self._matrix.indptr).astype(np.int64)
+
+    def item_degrees(self) -> np.ndarray:
+        """Number of interactions per item, shape ``(n_items,)``."""
+        return np.asarray(self._matrix.sum(axis=0)).ravel().astype(np.int64)
+
+    def timestamp_of(self, user: int, item: int) -> Optional[float]:
+        """Timestamp of an interaction, or ``None`` when not recorded."""
+        return self._timestamps.get((int(user), int(item)))
+
+    @property
+    def has_timestamps(self) -> bool:
+        return bool(self._timestamps)
+
+    # ------------------------------------------------------------------ #
+    # derived quantities used by the paper
+    # ------------------------------------------------------------------ #
+    def two_hop_neighbourhood_sizes(self) -> np.ndarray:
+        """For each user, the summed degree of the items they interacted with.
+
+        This is the quantity ``Σ_{v ∈ V_u} |U_v|`` of Eq. 7, from which the
+        adaptive margin γ_u is derived.
+        """
+        item_deg = self.item_degrees().astype(np.float64)
+        return np.asarray(self._matrix @ item_deg).ravel()
+
+    def positive_pairs(self) -> np.ndarray:
+        """All positive pairs as an array of shape ``(n_interactions, 2)``."""
+        coo = self._matrix.tocoo()
+        return np.stack([coo.row.astype(np.int64), coo.col.astype(np.int64)], axis=1)
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics matching the columns of the paper's Table I."""
+        return {
+            "n_users": self.n_users,
+            "n_items": self.n_items,
+            "n_interactions": self.n_interactions,
+            "density_percent": 100.0 * self.density,
+            "mean_user_degree": float(self.user_degrees().mean()),
+            "mean_item_degree": float(self.item_degrees().mean()),
+        }
+
+    # ------------------------------------------------------------------ #
+    # editing
+    # ------------------------------------------------------------------ #
+    def without_pairs(self, pairs: Iterable[Tuple[int, int]]) -> "InteractionMatrix":
+        """Return a copy with the given ``(user, item)`` pairs removed."""
+        remove = {(int(u), int(i)) for u, i in pairs}
+        kept: List[Tuple[int, int]] = [
+            (int(u), int(i)) for u, i in self.positive_pairs()
+            if (int(u), int(i)) not in remove
+        ]
+        if not kept:
+            raise ValueError("removing these pairs would empty the interaction matrix")
+        users = [u for u, _ in kept]
+        items = [i for _, i in kept]
+        stamps = None
+        if self._timestamps:
+            stamps = [self._timestamps.get((u, i), 0.0) for u, i in kept]
+        return InteractionMatrix(self.n_users, self.n_items, users, items, timestamps=stamps)

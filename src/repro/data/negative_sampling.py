@@ -1,0 +1,123 @@
+"""Negative and user sampling strategies.
+
+Implements the frequency-biased user sampling of the paper (Eq. 10) alongside
+the standard uniform and popularity-biased negative item samplers used by the
+baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+class UniformNegativeSampler:
+    """Sample negative items uniformly from the user's non-interacted items."""
+
+    def __init__(self, interactions: InteractionMatrix,
+                 random_state: RandomState = None, max_rejections: int = 50) -> None:
+        self.interactions = interactions
+        self._rng = ensure_rng(random_state)
+        self.max_rejections = check_positive_int(max_rejections, "max_rejections")
+        self._positive_sets = [
+            set(interactions.items_of_user(user).tolist())
+            for user in range(interactions.n_users)
+        ]
+
+    def sample(self, user: int, size: int = 1) -> np.ndarray:
+        """Draw ``size`` negative items for ``user`` (with rejection)."""
+        positives = self._positive_sets[user]
+        n_items = self.interactions.n_items
+        if len(positives) >= n_items:
+            raise ValueError(f"user {user} has interacted with every item; "
+                             "cannot sample negatives")
+        negatives = np.empty(size, dtype=np.int64)
+        for slot in range(size):
+            item = int(self._rng.integers(0, n_items))
+            attempts = 0
+            while item in positives and attempts < self.max_rejections:
+                item = int(self._rng.integers(0, n_items))
+                attempts += 1
+            if item in positives:
+                # Extremely dense user: fall back to explicit enumeration.
+                candidates = np.setdiff1d(
+                    np.arange(n_items), np.fromiter(positives, dtype=np.int64)
+                )
+                item = int(self._rng.choice(candidates))
+            negatives[slot] = item
+        return negatives
+
+    def sample_batch(self, users: np.ndarray) -> np.ndarray:
+        """Draw one negative item per user in ``users``."""
+        return np.array([self.sample(int(user), 1)[0] for user in users], dtype=np.int64)
+
+
+class PopularityNegativeSampler(UniformNegativeSampler):
+    """Sample negatives proportionally to item popularity raised to a power.
+
+    Popular non-interacted items make harder negatives; this sampler is used
+    by some baselines and by ablation benches.
+    """
+
+    def __init__(self, interactions: InteractionMatrix, exponent: float = 0.75,
+                 random_state: RandomState = None, max_rejections: int = 50) -> None:
+        super().__init__(interactions, random_state=random_state,
+                         max_rejections=max_rejections)
+        self.exponent = check_in_range(exponent, "exponent", 0.0, 10.0)
+        degrees = interactions.item_degrees().astype(np.float64)
+        weights = (degrees + 1.0) ** self.exponent
+        self._item_probs = weights / weights.sum()
+
+    def sample(self, user: int, size: int = 1) -> np.ndarray:
+        positives = self._positive_sets[user]
+        negatives = np.empty(size, dtype=np.int64)
+        for slot in range(size):
+            item = int(self._rng.choice(self.interactions.n_items, p=self._item_probs))
+            attempts = 0
+            while item in positives and attempts < self.max_rejections:
+                item = int(self._rng.choice(self.interactions.n_items, p=self._item_probs))
+                attempts += 1
+            if item in positives:
+                candidates = np.setdiff1d(
+                    np.arange(self.interactions.n_items),
+                    np.fromiter(positives, dtype=np.int64),
+                )
+                item = int(self._rng.choice(candidates))
+            negatives[slot] = item
+        return negatives
+
+
+class FrequencyBiasedUserSampler:
+    """Sample users with probability ∝ freq(u)^β (paper Eq. 10).
+
+    Active users (many interactions) are sampled more often, so their richer
+    feedback shapes the multiple facet-specific spaces, as argued in
+    Section III-C of the paper.  ``beta = 0`` recovers uniform sampling over
+    users with at least one interaction.
+    """
+
+    def __init__(self, interactions: InteractionMatrix, beta: float = 0.8,
+                 random_state: RandomState = None) -> None:
+        self.beta = check_in_range(beta, "beta", 0.0, 10.0)
+        self._rng = ensure_rng(random_state)
+        frequencies = interactions.user_degrees().astype(np.float64)
+        weights = np.where(frequencies > 0, frequencies ** self.beta, 0.0)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("interaction matrix has no interactions to sample from")
+        self._probs = weights / total
+        self.n_users = interactions.n_users
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The per-user sampling distribution (sums to one)."""
+        return self._probs.copy()
+
+    def sample(self, size: int = 1) -> np.ndarray:
+        """Draw ``size`` user ids."""
+        return self._rng.choice(self.n_users, size=size, p=self._probs)

@@ -1,0 +1,22 @@
+"""Evaluation: ranking metrics and the sampled leave-one-out protocol."""
+
+from repro.eval.metrics import (
+    average_precision_at_k,
+    hit_ratio_at_k,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.eval.protocol import EvaluationResult, LeaveOneOutEvaluator
+
+__all__ = [
+    "hit_ratio_at_k",
+    "ndcg_at_k",
+    "mean_reciprocal_rank",
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision_at_k",
+    "LeaveOneOutEvaluator",
+    "EvaluationResult",
+]

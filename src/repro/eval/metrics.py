@@ -1,0 +1,98 @@
+"""Ranking metrics for top-N recommendation.
+
+The paper reports HR@K (hit ratio) and nDCG@K for K ∈ {10, 20}.  The metrics
+here operate on a ranked list of item ids and a set (or single id) of
+relevant items, which is all the sampled leave-one-out protocol needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Union
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+Relevant = Union[int, Iterable[int]]
+
+
+def _as_set(relevant: Relevant) -> Set[int]:
+    if isinstance(relevant, (int, np.integer)):
+        return {int(relevant)}
+    items = {int(x) for x in relevant}
+    if not items:
+        raise ValueError("the relevant item set must not be empty")
+    return items
+
+
+def hit_ratio_at_k(ranked_items: Sequence[int], relevant: Relevant, k: int) -> float:
+    """1.0 when any relevant item appears in the top-``k``, else 0.0."""
+    k = check_positive_int(k, "k")
+    relevant_set = _as_set(relevant)
+    top = [int(item) for item in ranked_items[:k]]
+    return 1.0 if any(item in relevant_set for item in top) else 0.0
+
+
+def ndcg_at_k(ranked_items: Sequence[int], relevant: Relevant, k: int) -> float:
+    """Normalised discounted cumulative gain with binary relevance.
+
+    With a single relevant item (the leave-one-out protocol) this reduces to
+    ``1 / log2(rank + 1)`` when the item is ranked within the top-``k`` and 0
+    otherwise, matching the formulation used in the paper's references.
+    """
+    k = check_positive_int(k, "k")
+    relevant_set = _as_set(relevant)
+    top = [int(item) for item in ranked_items[:k]]
+
+    dcg = 0.0
+    for position, item in enumerate(top):
+        if item in relevant_set:
+            dcg += 1.0 / np.log2(position + 2)
+    ideal_hits = min(len(relevant_set), k)
+    idcg = sum(1.0 / np.log2(position + 2) for position in range(ideal_hits))
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def mean_reciprocal_rank(ranked_items: Sequence[int], relevant: Relevant) -> float:
+    """Reciprocal of the rank of the first relevant item (0 when absent)."""
+    relevant_set = _as_set(relevant)
+    for position, item in enumerate(ranked_items):
+        if int(item) in relevant_set:
+            return 1.0 / (position + 1)
+    return 0.0
+
+
+def precision_at_k(ranked_items: Sequence[int], relevant: Relevant, k: int) -> float:
+    """Fraction of the top-``k`` that is relevant."""
+    k = check_positive_int(k, "k")
+    relevant_set = _as_set(relevant)
+    top = [int(item) for item in ranked_items[:k]]
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant_set)
+    return hits / float(k)
+
+
+def recall_at_k(ranked_items: Sequence[int], relevant: Relevant, k: int) -> float:
+    """Fraction of the relevant items that appear in the top-``k``."""
+    k = check_positive_int(k, "k")
+    relevant_set = _as_set(relevant)
+    top = [int(item) for item in ranked_items[:k]]
+    hits = sum(1 for item in top if item in relevant_set)
+    return hits / float(len(relevant_set))
+
+
+def average_precision_at_k(ranked_items: Sequence[int], relevant: Relevant, k: int) -> float:
+    """Average precision truncated at ``k`` (binary relevance)."""
+    k = check_positive_int(k, "k")
+    relevant_set = _as_set(relevant)
+    top = [int(item) for item in ranked_items[:k]]
+
+    hits = 0
+    precision_sum = 0.0
+    for position, item in enumerate(top):
+        if item in relevant_set:
+            hits += 1
+            precision_sum += hits / (position + 1.0)
+    denominator = min(len(relevant_set), k)
+    return precision_sum / denominator if denominator else 0.0

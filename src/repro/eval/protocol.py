@@ -1,0 +1,146 @@
+"""Sampled leave-one-out evaluation protocol (paper Section V-A2).
+
+For every evaluable user, the held-out item is ranked against 100 items the
+user never interacted with; HR@K and nDCG@K are averaged over users.  The
+same sampled negative candidates are reused across models (given the same
+seed) so that comparisons are paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import BaseRecommender
+from repro.data.dataset import ImplicitFeedbackDataset
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive_int
+from repro.eval import metrics as M
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated metrics plus per-user values for significance testing."""
+
+    metrics: Dict[str, float]
+    per_user: Dict[str, np.ndarray] = field(default_factory=dict)
+    n_users: int = 0
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+    def as_row(self, keys: Optional[Sequence[str]] = None) -> List[float]:
+        """Metric values in a stable order (for table formatting)."""
+        keys = keys or sorted(self.metrics)
+        return [self.metrics[key] for key in keys]
+
+
+class LeaveOneOutEvaluator:
+    """Rank each user's held-out item against sampled negatives.
+
+    Parameters
+    ----------
+    dataset:
+        The split dataset; evaluation uses ``dataset.test_items`` (or the
+        validation items when ``split="validation"``).
+    n_negatives:
+        Number of sampled non-interacted candidate items (paper: 100).
+    cutoffs:
+        The K values for HR@K and nDCG@K (paper: 10 and 20).
+    random_state:
+        Seed for the candidate sampling; fixing it makes model comparisons
+        paired.
+    max_users:
+        Optional cap on the number of evaluated users (used by the scaled
+        benchmark harness to bound runtime).
+    """
+
+    def __init__(self, dataset: ImplicitFeedbackDataset, n_negatives: int = 100,
+                 cutoffs: Sequence[int] = (10, 20), split: str = "test",
+                 random_state: RandomState = 0,
+                 max_users: Optional[int] = None) -> None:
+        self.dataset = dataset
+        self.n_negatives = check_positive_int(n_negatives, "n_negatives")
+        self.cutoffs = tuple(check_positive_int(k, "cutoff") for k in cutoffs)
+        self.split = split
+        self._rng = ensure_rng(random_state)
+        self.max_users = max_users
+        self._candidates = self._build_candidates()
+
+    # ------------------------------------------------------------------ #
+    def _build_candidates(self) -> Dict[int, np.ndarray]:
+        """Pre-sample the candidate list (held-out item + negatives) per user."""
+        dataset = self.dataset
+        users = dataset.evaluable_users(self.split)
+        if self.max_users is not None and len(users) > self.max_users:
+            users = self._rng.choice(users, size=self.max_users, replace=False)
+            users = np.sort(users)
+
+        candidates: Dict[int, np.ndarray] = {}
+        n_items = dataset.n_items
+        for user in users:
+            user = int(user)
+            target = dataset.held_out_item(user, self.split)
+            seen = set(dataset.train.items_of_user(user).tolist())
+            seen.add(target)
+            other_holdout = dataset.held_out_item(
+                user, "validation" if self.split == "test" else "test"
+            )
+            if other_holdout >= 0:
+                seen.add(other_holdout)
+
+            pool = np.setdiff1d(np.arange(n_items), np.fromiter(seen, dtype=np.int64),
+                                assume_unique=False)
+            size = min(self.n_negatives, pool.size)
+            negatives = self._rng.choice(pool, size=size, replace=False)
+            candidates[user] = np.concatenate([[target], negatives]).astype(np.int64)
+        return candidates
+
+    @property
+    def users(self) -> List[int]:
+        """Users that will be evaluated."""
+        return sorted(self._candidates)
+
+    def candidate_items(self, user: int) -> np.ndarray:
+        """The candidate list for a user (target item first)."""
+        return self._candidates[int(user)].copy()
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, model: BaseRecommender) -> EvaluationResult:
+        """Evaluate a fitted model and return aggregated metrics."""
+        if not model.is_fitted:
+            raise RuntimeError("evaluate() requires a fitted model")
+
+        metric_names = [f"hr@{k}" for k in self.cutoffs] + [f"ndcg@{k}" for k in self.cutoffs]
+        per_user: Dict[str, List[float]] = {name: [] for name in metric_names}
+        per_user["mrr"] = []
+
+        for user, candidates in self._candidates.items():
+            target = int(candidates[0])
+            scores = np.asarray(model.score_items(user, candidates), dtype=np.float64)
+            if scores.shape != candidates.shape:
+                raise ValueError(
+                    f"{type(model).__name__}.score_items returned shape {scores.shape}, "
+                    f"expected {candidates.shape}"
+                )
+            order = np.argsort(-scores, kind="stable")
+            ranked = candidates[order]
+
+            for k in self.cutoffs:
+                per_user[f"hr@{k}"].append(M.hit_ratio_at_k(ranked, target, k))
+                per_user[f"ndcg@{k}"].append(M.ndcg_at_k(ranked, target, k))
+            per_user["mrr"].append(M.mean_reciprocal_rank(ranked, target))
+
+        aggregated = {name: float(np.mean(values)) if values else 0.0
+                      for name, values in per_user.items()}
+        return EvaluationResult(
+            metrics=aggregated,
+            per_user={name: np.asarray(values) for name, values in per_user.items()},
+            n_users=len(self._candidates),
+        )
+
+    def evaluate_many(self, models: Dict[str, BaseRecommender]) -> Dict[str, EvaluationResult]:
+        """Evaluate several fitted models on identical candidate lists."""
+        return {name: self.evaluate(model) for name, model in models.items()}

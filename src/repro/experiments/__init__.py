@@ -1,0 +1,21 @@
+"""Experiment runners that regenerate every table and figure of the paper.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.reporting.ExperimentResult`; the registry maps the
+paper's table/figure identifiers to those runners.  The pytest-benchmark
+harness under ``benchmarks/`` simply calls these runners.
+"""
+
+from repro.experiments.configs import ModelZoo, experiment_scale
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.reporting import ExperimentResult, format_table
+
+__all__ = [
+    "ModelZoo",
+    "experiment_scale",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "ExperimentResult",
+    "format_table",
+]

@@ -1,0 +1,122 @@
+"""Model zoo and scale presets shared by all experiment runners.
+
+The paper trains every model to convergence on GPU-sized datasets; the
+reproduction exposes two scales:
+
+* ``"quick"`` — small embedding sizes and few epochs, suitable for the
+  benchmark harness and CI (minutes in total);
+* ``"full"`` — the settings used for the numbers reported in EXPERIMENTS.md
+  (tens of minutes in total on a laptop CPU).
+
+Scale only changes constants (dimensions/epochs), never the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines import BPR, CML, LRML, NMF, NeuMF, MetricF, Popularity, SML, TransCF, ItemKNN
+from repro.core import MAR, MARS
+from repro.core.base import BaseRecommender
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Constants that differ between quick and full experiment runs."""
+
+    name: str
+    embedding_dim: int
+    n_epochs_metric: int
+    n_epochs_mf: int
+    n_epochs_multifacet: int
+    n_facets: int
+    batch_size: int
+    n_negatives: int
+    max_users: Optional[int]
+
+
+_SCALES: Dict[str, ScalePreset] = {
+    "quick": ScalePreset(name="quick", embedding_dim=24, n_epochs_metric=25,
+                         n_epochs_mf=25, n_epochs_multifacet=50, n_facets=3,
+                         batch_size=256, n_negatives=100, max_users=150),
+    "full": ScalePreset(name="full", embedding_dim=32, n_epochs_metric=40,
+                        n_epochs_mf=40, n_epochs_multifacet=80, n_facets=4,
+                        batch_size=256, n_negatives=100, max_users=None),
+}
+
+
+def experiment_scale(name: str) -> ScalePreset:
+    """Look up a scale preset (``"quick"`` or ``"full"``)."""
+    if name not in _SCALES:
+        raise KeyError(f"unknown scale {name!r}; available: {sorted(_SCALES)}")
+    return _SCALES[name]
+
+
+class ModelZoo:
+    """Factory for every model of Table II at a given experiment scale."""
+
+    #: Order used in Table II of the paper (baselines first, ours last).
+    TABLE2_MODELS = ["BPR", "NMF", "NeuMF", "CML", "MetricF", "TransCF",
+                     "LRML", "SML", "MAR", "MARS"]
+
+    def __init__(self, scale: str = "quick", random_state: int = 0) -> None:
+        self.scale = experiment_scale(scale)
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ #
+    def available_models(self) -> List[str]:
+        return list(self.TABLE2_MODELS) + ["Popularity", "ItemKNN"]
+
+    def create(self, name: str, **overrides) -> BaseRecommender:
+        """Instantiate a model by Table II name with scale-appropriate settings."""
+        scale = self.scale
+        seed = self.random_state
+        builders: Dict[str, Callable[[], BaseRecommender]] = {
+            "Popularity": lambda: Popularity(),
+            "ItemKNN": lambda: ItemKNN(k_neighbours=50),
+            "BPR": lambda: BPR(embedding_dim=scale.embedding_dim,
+                               n_epochs=scale.n_epochs_mf,
+                               batch_size=scale.batch_size, random_state=seed),
+            "NMF": lambda: NMF(n_factors=scale.embedding_dim,
+                               n_iterations=max(scale.n_epochs_mf * 2, 40),
+                               random_state=seed),
+            "NeuMF": lambda: NeuMF(embedding_dim=max(scale.embedding_dim // 2, 8),
+                                   n_epochs=scale.n_epochs_mf,
+                                   batch_size=scale.batch_size, random_state=seed),
+            "CML": lambda: CML(embedding_dim=scale.embedding_dim,
+                               n_epochs=scale.n_epochs_metric,
+                               batch_size=scale.batch_size, random_state=seed),
+            "MetricF": lambda: MetricF(embedding_dim=scale.embedding_dim,
+                                       n_epochs=scale.n_epochs_metric,
+                                       batch_size=scale.batch_size, random_state=seed),
+            "TransCF": lambda: TransCF(embedding_dim=scale.embedding_dim,
+                                       n_epochs=scale.n_epochs_metric,
+                                       batch_size=scale.batch_size, random_state=seed),
+            "LRML": lambda: LRML(embedding_dim=scale.embedding_dim,
+                                 n_epochs=scale.n_epochs_metric,
+                                 batch_size=scale.batch_size, random_state=seed),
+            "SML": lambda: SML(embedding_dim=scale.embedding_dim,
+                               n_epochs=scale.n_epochs_metric,
+                               batch_size=scale.batch_size, random_state=seed),
+            "MAR": lambda: MAR(**self._multifacet_kwargs(0.5, overrides)),
+            "MARS": lambda: MARS(**self._multifacet_kwargs(4.0, overrides)),
+        }
+        if name not in builders:
+            raise KeyError(f"unknown model {name!r}; available: {sorted(builders)}")
+        if overrides and name not in ("MAR", "MARS"):
+            raise ValueError(f"overrides are only supported for MAR/MARS, got {overrides}")
+        return builders[name]()
+
+    def _multifacet_kwargs(self, learning_rate: float, overrides: Dict) -> Dict:
+        """Default MAR/MARS keyword arguments at this scale, with overrides applied."""
+        kwargs = {
+            "n_facets": self.scale.n_facets,
+            "embedding_dim": self.scale.embedding_dim,
+            "n_epochs": self.scale.n_epochs_multifacet,
+            "batch_size": self.scale.batch_size,
+            "learning_rate": learning_rate,
+            "random_state": self.random_state,
+        }
+        kwargs.update(overrides)
+        return kwargs

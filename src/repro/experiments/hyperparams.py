@@ -1,0 +1,81 @@
+"""Figures 5 and 6 — sensitivity to λ_pull and λ_facet.
+
+The paper sweeps the weight of the pulling regulariser (Figure 5) and the
+facet-separating regulariser (Figure 6) for MARS on four datasets and plots
+nDCG, with the best baseline shown as a horizontal reference.  The runners
+below produce the same series as rows (one per λ value, per dataset).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.baselines import SML
+from repro.core import MARS
+from repro.data.loaders import load_benchmark
+from repro.eval.protocol import LeaveOneOutEvaluator
+from repro.experiments.configs import experiment_scale
+from repro.experiments.reporting import ExperimentResult
+
+DEFAULT_LAMBDAS = [0.0, 0.001, 0.01, 0.1, 1.0]
+
+
+def _sweep(parameter: str, experiment_id: str, title: str, scale: str,
+           datasets: Optional[Sequence[str]], lambdas: Optional[Sequence[float]],
+           random_state: int) -> ExperimentResult:
+    preset = experiment_scale(scale)
+    if datasets is None:
+        datasets = ["ciao"] if scale == "quick" else ["delicious", "lastfm", "ciao", "bookx"]
+    if lambdas is None:
+        lambdas = [0.0, 0.01, 0.1] if scale == "quick" else list(DEFAULT_LAMBDAS)
+
+    headers = ["dataset", parameter, "mars_ndcg@10", "mars_ndcg@20",
+               "best_baseline_ndcg@10"]
+    rows: List[List] = []
+
+    for dataset_name in datasets:
+        dataset = load_benchmark(dataset_name, random_state=random_state)
+        evaluator = LeaveOneOutEvaluator(
+            dataset, n_negatives=preset.n_negatives, random_state=random_state,
+            max_users=preset.max_users,
+        )
+        baseline = SML(embedding_dim=preset.embedding_dim,
+                       n_epochs=preset.n_epochs_metric,
+                       batch_size=preset.batch_size, random_state=random_state)
+        baseline.fit(dataset)
+        baseline_ndcg = evaluator.evaluate(baseline)["ndcg@10"]
+
+        for value in lambdas:
+            kwargs = {parameter: value}
+            mars = MARS(n_facets=preset.n_facets, embedding_dim=preset.embedding_dim,
+                        n_epochs=preset.n_epochs_multifacet, batch_size=preset.batch_size,
+                        learning_rate=4.0, random_state=random_state, **kwargs)
+            mars.fit(dataset)
+            metrics = evaluator.evaluate(mars).metrics
+            rows.append([dataset_name, value, metrics["ndcg@10"], metrics["ndcg@20"],
+                         baseline_ndcg])
+
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=headers,
+        rows=rows,
+        metadata={"scale": scale, "datasets": list(datasets),
+                  "lambdas": list(lambdas), "random_state": random_state},
+    )
+
+
+def run_lambda_pull(scale: str = "quick", datasets: Optional[Sequence[str]] = None,
+                    lambdas: Optional[Sequence[float]] = None,
+                    random_state: int = 0) -> ExperimentResult:
+    """Figure 5: nDCG of MARS versus λ_pull."""
+    return _sweep("lambda_pull", "fig5", "nDCG versus the pulling-regulariser weight λ_pull",
+                  scale, datasets, lambdas, random_state)
+
+
+def run_lambda_facet(scale: str = "quick", datasets: Optional[Sequence[str]] = None,
+                     lambdas: Optional[Sequence[float]] = None,
+                     random_state: int = 0) -> ExperimentResult:
+    """Figure 6: nDCG of MARS versus λ_facet."""
+    return _sweep("lambda_facet", "fig6", "nDCG versus the facet-separating weight λ_facet",
+                  scale, datasets, lambdas, random_state)

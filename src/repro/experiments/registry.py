@@ -1,0 +1,59 @@
+"""Registry mapping the paper's tables/figures to their runner functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import case_study, hyperparams, table1_stats, table2_overall
+from repro.experiments import table3_dimensions, table4_ablation
+
+#: experiment id -> (description, runner).  Every table and figure of the
+#: paper's evaluation section appears here.
+EXPERIMENTS: Dict[str, Dict] = {
+    "table1": {
+        "description": "Dataset statistics",
+        "runner": table1_stats.run,
+    },
+    "table2": {
+        "description": "Overall performance comparison on the six benchmarks",
+        "runner": table2_overall.run,
+    },
+    "table3": {
+        "description": "Effect of embedding dimension (TransCF/SML vs MARS)",
+        "runner": table3_dimensions.run,
+    },
+    "table4": {
+        "description": "Ablation over the number of facet spaces K",
+        "runner": table4_ablation.run,
+    },
+    "fig5": {
+        "description": "Sensitivity to the pulling-regulariser weight λ_pull",
+        "runner": hyperparams.run_lambda_pull,
+    },
+    "fig6": {
+        "description": "Sensitivity to the facet-separating weight λ_facet",
+        "runner": hyperparams.run_lambda_facet,
+    },
+    "fig7": {
+        "description": "Item-embedding visualisation / category separation",
+        "runner": case_study.run_case_study,
+    },
+    "tables5-6": {
+        "description": "Facet-category and user profiles",
+        "runner": case_study.run_profiles,
+    },
+}
+
+
+def list_experiments() -> List[str]:
+    """All experiment identifiers, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """Return the runner for one experiment id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {list_experiments()}"
+        )
+    return EXPERIMENTS[experiment_id]["runner"]

@@ -1,0 +1,75 @@
+"""Result containers and plain-text table formatting for experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 float_format: str = "{:.4f}") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [render_line([str(h) for h in headers])]
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment runner.
+
+    Attributes
+    ----------
+    experiment_id:
+        The paper artefact this regenerates (e.g. ``"table2"``).
+    headers, rows:
+        Tabular payload, directly comparable with the paper's table.
+    metadata:
+        Scale, datasets, seeds and anything else needed to interpret the rows.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List]
+    metadata: Dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Human-readable rendering (printed by the benchmark harness)."""
+        header = f"== {self.experiment_id}: {self.title} =="
+        meta = ", ".join(f"{key}={value}" for key, value in sorted(self.metadata.items())
+                         if not isinstance(value, (list, dict)))
+        table = format_table(self.headers, self.rows)
+        return "\n".join([header, meta, table]) if meta else "\n".join([header, table])
+
+    def column(self, name: str) -> List:
+        """Values of one column by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, key_column: str, key_value) -> List:
+        """First row whose ``key_column`` equals ``key_value``."""
+        index = self.headers.index(key_column)
+        for row in self.rows:
+            if row[index] == key_value:
+                return row
+        raise KeyError(f"no row with {key_column} == {key_value!r}")

@@ -1,0 +1,92 @@
+"""Table II — overall comparison of all models on the benchmark datasets.
+
+For each dataset, every model of the zoo is trained on the training split and
+evaluated with the sampled leave-one-out protocol; the table reports HR@10,
+HR@20, nDCG@10 and nDCG@20 per (dataset, model) pair plus the relative
+improvement of MAR and MARS over the best baseline, mirroring the paper's
+``Imp1``/``Imp2`` columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.loaders import load_benchmark
+from repro.eval.protocol import LeaveOneOutEvaluator
+from repro.experiments.configs import ModelZoo, experiment_scale
+from repro.experiments.reporting import ExperimentResult
+
+METRIC_COLUMNS = ["hr@10", "hr@20", "ndcg@10", "ndcg@20"]
+
+
+def run(scale: str = "quick", datasets: Optional[Sequence[str]] = None,
+        models: Optional[Sequence[str]] = None, random_state: int = 0,
+        ) -> ExperimentResult:
+    """Regenerate Table II.
+
+    Parameters
+    ----------
+    scale:
+        ``"quick"`` or ``"full"`` (see :mod:`repro.experiments.configs`).
+    datasets:
+        Dataset preset names; defaults to a representative pair in quick mode
+        so the benchmark harness stays fast, and all six in full mode.
+    models:
+        Model names (Table II order by default).
+    """
+    preset = experiment_scale(scale)
+    if datasets is None:
+        datasets = ["delicious", "ciao"] if scale == "quick" else [
+            "delicious", "lastfm", "ciao", "bookx", "ml-1m", "ml-20m"
+        ]
+    zoo = ModelZoo(scale=scale, random_state=random_state)
+    model_names = list(models) if models else list(ModelZoo.TABLE2_MODELS)
+
+    headers = ["dataset", "model"] + METRIC_COLUMNS
+    rows: List[List] = []
+    improvements: Dict[str, Dict[str, float]] = {}
+
+    for dataset_name in datasets:
+        dataset = load_benchmark(dataset_name, random_state=random_state)
+        evaluator = LeaveOneOutEvaluator(
+            dataset, n_negatives=preset.n_negatives, random_state=random_state,
+            max_users=preset.max_users,
+        )
+        per_model: Dict[str, Dict[str, float]] = {}
+        for model_name in model_names:
+            model = zoo.create(model_name)
+            model.fit(dataset)
+            metrics = evaluator.evaluate(model).metrics
+            per_model[model_name] = metrics
+            rows.append([dataset_name, model_name] + [metrics[m] for m in METRIC_COLUMNS])
+
+        improvements[dataset_name] = _relative_improvements(per_model)
+
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Overall performance comparison (HR@K / nDCG@K)",
+        headers=headers,
+        rows=rows,
+        metadata={
+            "scale": scale,
+            "datasets": list(datasets),
+            "models": model_names,
+            "random_state": random_state,
+            "improvements_over_best_baseline": improvements,
+        },
+    )
+
+
+def _relative_improvements(per_model: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Imp1 (MAR) / Imp2 (MARS) over the best non-MAR/MARS model on HR@10."""
+    baselines = {name: metrics for name, metrics in per_model.items()
+                 if name not in ("MAR", "MARS")}
+    if not baselines:
+        return {}
+    best_baseline = max(baselines.values(), key=lambda metrics: metrics["hr@10"])
+    result = {}
+    for ours in ("MAR", "MARS"):
+        if ours in per_model and best_baseline["hr@10"] > 0:
+            gain = per_model[ours]["hr@10"] / best_baseline["hr@10"] - 1.0
+            result[f"{ours}_hr@10_improvement"] = round(100.0 * gain, 2)
+    return result

@@ -1,0 +1,15 @@
+"""Training harness: validation-driven trainer, callbacks and grid search."""
+
+from repro.training.trainer import Trainer, TrainingReport
+from repro.training.callbacks import Callback, EarlyStopping, History
+from repro.training.grid_search import GridSearch, GridSearchResult
+
+__all__ = [
+    "Trainer",
+    "TrainingReport",
+    "Callback",
+    "EarlyStopping",
+    "History",
+    "GridSearch",
+    "GridSearchResult",
+]

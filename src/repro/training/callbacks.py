@@ -1,0 +1,59 @@
+"""Callbacks used by the :class:`~repro.training.trainer.Trainer`.
+
+A callback receives the validation metrics after each training round and can
+request an early stop.  The interface is deliberately tiny — just what the
+experiment runners need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Callback:
+    """Base callback; subclasses override :meth:`on_round_end`."""
+
+    def on_round_end(self, round_index: int, metrics: Dict[str, float]) -> bool:
+        """Return ``True`` to request that training stop early."""
+        return False
+
+
+class History(Callback):
+    """Record the metrics of every round."""
+
+    def __init__(self) -> None:
+        self.rounds: List[Dict[str, float]] = []
+
+    def on_round_end(self, round_index: int, metrics: Dict[str, float]) -> bool:
+        self.rounds.append(dict(metrics))
+        return False
+
+    def series(self, key: str) -> List[float]:
+        """The per-round values of one metric."""
+        return [round_metrics[key] for round_metrics in self.rounds]
+
+
+class EarlyStopping(Callback):
+    """Stop when a monitored metric has not improved for ``patience`` rounds."""
+
+    def __init__(self, monitor: str = "ndcg@10", patience: int = 2,
+                 min_delta: float = 1e-4) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        self.monitor = monitor
+        self.patience = patience
+        self.min_delta = float(min_delta)
+        self.best: Optional[float] = None
+        self.rounds_without_improvement = 0
+
+    def on_round_end(self, round_index: int, metrics: Dict[str, float]) -> bool:
+        value = metrics.get(self.monitor)
+        if value is None:
+            raise KeyError(f"EarlyStopping monitors {self.monitor!r}, "
+                           f"which is missing from the metrics: {sorted(metrics)}")
+        if self.best is None or value > self.best + self.min_delta:
+            self.best = value
+            self.rounds_without_improvement = 0
+            return False
+        self.rounds_without_improvement += 1
+        return self.rounds_without_improvement >= self.patience

@@ -1,0 +1,100 @@
+"""Grid search over model hyperparameters, selected on the validation split.
+
+The paper tunes K, the learning rate, λ_pull, λ_facet and the embedding size
+by grid search on a validation set (Section V-A4); this module provides the
+same machinery for the reproduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.base import BaseRecommender
+from repro.data.dataset import ImplicitFeedbackDataset
+from repro.eval.protocol import LeaveOneOutEvaluator
+from repro.utils.logging import get_logger
+
+logger = get_logger("training.grid_search")
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated configurations plus the winner."""
+
+    best_params: Dict
+    best_score: float
+    best_model: BaseRecommender
+    results: List[Dict] = field(default_factory=list)
+
+    def as_table(self) -> List[Dict]:
+        """Per-configuration rows sorted by score (best first)."""
+        return sorted(self.results, key=lambda row: -row["score"])
+
+
+class GridSearch:
+    """Exhaustive search over a hyperparameter grid.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable taking keyword hyperparameters and returning an unfitted
+        model (typically the model class itself).
+    param_grid:
+        Mapping from parameter name to the list of values to try.
+    monitor:
+        Validation metric to maximise.
+    """
+
+    def __init__(self, model_factory: Callable[..., BaseRecommender],
+                 param_grid: Mapping[str, Sequence], monitor: str = "ndcg@10",
+                 n_negatives: int = 100, random_state: int = 0) -> None:
+        if not param_grid:
+            raise ValueError("param_grid must contain at least one parameter")
+        for name, values in param_grid.items():
+            if not values:
+                raise ValueError(f"param_grid[{name!r}] has no candidate values")
+        self.model_factory = model_factory
+        self.param_grid = {name: list(values) for name, values in param_grid.items()}
+        self.monitor = monitor
+        self.n_negatives = n_negatives
+        self.random_state = random_state
+
+    def candidates(self) -> Iterable[Dict]:
+        """Yield every parameter combination in the grid."""
+        names = list(self.param_grid)
+        for values in itertools.product(*(self.param_grid[name] for name in names)):
+            yield dict(zip(names, values))
+
+    def n_candidates(self) -> int:
+        total = 1
+        for values in self.param_grid.values():
+            total *= len(values)
+        return total
+
+    def run(self, dataset: ImplicitFeedbackDataset) -> GridSearchResult:
+        """Fit and validate every candidate; return the best configuration."""
+        evaluator = LeaveOneOutEvaluator(
+            dataset, n_negatives=self.n_negatives, split="validation",
+            random_state=self.random_state,
+        )
+        results: List[Dict] = []
+        best = None
+        for params in self.candidates():
+            model = self.model_factory(**params)
+            model.fit(dataset)
+            metrics = evaluator.evaluate(model).metrics
+            score = metrics[self.monitor]
+            results.append({"params": dict(params), "score": score, "metrics": metrics})
+            logger.warning("grid search %s -> %s=%.4f", params, self.monitor, score)
+            if best is None or score > best["score"]:
+                best = {"params": dict(params), "score": score, "model": model}
+
+        assert best is not None
+        return GridSearchResult(
+            best_params=best["params"],
+            best_score=best["score"],
+            best_model=best["model"],
+            results=results,
+        )

@@ -1,0 +1,124 @@
+"""Round-based trainer with validation monitoring.
+
+Models in this library own their inner epoch loop (``model.fit``).  The
+trainer splits the epoch budget into *rounds*, trains the model for a few
+epochs per round, evaluates on the validation split after each round, and
+lets callbacks (e.g. early stopping) cut training short.  The best-validated
+parameters are restored at the end.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.base import BaseRecommender
+from repro.data.dataset import ImplicitFeedbackDataset
+from repro.eval.protocol import LeaveOneOutEvaluator
+from repro.training.callbacks import Callback, History
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive_int
+
+logger = get_logger("training")
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of a :meth:`Trainer.train` call."""
+
+    model: BaseRecommender
+    best_round: int
+    best_metrics: Dict[str, float]
+    history: List[Dict[str, float]] = field(default_factory=list)
+    stopped_early: bool = False
+
+    def validation_curve(self, key: str = "ndcg@10") -> List[float]:
+        """Per-round values of one validation metric."""
+        return [metrics[key] for metrics in self.history]
+
+
+class Trainer:
+    """Train a recommender in rounds with validation-based model selection.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh, unfitted model configured
+        for ``epochs_per_round`` epochs (its ``n_epochs`` attribute is set by
+        the trainer when present).
+    dataset:
+        Split dataset; validation items drive model selection.
+    n_rounds, epochs_per_round:
+        Total budget = ``n_rounds × epochs_per_round`` epochs.
+    monitor:
+        Metric used to select the best round.
+    """
+
+    def __init__(self, model_factory: Callable[[], BaseRecommender],
+                 dataset: ImplicitFeedbackDataset, n_rounds: int = 5,
+                 epochs_per_round: int = 10, monitor: str = "ndcg@10",
+                 n_negatives: int = 100, random_state: int = 0,
+                 callbacks: Optional[Sequence[Callback]] = None) -> None:
+        self.model_factory = model_factory
+        self.dataset = dataset
+        self.n_rounds = check_positive_int(n_rounds, "n_rounds")
+        self.epochs_per_round = check_positive_int(epochs_per_round, "epochs_per_round")
+        self.monitor = monitor
+        self.callbacks: List[Callback] = list(callbacks or [])
+        self._history = History()
+        self.callbacks.append(self._history)
+        self.evaluator = LeaveOneOutEvaluator(
+            dataset, n_negatives=n_negatives, split="validation",
+            random_state=random_state,
+        )
+
+    # ------------------------------------------------------------------ #
+    def train(self) -> TrainingReport:
+        """Run the round loop and return the report with the best model."""
+        best_metrics: Optional[Dict[str, float]] = None
+        best_round = -1
+        best_state: Optional[Dict] = None
+        stopped_early = False
+
+        model: Optional[BaseRecommender] = None
+        for round_index in range(self.n_rounds):
+            model = self.model_factory()
+            total_epochs = self.epochs_per_round * (round_index + 1)
+            self._set_epochs(model, total_epochs)
+            model.fit(self.dataset)
+            metrics = self.evaluator.evaluate(model).metrics
+
+            if best_metrics is None or metrics[self.monitor] > best_metrics[self.monitor]:
+                best_metrics = metrics
+                best_round = round_index
+                best_state = model.get_parameters()
+
+            stop_requests = [callback.on_round_end(round_index, metrics)
+                             for callback in self.callbacks]
+            if any(stop_requests):
+                stopped_early = True
+                break
+
+        assert model is not None and best_metrics is not None
+        if best_state:
+            try:
+                model.set_parameters(best_state)
+            except (NotImplementedError, KeyError, ValueError):
+                logger.warning("could not restore best parameters; "
+                               "returning the last trained model")
+        return TrainingReport(
+            model=model,
+            best_round=best_round,
+            best_metrics=best_metrics,
+            history=self._history.rounds,
+            stopped_early=stopped_early,
+        )
+
+    @staticmethod
+    def _set_epochs(model: BaseRecommender, n_epochs: int) -> None:
+        """Point the model's epoch budget at ``n_epochs`` when configurable."""
+        if hasattr(model, "config") and hasattr(model.config, "n_epochs"):
+            model.config.n_epochs = n_epochs
+        elif hasattr(model, "n_epochs"):
+            model.n_epochs = n_epochs

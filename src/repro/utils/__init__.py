@@ -1,0 +1,26 @@
+"""Shared utilities: validation, RNG handling, logging, timing and IO."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative,
+    check_in_range,
+    check_probability,
+    check_array_2d,
+    check_same_length,
+)
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "check_positive_int",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+    "check_array_2d",
+    "check_same_length",
+    "get_logger",
+    "Timer",
+]

@@ -1,0 +1,65 @@
+"""Serialisation helpers for model parameters and experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray]) -> Path:
+    """Save a mapping of named arrays to a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in arrays.items()})
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a mapping of named arrays previously written by :func:`save_arrays`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such array file: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        return {key: data[key].copy() for key in data.files}
+
+
+def save_json(path: PathLike, payload: Mapping) -> Path:
+    """Write a JSON document, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonify(payload), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_json(path: PathLike) -> dict:
+    """Read a JSON document written by :func:`save_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such json file: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _jsonify(value):
+    """Recursively convert NumPy scalars/arrays into plain Python types."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value

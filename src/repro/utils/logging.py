@@ -1,0 +1,43 @@
+"""Lightweight logging configuration used by trainers and experiment runners."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    """Attach a single stderr handler to the library's root logger."""
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a namespaced logger under the ``repro`` hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Suffix appended to the ``repro.`` namespace (e.g. ``"training"``).
+    """
+    _configure_root()
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the log level for the whole ``repro`` logger hierarchy."""
+    _configure_root()
+    logging.getLogger("repro").setLevel(level)

@@ -1,0 +1,53 @@
+"""Random-number-generator helpers.
+
+All stochastic components in the library accept either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  These helpers normalise the
+three forms so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for a fresh nondeterministic generator, an ``int`` seed, or
+        an existing generator (returned unchanged).
+
+    Raises
+    ------
+    TypeError
+        If ``random_state`` is of an unsupported type.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int or a numpy Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator, n_children: int) -> list:
+    """Spawn ``n_children`` independent child generators from ``rng``.
+
+    Child generators are statistically independent of each other and of the
+    parent, which makes them safe to hand to parallel or repeated components
+    (e.g. one per experiment repetition).
+    """
+    if n_children < 0:
+        raise ValueError("n_children must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=n_children)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

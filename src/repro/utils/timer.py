@@ -1,0 +1,34 @@
+"""A small wall-clock timer used by trainers and experiment reports."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def lap(self) -> float:
+        """Return seconds elapsed since the timer was entered."""
+        if self._start is None:
+            raise RuntimeError("Timer has not been started")
+        return time.perf_counter() - self._start

@@ -1,0 +1,69 @@
+"""Argument-validation helpers shared across the library.
+
+Validation failures raise ``ValueError``/``TypeError`` with messages that name
+the offending argument, so callers get actionable errors instead of cryptic
+NumPy broadcasting failures deep inside a model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative(value, name: str) -> float:
+    """Validate that ``value`` is a non-negative number and return it as float."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return float(value)
+
+
+def check_in_range(value, name: str, low: float, high: float,
+                   inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(value, name, 0.0, 1.0, inclusive=True)
+
+
+def check_array_2d(array, name: str) -> np.ndarray:
+    """Validate that ``array`` is convertible to a 2-D float array."""
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_same_length(a: Sequence, b: Sequence, name_a: str, name_b: str) -> None:
+    """Validate that two sequences have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, "
+            f"got {len(a)} and {len(b)}"
+        )

@@ -1,0 +1,136 @@
+"""Tests for the embedding visualisation and profiling analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cluster_separation,
+    facet_category_profiles,
+    pca_coordinates,
+    user_facet_profiles,
+    visualize_item_embeddings,
+)
+from repro.core import MARS
+from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(n_users=60, n_items=80, n_facets=3,
+                             interactions_per_user=14.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+@pytest.fixture(scope="module")
+def fitted_mars(dataset):
+    return MARS(n_facets=3, embedding_dim=16, n_epochs=10, batch_size=128,
+                random_state=0).fit(dataset)
+
+
+class TestPCA:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        coords = pca_coordinates(rng.normal(size=(30, 8)), n_components=2)
+        assert coords.shape == (30, 2)
+
+    def test_components_capped_by_dimension(self):
+        coords = pca_coordinates(np.random.default_rng(0).normal(size=(10, 2)),
+                                 n_components=5)
+        assert coords.shape == (10, 2)
+
+    def test_first_component_has_max_variance(self):
+        rng = np.random.default_rng(1)
+        data = np.column_stack([rng.normal(scale=10.0, size=100),
+                                rng.normal(scale=0.1, size=100)])
+        coords = pca_coordinates(data)
+        assert coords[:, 0].var() > coords[:, 1].var()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pca_coordinates(np.zeros(5))
+
+
+class TestClusterSeparation:
+    def test_well_separated_clusters_score_high(self):
+        a = np.random.default_rng(0).normal(size=(20, 3)) + np.array([10, 0, 0])
+        b = np.random.default_rng(1).normal(size=(20, 3)) - np.array([10, 0, 0])
+        embeddings = np.vstack([a, b])
+        labels = np.array([0] * 20 + [1] * 20)
+        assert cluster_separation(embeddings, labels) > 3.0
+
+    def test_mixed_clusters_score_near_one(self):
+        embeddings = np.random.default_rng(0).normal(size=(40, 3))
+        labels = np.random.default_rng(1).integers(0, 2, size=40)
+        assert 0.7 < cluster_separation(embeddings, labels) < 1.3
+
+    def test_requires_two_categories(self):
+        with pytest.raises(ValueError):
+            cluster_separation(np.zeros((5, 2)), np.zeros(5))
+
+    def test_requires_aligned_labels(self):
+        with pytest.raises(ValueError):
+            cluster_separation(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestVisualizeItemEmbeddings:
+    def test_single_space_input(self):
+        rng = np.random.default_rng(0)
+        viz = visualize_item_embeddings(rng.normal(size=(30, 8)),
+                                        rng.integers(0, 3, size=30), "CML")
+        assert len(viz.coordinates) == 1
+        assert viz.coordinates[0].shape == (30, 2)
+        assert len(viz.separation_per_space) == 1
+
+    def test_multi_space_input(self):
+        rng = np.random.default_rng(0)
+        viz = visualize_item_embeddings(rng.normal(size=(4, 30, 8)),
+                                        rng.integers(0, 3, size=30), "MARS")
+        assert len(viz.coordinates) == 4
+        assert viz.best_separation >= viz.mean_separation - 1e-9
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            visualize_item_embeddings(np.zeros((2, 2, 2, 2)), np.zeros(2))
+
+    def test_works_on_fitted_model(self, fitted_mars, dataset):
+        viz = visualize_item_embeddings(fitted_mars.facet_item_embeddings(),
+                                        dataset.item_categories, "MARS")
+        assert len(viz.coordinates) == 3
+        assert all(np.isfinite(score) for score in viz.separation_per_space)
+
+
+class TestProfiles:
+    def test_facet_profiles_structure(self, fitted_mars, dataset):
+        profiles = facet_category_profiles(fitted_mars, dataset, top_n=3)
+        assert len(profiles) == 3
+        for profile in profiles:
+            assert len(profile.top_categories) <= 3
+            assert all(0.0 <= p <= 1.0 for p in profile.proportions)
+            # proportions sorted descending
+            assert profile.proportions == sorted(profile.proportions, reverse=True)
+
+    def test_facet_profiles_require_categories(self, fitted_mars, dataset):
+        stripped = type(dataset)(
+            train=dataset.train,
+            validation_items=dataset.validation_items,
+            test_items=dataset.test_items,
+            name=dataset.name,
+            item_categories=None,
+        )
+        with pytest.raises(ValueError):
+            facet_category_profiles(fitted_mars, stripped)
+
+    def test_user_profiles_default_picks_most_active(self, fitted_mars, dataset):
+        profiles = user_facet_profiles(fitted_mars, dataset, n_users=2)
+        assert len(profiles) == 2
+        degrees = dataset.train.user_degrees()
+        most_active = int(np.argmax(degrees))
+        assert profiles[0].user == most_active
+        for profile in profiles:
+            assert profile.facet_weights.shape == (3,)
+            assert np.isclose(profile.facet_weights.sum(), 1.0)
+            assert 0 <= profile.dominant_facet < 3
+
+    def test_user_profiles_explicit_users(self, fitted_mars, dataset):
+        profiles = user_facet_profiles(fitted_mars, dataset, users=[5, 7])
+        assert [p.user for p in profiles] == [5, 7]

@@ -1,0 +1,208 @@
+"""Tests for composite differentiable ops, including finite-difference checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, check_gradients
+from repro.autograd import functional as F
+
+
+def small_arrays(shape):
+    return st.lists(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False),
+        min_size=int(np.prod(shape)), max_size=int(np.prod(shape)),
+    ).map(lambda xs: np.array(xs, dtype=float).reshape(shape))
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = F.relu(Tensor([-1.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 2.0])
+
+    def test_sigmoid_matches_numpy(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        out = F.sigmoid(Tensor(x))
+        assert np.allclose(out.data, 1 / (1 + np.exp(-x)))
+
+    def test_tanh_matches_numpy(self):
+        x = np.array([-1.0, 0.5])
+        assert np.allclose(F.tanh(Tensor(x)).data, np.tanh(x))
+
+    def test_softplus_positive_and_stable(self):
+        out = F.softplus(Tensor([-1000.0, 0.0, 1000.0]))
+        assert np.all(np.isfinite(out.data))
+        assert np.all(out.data >= 0.0)
+        assert out.data[2] == pytest.approx(1000.0)
+
+    def test_log_sigmoid_stable_for_large_negative(self):
+        out = F.log_sigmoid(Tensor([-1000.0]))
+        assert np.isfinite(out.data).all()
+        assert out.data[0] == pytest.approx(-1000.0)
+
+    def test_softmax_sums_to_one(self):
+        out = F.softmax(Tensor([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]), axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_logsumexp_matches_scipy_style(self):
+        x = np.array([[1.0, 2.0, 3.0], [-1.0, 0.0, 1.0]])
+        out = F.logsumexp(Tensor(x), axis=1)
+        expected = np.log(np.exp(x).sum(axis=1))
+        assert out.shape == (2,)
+        assert np.allclose(out.data, expected)
+
+
+class TestSimilarities:
+    def test_squared_euclidean(self):
+        a = Tensor([[0.0, 0.0], [1.0, 1.0]])
+        b = Tensor([[3.0, 4.0], [1.0, 1.0]])
+        out = F.squared_euclidean(a, b, axis=-1)
+        assert np.allclose(out.data, [25.0, 0.0])
+
+    def test_euclidean(self):
+        out = F.euclidean(Tensor([[0.0, 0.0]]), Tensor([[3.0, 4.0]]), axis=-1)
+        assert np.allclose(out.data, [5.0], atol=1e-5)
+
+    def test_cosine_identical_vectors(self):
+        a = Tensor([[1.0, 2.0, 3.0]])
+        assert F.cosine_similarity(a, a).data == pytest.approx(1.0, abs=1e-6)
+
+    def test_cosine_orthogonal_vectors(self):
+        a = Tensor([[1.0, 0.0]])
+        b = Tensor([[0.0, 1.0]])
+        assert F.cosine_similarity(a, b).data == pytest.approx(0.0, abs=1e-6)
+
+    def test_cosine_opposite_vectors(self):
+        a = Tensor([[1.0, 0.0]])
+        b = Tensor([[-2.0, 0.0]])
+        assert F.cosine_similarity(a, b).data == pytest.approx(-1.0, abs=1e-6)
+
+    def test_cosine_scale_invariance(self):
+        a = np.array([[0.3, -0.7, 0.2]])
+        b = np.array([[1.5, 0.4, -0.9]])
+        c1 = F.cosine_similarity(Tensor(a), Tensor(b)).data
+        c2 = F.cosine_similarity(Tensor(10 * a), Tensor(0.1 * b)).data
+        assert np.allclose(c1, c2)
+
+    def test_normalize_unit_norm(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        out = F.normalize(x, axis=-1)
+        assert np.allclose(np.linalg.norm(out.data, axis=-1), 1.0, atol=1e-6)
+
+    def test_dot(self):
+        out = F.dot(Tensor([[1.0, 2.0]]), Tensor([[3.0, 4.0]]), axis=-1)
+        assert np.allclose(out.data, [11.0])
+
+
+class TestLosses:
+    def test_hinge_loss_zero_when_margin_satisfied(self):
+        loss = F.hinge_loss(Tensor([10.0]), Tensor([0.0]), margin=1.0)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_hinge_loss_positive_when_violated(self):
+        loss = F.hinge_loss(Tensor([0.0]), Tensor([0.0]), margin=1.0)
+        assert loss.item() == pytest.approx(1.0)
+
+    def test_hinge_loss_per_example_margin(self):
+        loss = F.hinge_loss(Tensor([0.0, 0.0]), Tensor([0.0, 0.0]),
+                            margin=np.array([0.5, 1.5]))
+        assert loss.item() == pytest.approx(1.0)
+
+    def test_bpr_loss_decreases_with_separation(self):
+        tight = F.bpr_loss(Tensor([0.1]), Tensor([0.0])).item()
+        wide = F.bpr_loss(Tensor([5.0]), Tensor([0.0])).item()
+        assert wide < tight
+
+    def test_binary_cross_entropy_perfect_prediction(self):
+        loss = F.binary_cross_entropy(Tensor([1.0 - 1e-9, 1e-9]), np.array([1.0, 0.0]))
+        assert loss.item() < 1e-6
+
+    def test_mse_loss(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_l2_regularization(self):
+        reg = F.l2_regularization(Tensor([[1.0, 2.0]]), Tensor([3.0]))
+        assert reg.item() == pytest.approx(14.0)
+
+    def test_l2_regularization_empty_raises(self):
+        with pytest.raises(ValueError):
+            F.l2_regularization()
+
+
+class TestGradCheck:
+    """Finite-difference certification of the ops used by the models."""
+
+    def test_matmul_chain(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        check_gradients(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_softmax_weighted_sum(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(2, 3))
+        values = rng.normal(size=(2, 3))
+        check_gradients(
+            lambda lg, v: (F.softmax(lg, axis=-1) * v).sum(), [logits, values]
+        )
+
+    def test_cosine_similarity_gradient(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(4, 5))
+        check_gradients(lambda x, y: F.cosine_similarity(x, y, axis=-1).sum(), [a, b])
+
+    def test_squared_euclidean_gradient(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(4, 3))
+        check_gradients(lambda x, y: F.squared_euclidean(x, y, axis=-1).sum(), [a, b])
+
+    def test_hinge_loss_gradient(self):
+        rng = np.random.default_rng(4)
+        pos = rng.normal(size=(6,))
+        neg = rng.normal(size=(6,))
+        check_gradients(lambda p, n: F.hinge_loss(p, n, margin=0.5), [pos, neg])
+
+    def test_bpr_loss_gradient(self):
+        rng = np.random.default_rng(5)
+        pos = rng.normal(size=(6,))
+        neg = rng.normal(size=(6,))
+        check_gradients(F.bpr_loss, [pos, neg])
+
+    def test_log_sigmoid_gradient(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(5,))
+        check_gradients(lambda t: F.log_sigmoid(t).sum(), [x])
+
+    def test_normalize_gradient(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(3, 4)) + 0.5
+        check_gradients(lambda t: (F.normalize(t, axis=-1) ** 2 * 0.5).sum(), [x])
+
+    def test_gather_rows_gradient(self):
+        rng = np.random.default_rng(8)
+        weight = rng.normal(size=(5, 3))
+        idx = np.array([0, 2, 2, 4])
+
+        def fn(w):
+            return (w.gather_rows(idx) ** 2).sum()
+
+        check_gradients(fn, [weight])
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays((2, 3)))
+    def test_softmax_gradient_property(self, x):
+        check_gradients(lambda t: (F.softmax(t, axis=-1) ** 2).sum(), [x])
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays((4,)), small_arrays((4,)))
+    def test_mul_sum_gradient_property(self, a, b):
+        check_gradients(lambda x, y: (x * y).sum(), [a, b])

@@ -1,0 +1,284 @@
+"""Tests for Module/Parameter containers, layers and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    SGD,
+    Adagrad,
+    Adam,
+    Embedding,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    RiemannianSGD,
+    Sequential,
+    Tensor,
+)
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.module import ReLU, Sigmoid
+
+
+class TinyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(3, 2, random_state=0)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestModuleContainer:
+    def test_named_parameters_recurse(self):
+        model = TinyModel()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {"linear.weight", "linear.bias", "scale"}
+
+    def test_n_parameters(self):
+        model = TinyModel()
+        assert model.n_parameters() == 3 * 2 + 2 + 2
+
+    def test_zero_grad_clears_all(self):
+        model = TinyModel()
+        out = model(Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_roundtrip(self):
+        model_a = TinyModel()
+        model_b = TinyModel()
+        model_b.load_state_dict(model_a.state_dict())
+        for (_, pa), (_, pb) in zip(model_a.named_parameters(), model_b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_load_state_dict_rejects_unknown_keys(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(2)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shapes(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(4, 3, random_state=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 3, bias=False, random_state=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, random_state=0)
+        out = emb(np.array([1, 5, 5]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[1], out.data[2])
+
+    def test_embedding_spherical_init_unit_norm(self):
+        emb = Embedding(20, 6, spherical=True, random_state=0)
+        norms = np.linalg.norm(emb.weight.data, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+        assert emb.weight.spherical
+
+    def test_embedding_clip_to_unit_ball(self):
+        emb = Embedding(5, 3, random_state=0)
+        emb.weight.data = emb.weight.data * 100.0
+        emb.clip_to_unit_ball()
+        assert np.all(np.linalg.norm(emb.weight.data, axis=1) <= 1.0 + 1e-9)
+
+    def test_embedding_project_to_sphere(self):
+        emb = Embedding(5, 3, random_state=0)
+        emb.project_to_sphere()
+        assert np.allclose(np.linalg.norm(emb.weight.data, axis=1), 1.0, atol=1e-9)
+
+    def test_sequential_composition(self):
+        net = Sequential(Linear(3, 4, random_state=0), ReLU(), Linear(4, 1, random_state=1))
+        out = net(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 1)
+        assert len(net) == 3
+
+    def test_mlp_forward_and_params(self):
+        mlp = MLP([6, 4, 1], output_activation=Sigmoid(), random_state=0)
+        out = mlp(Tensor(np.zeros((3, 6))))
+        assert out.shape == (3, 1)
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_mlp_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+
+class TestInitializers:
+    def test_normal_shape_and_scale(self):
+        w = init.normal((1000,), std=0.5, random_state=0)
+        assert abs(w.std() - 0.5) < 0.05
+
+    def test_uniform_bounds(self):
+        w = init.uniform((100,), low=-1.0, high=2.0, random_state=0)
+        assert w.min() >= -1.0 and w.max() < 2.0
+
+    def test_xavier_uniform_limit(self):
+        w = init.xavier_uniform((10, 20), random_state=0)
+        limit = np.sqrt(6.0 / 30.0)
+        assert np.all(np.abs(w) <= limit + 1e-12)
+
+    def test_xavier_normal_scale(self):
+        w = init.xavier_normal((200, 300), random_state=0)
+        assert abs(w.std() - np.sqrt(2.0 / 500.0)) < 0.01
+
+    def test_spherical_rows_unit_norm(self):
+        w = init.spherical((50, 7), random_state=0)
+        assert np.allclose(np.linalg.norm(w, axis=1), 1.0)
+
+    def test_identity_stack_near_identity(self):
+        w = init.identity_stack(3, 4, noise=0.0)
+        assert w.shape == (3, 4, 4)
+        assert np.allclose(w[1], np.eye(4))
+
+
+def _quadratic_loss(parameter, target):
+    diff = parameter - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestOptimizers:
+    def _converges(self, optimizer_factory, iterations=300, tol=1e-2):
+        param = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        opt = optimizer_factory([param])
+        for _ in range(iterations):
+            opt.zero_grad()
+            loss = _quadratic_loss(param, target)
+            loss.backward()
+            opt.step()
+        return np.allclose(param.data, target, atol=tol)
+
+    def test_sgd_converges_on_quadratic(self):
+        assert self._converges(lambda ps: SGD(ps, lr=0.1))
+
+    def test_sgd_with_momentum_converges(self):
+        assert self._converges(lambda ps: SGD(ps, lr=0.05, momentum=0.9))
+
+    def test_adagrad_converges(self):
+        assert self._converges(lambda ps: Adagrad(ps, lr=1.0))
+
+    def test_adam_converges(self):
+        assert self._converges(lambda ps: Adam(ps, lr=0.1))
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([10.0]))
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (param * 0.0).sum().backward()
+        opt.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(2))], lr=-0.1)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(2))], lr=0.1, momentum=1.5)
+
+    def test_step_skips_parameters_without_grad(self):
+        param = Parameter(np.array([1.0, 2.0]))
+        before = param.data.copy()
+        SGD([param], lr=0.5).step()
+        assert np.allclose(param.data, before)
+
+
+class TestRiemannianSGD:
+    def test_spherical_rows_stay_on_sphere(self):
+        rng = np.random.default_rng(0)
+        param = Parameter(init.spherical((8, 5), random_state=0), spherical=True)
+        opt = RiemannianSGD([param], lr=0.1)
+        for _ in range(20):
+            opt.zero_grad()
+            target = Tensor(rng.normal(size=(8, 5)))
+            loss = (F.cosine_similarity(param, target, axis=-1) * -1.0).sum()
+            loss.backward()
+            opt.step()
+        assert np.allclose(np.linalg.norm(param.data, axis=1), 1.0, atol=1e-8)
+
+    def test_maximizing_cosine_aligns_direction(self):
+        target_direction = np.array([[0.0, 1.0, 0.0]])
+        param = Parameter(init.spherical((1, 3), random_state=3), spherical=True)
+        opt = RiemannianSGD([param], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (F.cosine_similarity(param, Tensor(target_direction), axis=-1) * -1.0).sum()
+            loss.backward()
+            opt.step()
+        cosine = float((param.data @ target_direction.T).item())
+        assert cosine > 0.99
+
+    def test_euclidean_parameters_use_plain_sgd(self):
+        param = Parameter(np.array([4.0]))
+        opt = RiemannianSGD([param], lr=0.5, euclidean_lr=0.1)
+        opt.zero_grad()
+        (param * param).sum().backward()
+        opt.step()
+        assert param.data[0] == pytest.approx(4.0 - 0.1 * 8.0)
+
+    def test_calibration_changes_step_size(self):
+        # The calibration factor 1 + x·∇f/‖∇f‖ only differs from 1 when the
+        # gradient has a radial component, so use a dot-product loss (whose
+        # gradient is not tangent to the sphere) rather than a cosine loss.
+        start = init.spherical((1, 4), random_state=1)
+        target = np.array([[1.0, 0.0, 0.0, 0.0]])
+
+        def one_step(calibrate):
+            param = Parameter(start.copy(), spherical=True)
+            opt = RiemannianSGD([param], lr=0.3, calibrate=calibrate)
+            opt.zero_grad()
+            loss = (F.dot(param, Tensor(target), axis=-1) * -1.0).sum()
+            loss.backward()
+            opt.step()
+            return param.data
+
+        calibrated = one_step(True)
+        plain = one_step(False)
+        assert not np.allclose(calibrated, plain)
+
+    def test_calibration_factor_is_one_for_tangent_gradients(self):
+        # For a pure cosine loss the Euclidean gradient is already tangent,
+        # so calibrated and plain Riemannian steps coincide exactly.
+        start = init.spherical((1, 4), random_state=1)
+        target = np.array([[1.0, 0.0, 0.0, 0.0]])
+
+        def one_step(calibrate):
+            param = Parameter(start.copy(), spherical=True)
+            opt = RiemannianSGD([param], lr=0.3, calibrate=calibrate)
+            opt.zero_grad()
+            loss = (F.cosine_similarity(param, Tensor(target), axis=-1) * -1.0).sum()
+            loss.backward()
+            opt.step()
+            return param.data
+
+        assert np.allclose(one_step(True), one_step(False))
+
+    def test_zero_gradient_rows_do_not_move(self):
+        param = Parameter(init.spherical((3, 4), random_state=2), spherical=True)
+        before = param.data.copy()
+        param.grad = np.zeros_like(param.data)
+        RiemannianSGD([param], lr=0.5).step()
+        assert np.allclose(param.data, before)

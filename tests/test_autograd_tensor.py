@@ -1,0 +1,319 @@
+"""Unit tests for the Tensor class: forward values and backward gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+
+
+class TestTensorBasics:
+    def test_wraps_data_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_promotes_nested_tensor(self):
+        inner = Tensor([1.0, 2.0])
+        outer = Tensor(inner)
+        assert np.array_equal(outer.data, inner.data)
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_item_on_vector_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_breaks_graph(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_requires_grad_false_by_default(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_zero_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestArithmeticForward:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = Tensor([1.0, 2.0]) + 1.0
+        assert np.allclose(out.data, [2.0, 3.0])
+
+    def test_radd(self):
+        out = 1.0 + Tensor([1.0, 2.0])
+        assert np.allclose(out.data, [2.0, 3.0])
+
+    def test_sub(self):
+        out = Tensor([3.0]) - Tensor([1.0])
+        assert np.allclose(out.data, [2.0])
+
+    def test_rsub(self):
+        out = 5.0 - Tensor([1.0, 2.0])
+        assert np.allclose(out.data, [4.0, 3.0])
+
+    def test_mul(self):
+        out = Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])
+        assert np.allclose(out.data, [8.0, 15.0])
+
+    def test_div(self):
+        out = Tensor([8.0]) / Tensor([2.0])
+        assert np.allclose(out.data, [4.0])
+
+    def test_rtruediv(self):
+        out = 8.0 / Tensor([2.0, 4.0])
+        assert np.allclose(out.data, [4.0, 2.0])
+
+    def test_neg(self):
+        out = -Tensor([1.0, -2.0])
+        assert np.allclose(out.data, [-1.0, 2.0])
+
+    def test_pow(self):
+        out = Tensor([2.0, 3.0]) ** 2
+        assert np.allclose(out.data, [4.0, 9.0])
+
+    def test_pow_non_scalar_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0, 6.0], [7.0, 8.0]])
+        out = a @ b
+        assert np.allclose(out.data, np.array([[19.0, 22.0], [43.0, 50.0]]))
+
+
+class TestBackwardGradients:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [4.0, 5.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_div_backward(self):
+        a = Tensor([8.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-2.0])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 3).sum().backward()
+        assert np.allclose(a.grad, [27.0])
+
+    def test_matmul_backward(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3, 4)
+        assert np.allclose(a.grad, b.data.sum(axis=1))
+        assert np.allclose(b.grad, np.tile(a.data.sum(axis=0)[:, None], (1, 4)))
+
+    def test_broadcast_add_backward(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 4)))
+        assert np.allclose(b.grad, np.full(4, 3.0))
+
+    def test_broadcast_mul_backward(self):
+        a = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        b = Tensor(np.full((1, 3), 5.0), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 3), 5.0))
+        assert np.allclose(b.grad, np.full((1, 3), 4.0))
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        (a * 2.0).sum().backward()
+        assert np.allclose(a.grad, [4.0, 4.0])
+
+    def test_shared_subexpression_counts_both_paths(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        loss = (b + b).sum()
+        loss.backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_backward_on_non_scalar_requires_grad_arg(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 2.0
+        with pytest.raises(RuntimeError):
+            out.backward()
+        out.backward(np.array([1.0, 1.0]))
+        assert np.allclose(a.grad, [2.0, 2.0])
+
+    def test_backward_on_no_grad_tensor_raises(self):
+        a = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=0)
+        assert np.allclose(out.data, [3.0, 5.0, 7.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_mean(self):
+        a = Tensor(np.arange(4, dtype=float), requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, np.full(4, 0.25))
+
+    def test_mean_axis(self):
+        a = Tensor(np.ones((2, 4)), requires_grad=True)
+        out = a.mean(axis=1)
+        assert np.allclose(out.data, [1.0, 1.0])
+
+    def test_reshape_roundtrip_gradient(self):
+        a = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        out = a.reshape(2, 3)
+        (out * out).sum().backward()
+        assert np.allclose(a.grad, 2 * a.data)
+
+    def test_transpose(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        out = a.T
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_gather_rows_forward(self):
+        weight = Tensor(np.arange(12, dtype=float).reshape(4, 3))
+        out = weight.gather_rows(np.array([0, 2]))
+        assert np.allclose(out.data, [[0, 1, 2], [6, 7, 8]])
+
+    def test_gather_rows_backward_scatter_add(self):
+        weight = Tensor(np.zeros((4, 3)), requires_grad=True)
+        out = weight.gather_rows(np.array([1, 1, 3]))
+        out.sum().backward()
+        expected = np.zeros((4, 3))
+        expected[1] = 2.0
+        expected[3] = 1.0
+        assert np.allclose(weight.grad, expected)
+
+    def test_getitem_backward(self):
+        a = Tensor(np.arange(5, dtype=float), requires_grad=True)
+        out = a[np.array([0, 0, 4])]
+        out.sum().backward()
+        assert np.allclose(a.grad, [2.0, 0.0, 0.0, 0.0, 1.0])
+
+    def test_stack(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_concatenate(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2.0).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 2), 2.0))
+        assert np.allclose(b.grad, np.full((3, 2), 2.0))
+
+
+class TestNonlinearities:
+    def test_exp_log_roundtrip(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a.exp().log()
+        assert np.allclose(out.data, a.data)
+
+    def test_exp_backward(self):
+        a = Tensor([0.0, 1.0], requires_grad=True)
+        a.exp().sum().backward()
+        assert np.allclose(a.grad, np.exp(a.data))
+
+    def test_log_backward(self):
+        a = Tensor([2.0, 4.0], requires_grad=True)
+        a.log().sum().backward()
+        assert np.allclose(a.grad, 1.0 / a.data)
+
+    def test_sqrt(self):
+        a = Tensor([4.0, 9.0], requires_grad=True)
+        out = a.sqrt()
+        assert np.allclose(out.data, [2.0, 3.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.25, 1.0 / 6.0])
+
+    def test_tanh_backward(self):
+        a = Tensor([0.5], requires_grad=True)
+        a.tanh().sum().backward()
+        assert np.allclose(a.grad, 1 - np.tanh(0.5) ** 2)
+
+    def test_sigmoid_range(self):
+        a = Tensor([-100.0, 0.0, 100.0])
+        out = a.sigmoid()
+        assert np.all(out.data >= 0) and np.all(out.data <= 1)
+
+    def test_relu(self):
+        a = Tensor([-1.0, 0.0, 2.0], requires_grad=True)
+        out = a.relu()
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 0.0, 1.0])
+
+    def test_clip_min(self):
+        a = Tensor([-2.0, 0.5], requires_grad=True)
+        out = a.clip_min(0.0)
+        assert np.allclose(out.data, [0.0, 0.5])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+
+    def test_abs(self):
+        a = Tensor([-3.0, 2.0], requires_grad=True)
+        out = a.abs()
+        assert np.allclose(out.data, [3.0, 2.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [-1.0, 1.0])
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            pass
+        out = a * 2.0
+        assert out.requires_grad
+
+    def test_new_tensor_inside_no_grad_has_no_grad(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad

@@ -1,0 +1,201 @@
+"""Tests for all baseline recommenders.
+
+Every learned baseline is trained briefly on a small synthetic dataset and
+must (a) expose the shared BaseRecommender interface correctly and (b) rank
+better than chance, which is the minimal bar for "the implementation learns".
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    BPR,
+    CML,
+    LRML,
+    SML,
+    ItemKNN,
+    MetricF,
+    NMF,
+    NeuMF,
+    Popularity,
+    TransCF,
+)
+from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.eval import LeaveOneOutEvaluator
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(n_users=70, n_items=90, n_facets=3,
+                             interactions_per_user=14.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+@pytest.fixture(scope="module")
+def evaluator(dataset):
+    return LeaveOneOutEvaluator(dataset, n_negatives=50, random_state=0)
+
+
+RANDOM_HR10 = 10.0 / 51.0
+
+LEARNED_FAST = {
+    "BPR": lambda: BPR(embedding_dim=16, n_epochs=15, batch_size=128, random_state=0),
+    "NeuMF": lambda: NeuMF(embedding_dim=8, n_epochs=10, batch_size=128, random_state=0),
+    "CML": lambda: CML(embedding_dim=16, n_epochs=15, batch_size=128, random_state=0),
+    "MetricF": lambda: MetricF(embedding_dim=16, n_epochs=15, batch_size=128, random_state=0),
+    "TransCF": lambda: TransCF(embedding_dim=16, n_epochs=15, batch_size=128, random_state=0),
+    "LRML": lambda: LRML(embedding_dim=16, n_epochs=15, batch_size=128, random_state=0),
+    "SML": lambda: SML(embedding_dim=16, n_epochs=15, batch_size=128, random_state=0),
+}
+
+
+class TestRegistry:
+    def test_all_paper_baselines_registered(self):
+        expected = {"BPR", "NMF", "NeuMF", "CML", "MetricF", "TransCF", "LRML", "SML"}
+        assert expected.issubset(set(ALL_BASELINES))
+
+    def test_registry_classes_have_unique_names(self):
+        names = [cls.name for cls in ALL_BASELINES.values()]
+        assert len(names) == len(set(names))
+
+
+class TestPopularity:
+    def test_scores_follow_item_degree(self, dataset):
+        model = Popularity().fit(dataset)
+        degrees = dataset.train.item_degrees()
+        most = int(np.argmax(degrees))
+        least = int(np.argmin(degrees))
+        scores = model.score_items(0, [most, least])
+        assert scores[0] >= scores[1]
+
+    def test_recommend_is_user_independent(self, dataset):
+        model = Popularity().fit(dataset)
+        scores_a = model.score_items(0, np.arange(10))
+        scores_b = model.score_items(5, np.arange(10))
+        assert np.allclose(scores_a, scores_b)
+
+    def test_save_load_roundtrip(self, dataset, tmp_path):
+        model = Popularity().fit(dataset)
+        path = model.save(tmp_path / "pop.npz")
+        clone = Popularity().fit(dataset)
+        clone.load(path)
+        assert np.allclose(clone.item_scores_, model.item_scores_)
+
+
+class TestItemKNN:
+    def test_beats_random(self, dataset, evaluator):
+        model = ItemKNN(k_neighbours=30).fit(dataset)
+        assert evaluator.evaluate(model)["hr@10"] > RANDOM_HR10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ItemKNN(k_neighbours=0)
+        with pytest.raises(ValueError):
+            ItemKNN(shrinkage=-1.0)
+
+    def test_scores_higher_for_co_consumed_items(self, dataset):
+        model = ItemKNN(k_neighbours=30).fit(dataset)
+        user = int(dataset.evaluable_users()[0])
+        seen = dataset.train.items_of_user(user)
+        unseen = np.setdiff1d(np.arange(dataset.n_items), seen)
+        scores = model.score_items(user, unseen)
+        assert np.any(scores > 0)
+
+
+class TestNMF:
+    def test_factors_are_non_negative(self, dataset):
+        model = NMF(n_factors=8, n_iterations=30, random_state=0).fit(dataset)
+        assert np.all(model.user_factors_ >= 0)
+        assert np.all(model.item_factors_ >= 0)
+
+    def test_reconstruction_error_decreases(self, dataset):
+        model = NMF(n_factors=8, n_iterations=30, random_state=0).fit(dataset)
+        errors = model.reconstruction_errors_
+        assert errors[-1] < errors[0]
+
+    def test_beats_random(self, dataset, evaluator):
+        model = NMF(n_factors=16, n_iterations=60, random_state=0).fit(dataset)
+        assert evaluator.evaluate(model)["hr@10"] > RANDOM_HR10
+
+    def test_invalid_factors(self):
+        with pytest.raises(ValueError):
+            NMF(n_factors=0)
+
+
+@pytest.mark.parametrize("name", sorted(LEARNED_FAST))
+class TestLearnedBaselines:
+    def test_training_reduces_loss(self, name, dataset):
+        model = LEARNED_FAST[name]()
+        model.fit(dataset)
+        assert len(model.loss_history_) == model.n_epochs
+        assert model.loss_history_[-1] <= model.loss_history_[0]
+
+    def test_beats_random_ranking(self, name, dataset, evaluator):
+        model = LEARNED_FAST[name]().fit(dataset)
+        result = evaluator.evaluate(model)
+        assert result["hr@10"] > RANDOM_HR10, f"{name} did not beat random"
+
+    def test_score_items_interface(self, name, dataset):
+        model = LEARNED_FAST[name]().fit(dataset)
+        scores = model.score_items(0, [0, 1, 2, 3, 4])
+        assert scores.shape == (5,)
+        assert np.all(np.isfinite(scores))
+
+    def test_recommend_excludes_seen(self, name, dataset):
+        model = LEARNED_FAST[name]().fit(dataset)
+        user = int(dataset.evaluable_users()[0])
+        seen = set(dataset.train.items_of_user(user).tolist())
+        recs = model.recommend(user, k=10)
+        assert not seen.intersection(recs.tolist())
+
+    def test_unfitted_scoring_raises(self, name):
+        with pytest.raises(RuntimeError):
+            LEARNED_FAST[name]().score_items(0, [0])
+
+
+class TestMetricLearningConstraints:
+    def test_cml_embeddings_in_unit_ball(self, dataset):
+        model = CML(embedding_dim=16, n_epochs=5, batch_size=128, random_state=0).fit(dataset)
+        users = model.network.user_embeddings.weight.data
+        items = model.network.item_embeddings.weight.data
+        assert np.all(np.linalg.norm(users, axis=1) <= 1.0 + 1e-8)
+        assert np.all(np.linalg.norm(items, axis=1) <= 1.0 + 1e-8)
+
+    def test_sml_margins_stay_in_range(self, dataset):
+        model = SML(embedding_dim=16, n_epochs=5, batch_size=128,
+                    max_margin=1.0, random_state=0).fit(dataset)
+        assert np.all(model.network.user_margins.data <= 1.0)
+        assert np.all(model.network.user_margins.data >= 0.01)
+
+    def test_sml_invalid_margins(self):
+        with pytest.raises(ValueError):
+            SML(init_margin=2.0, max_margin=1.0)
+
+    def test_cml_invalid_margin(self):
+        with pytest.raises(ValueError):
+            CML(margin=0.0)
+
+    def test_lrml_invalid_memories(self):
+        with pytest.raises(ValueError):
+            LRML(n_memories=0)
+
+    def test_transcf_relation_uses_neighbourhoods(self, dataset):
+        model = TransCF(embedding_dim=16, n_epochs=3, batch_size=128,
+                        random_state=0).fit(dataset)
+        # contexts must have been refreshed and have matching shapes
+        assert model._user_context.shape == (dataset.n_users, 16)
+        assert model._item_context.shape == (dataset.n_items, 16)
+
+    def test_bpr_weight_decay_accepts_zero(self, dataset):
+        model = BPR(embedding_dim=8, n_epochs=2, batch_size=128,
+                    weight_decay=0.0, random_state=0).fit(dataset)
+        assert model.is_fitted
+
+    def test_state_dict_roundtrip(self, dataset, tmp_path):
+        model = CML(embedding_dim=8, n_epochs=2, batch_size=128, random_state=0).fit(dataset)
+        path = model.save(tmp_path / "cml.npz")
+        clone = CML(embedding_dim=8, n_epochs=1, batch_size=128, random_state=0).fit(dataset)
+        clone.load(path)
+        assert np.allclose(clone.score_items(0, [1, 2, 3]),
+                           model.score_items(0, [1, 2, 3]))

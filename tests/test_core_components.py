@@ -1,0 +1,265 @@
+"""Tests for the core building blocks: margins, similarity, losses, spherical utils."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.autograd import check_gradients
+from repro.core import losses, similarity, spherical
+from repro.core.margins import adaptive_margins
+from repro.data import InteractionMatrix
+
+
+class TestAdaptiveMargins:
+    def test_formula_matches_eq7(self):
+        # 3 users, 4 items; compute by hand.
+        m = InteractionMatrix(3, 4, [0, 0, 1, 1, 2, 2], [0, 2, 0, 1, 2, 3])
+        margins = adaptive_margins(m, min_margin=0.0, max_margin=1.0)
+        two_hop = m.two_hop_neighbourhood_sizes()
+        expected = np.clip(1.0 - two_hop / 3.0, 0.0, 1.0)
+        assert np.allclose(margins, expected)
+
+    def test_more_adoptive_users_get_smaller_margins(self):
+        # user 0 interacts with popular items, user 1 with unpopular ones.
+        users = [0, 0, 1, 1] + [2, 3, 4, 5]
+        items = [0, 1, 2, 3] + [0, 0, 1, 1]
+        m = InteractionMatrix(6, 4, users, items)
+        margins = adaptive_margins(m, min_margin=0.0)
+        assert margins[0] < margins[1]
+
+    def test_margins_clipped_to_range(self):
+        m = InteractionMatrix(2, 3, [0, 0, 0, 1], [0, 1, 2, 0])
+        margins = adaptive_margins(m, min_margin=0.2, max_margin=0.9)
+        assert np.all(margins >= 0.2) and np.all(margins <= 0.9)
+
+    def test_invalid_clip_range_rejected(self):
+        m = InteractionMatrix(2, 2, [0], [0])
+        with pytest.raises(ValueError):
+            adaptive_margins(m, min_margin=0.8, max_margin=0.2)
+
+
+class TestSimilarity:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.batch = 6
+        self.dim = 5
+        self.n_facets = 3
+        self.users = rng.normal(size=(self.batch, self.dim))
+        self.items = rng.normal(size=(self.batch, self.dim))
+        self.proj_u = rng.normal(size=(self.n_facets, self.dim, self.dim))
+        self.proj_v = rng.normal(size=(self.n_facets, self.dim, self.dim))
+        self.weights = rng.dirichlet(np.ones(self.n_facets), size=self.batch)
+
+    def test_project_facets_shapes(self):
+        facets = similarity.project_facets(Tensor(self.users), Tensor(self.proj_u))
+        assert len(facets) == self.n_facets
+        assert all(f.shape == (self.batch, self.dim) for f in facets)
+
+    def test_numpy_projection_matches_autograd(self):
+        autograd_facets = similarity.project_facets(Tensor(self.users), Tensor(self.proj_u))
+        numpy_facets = similarity.project_facets_numpy(self.users, self.proj_u)
+        for k in range(self.n_facets):
+            assert np.allclose(autograd_facets[k].data, numpy_facets[k])
+
+    @pytest.mark.parametrize("spherical_mode", [False, True])
+    def test_numpy_similarity_matches_autograd(self, spherical_mode):
+        user_facets = similarity.project_facets(Tensor(self.users), Tensor(self.proj_u))
+        item_facets = similarity.project_facets(Tensor(self.items), Tensor(self.proj_v))
+        autograd_scores = similarity.facet_similarities(
+            user_facets, item_facets, spherical_mode
+        )
+        numpy_scores = similarity.facet_similarities_numpy(
+            similarity.project_facets_numpy(self.users, self.proj_u),
+            similarity.project_facets_numpy(self.items, self.proj_v),
+            spherical_mode,
+        )
+        assert np.allclose(autograd_scores.data, numpy_scores, atol=1e-8)
+
+    @pytest.mark.parametrize("spherical_mode", [False, True])
+    def test_cross_facet_matches_numpy(self, spherical_mode):
+        user_facets = similarity.project_facets(Tensor(self.users), Tensor(self.proj_u))
+        item_facets = similarity.project_facets(Tensor(self.items), Tensor(self.proj_v))
+        scores = similarity.facet_similarities(user_facets, item_facets, spherical_mode)
+        combined = similarity.cross_facet_similarity(scores, Tensor(self.weights))
+        combined_np = similarity.cross_facet_similarity_numpy(scores.data, self.weights)
+        assert np.allclose(combined.data, combined_np)
+
+    def test_euclidean_similarity_is_nonpositive(self):
+        user_facets = similarity.project_facets(Tensor(self.users), Tensor(self.proj_u))
+        item_facets = similarity.project_facets(Tensor(self.items), Tensor(self.proj_v))
+        scores = similarity.facet_similarities(user_facets, item_facets, False)
+        assert np.all(scores.data <= 1e-12)
+
+    def test_spherical_similarity_in_unit_range(self):
+        user_facets = similarity.project_facets(Tensor(self.users), Tensor(self.proj_u))
+        item_facets = similarity.project_facets(Tensor(self.items), Tensor(self.proj_v))
+        scores = similarity.facet_similarities(user_facets, item_facets, True)
+        assert np.all(scores.data <= 1.0 + 1e-9)
+        assert np.all(scores.data >= -1.0 - 1e-9)
+
+    def test_softmax_numpy_rows_sum_to_one(self):
+        logits = np.random.default_rng(1).normal(size=(4, 3))
+        probs = similarity.softmax_numpy(logits, axis=-1)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_identical_vectors_have_max_similarity(self):
+        same = similarity.facet_similarities(
+            [Tensor(self.users)], [Tensor(self.users)], True
+        )
+        assert np.allclose(same.data, 1.0, atol=1e-6)
+
+    def test_cross_facet_gradient_flows(self):
+        check_gradients(
+            lambda u, v: similarity.cross_facet_similarity(
+                similarity.facet_similarities(
+                    similarity.project_facets(u, Tensor(self.proj_u)),
+                    similarity.project_facets(v, Tensor(self.proj_v)),
+                    True,
+                ),
+                Tensor(self.weights),
+            ).sum(),
+            [self.users, self.items],
+        )
+
+
+class TestLosses:
+    def test_push_loss_zero_when_separated(self):
+        loss = losses.push_loss(Tensor([5.0, 5.0]), Tensor([0.0, 0.0]), margins=1.0)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_push_loss_uses_per_user_margins(self):
+        pos = Tensor([0.0, 0.0])
+        neg = Tensor([0.0, 0.0])
+        loose = losses.push_loss(pos, neg, margins=np.array([0.1, 0.1])).item()
+        tight = losses.push_loss(pos, neg, margins=np.array([0.9, 0.9])).item()
+        assert tight > loose
+
+    def test_pull_loss_decreases_with_similarity(self):
+        low = losses.pull_loss(Tensor([0.1, 0.2])).item()
+        high = losses.pull_loss(Tensor([0.9, 0.95])).item()
+        assert high < low
+
+    def test_facet_separating_single_facet_is_zero(self):
+        assert losses.facet_separating_loss([Tensor(np.ones((3, 4)))]).item() == 0.0
+
+    def test_facet_separating_euclidean_prefers_spread_facets(self):
+        base = np.random.default_rng(0).normal(size=(10, 4))
+        clustered = [Tensor(base), Tensor(base + 1e-3)]
+        spread = [Tensor(base), Tensor(base + 10.0)]
+        assert (losses.facet_separating_loss(spread).item()
+                < losses.facet_separating_loss(clustered).item())
+
+    def test_facet_separating_spherical_prefers_orthogonal(self):
+        aligned = [Tensor(np.tile([1.0, 0.0], (5, 1))),
+                   Tensor(np.tile([1.0, 0.0], (5, 1)))]
+        opposed = [Tensor(np.tile([1.0, 0.0], (5, 1))),
+                   Tensor(np.tile([-1.0, 0.0], (5, 1)))]
+        assert (losses.facet_separating_loss(opposed, spherical=True).item()
+                < losses.facet_separating_loss(aligned, spherical=True).item())
+
+    def test_facet_separating_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            losses.facet_separating_loss(
+                [Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2)))], alpha=0.0
+            )
+
+    def test_combined_objective_includes_all_terms(self):
+        rng = np.random.default_rng(0)
+        pos = Tensor(rng.normal(size=4), requires_grad=False)
+        neg = Tensor(rng.normal(size=4))
+        facets_u = [Tensor(rng.normal(size=(4, 3))) for _ in range(2)]
+        facets_v = [Tensor(rng.normal(size=(4, 3))) for _ in range(2)]
+        full = losses.combined_objective(
+            pos, neg, 0.5, facets_u, facets_v, lambda_pull=0.5, lambda_facet=0.5
+        ).item()
+        push_only = losses.combined_objective(
+            pos, neg, 0.5, facets_u, facets_v, lambda_pull=0.0, lambda_facet=0.0
+        ).item()
+        assert full != pytest.approx(push_only)
+
+    def test_push_loss_gradient(self):
+        rng = np.random.default_rng(1)
+        pos = rng.normal(size=5)
+        neg = rng.normal(size=5)
+        check_gradients(lambda p, n: losses.push_loss(p, n, margins=0.5), [pos, neg])
+
+    def test_facet_separating_gradient(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(3, 4))
+        check_gradients(
+            lambda x, y: losses.facet_separating_loss([x, y], alpha=0.5), [a, b]
+        )
+
+
+class TestSphericalUtils:
+    def test_project_to_sphere_unit_norm(self):
+        x = np.random.default_rng(0).normal(size=(10, 6))
+        projected = spherical.project_to_sphere(x)
+        assert np.allclose(np.linalg.norm(projected, axis=-1), 1.0)
+
+    def test_tangent_projection_is_orthogonal_to_point(self):
+        rng = np.random.default_rng(1)
+        points = spherical.project_to_sphere(rng.normal(size=(8, 5)))
+        grads = rng.normal(size=(8, 5))
+        tangent = spherical.tangent_projection(points, grads)
+        radial = np.sum(points * tangent, axis=-1)
+        assert np.allclose(radial, 0.0, atol=1e-10)
+
+    def test_retract_lands_on_sphere(self):
+        rng = np.random.default_rng(2)
+        points = spherical.project_to_sphere(rng.normal(size=(4, 3)))
+        step = 0.1 * rng.normal(size=(4, 3))
+        retracted = spherical.retract(points, step)
+        assert np.allclose(np.linalg.norm(retracted, axis=-1), 1.0)
+
+    def test_calibration_factor_range(self):
+        rng = np.random.default_rng(3)
+        points = spherical.project_to_sphere(rng.normal(size=(20, 6)))
+        grads = rng.normal(size=(20, 6))
+        factors = spherical.calibration_factor(points, grads)
+        assert np.all(factors >= 0.0 - 1e-9)
+        assert np.all(factors <= 2.0 + 1e-9)
+
+    def test_geodesic_distance_extremes(self):
+        a = np.array([1.0, 0.0])
+        assert spherical.geodesic_distance(a, a) == pytest.approx(0.0)
+        assert spherical.geodesic_distance(a, -a) == pytest.approx(np.pi)
+
+    def test_vmf_samples_unit_norm(self):
+        samples = spherical.sample_vmf(np.array([0.0, 0.0, 1.0]), concentration=5.0,
+                                       size=50, random_state=0)
+        assert samples.shape == (50, 3)
+        assert np.allclose(np.linalg.norm(samples, axis=-1), 1.0)
+
+    def test_vmf_concentration_controls_spread(self):
+        mu = np.array([0.0, 0.0, 1.0])
+        tight = spherical.sample_vmf(mu, 100.0, 200, random_state=0)
+        loose = spherical.sample_vmf(mu, 1.0, 200, random_state=0)
+        assert (tight @ mu).mean() > (loose @ mu).mean()
+
+    def test_vmf_zero_concentration_is_uniform(self):
+        samples = spherical.sample_vmf(np.array([1.0, 0.0, 0.0]), 0.0, 500, random_state=0)
+        assert abs(np.mean(samples @ np.array([1.0, 0.0, 0.0]))) < 0.15
+
+    def test_vmf_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            spherical.sample_vmf(np.array([1.0]), 1.0, 10)
+        with pytest.raises(ValueError):
+            spherical.sample_vmf(np.array([1.0, 0.0]), -1.0, 10)
+
+    def test_vmf_log_density_highest_at_mean(self):
+        mu = np.array([0.0, 1.0, 0.0])
+        at_mean = spherical.vmf_log_density(mu, mu, 3.0)
+        away = spherical.vmf_log_density(np.array([1.0, 0.0, 0.0]), mu, 3.0)
+        assert at_mean > away
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=100))
+def test_property_retraction_always_unit_norm(dim, seed):
+    rng = np.random.default_rng(seed)
+    points = spherical.project_to_sphere(rng.normal(size=(3, dim)))
+    step = rng.normal(size=(3, dim))
+    assert np.allclose(np.linalg.norm(spherical.retract(points, step), axis=-1), 1.0)

@@ -1,0 +1,183 @@
+"""Integration tests for the MAR and MARS recommenders."""
+
+import numpy as np
+import pytest
+
+from repro.core import MAR, MARS, MARConfig, MARSConfig
+from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.eval import LeaveOneOutEvaluator
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(n_users=80, n_items=100, n_facets=3,
+                             interactions_per_user=14.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+@pytest.fixture(scope="module")
+def fitted_mar(dataset):
+    return MAR(n_facets=2, embedding_dim=16, n_epochs=8, batch_size=128,
+               random_state=0).fit(dataset)
+
+
+@pytest.fixture(scope="module")
+def fitted_mars(dataset):
+    return MARS(n_facets=2, embedding_dim=16, n_epochs=8, batch_size=128,
+                random_state=0).fit(dataset)
+
+
+class TestConfigs:
+    def test_defaults_valid(self):
+        MARConfig()
+        MARSConfig()
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            MARConfig(n_facets=0)
+        with pytest.raises(ValueError):
+            MARConfig(learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            MARConfig(user_sampling="bogus")
+        with pytest.raises(ValueError):
+            MARSConfig(euclidean_learning_rate=-0.1)
+
+    def test_model_accepts_config_object(self, dataset):
+        config = MARConfig(n_facets=2, embedding_dim=8, n_epochs=1, batch_size=64)
+        model = MAR(config)
+        assert model.config is config
+
+    def test_model_rejects_config_and_overrides(self):
+        with pytest.raises(ValueError):
+            MAR(MARConfig(), n_facets=2)
+
+
+class TestMARTraining:
+    def test_fit_returns_self_and_sets_state(self, fitted_mar):
+        assert fitted_mar.is_fitted
+        assert len(fitted_mar.loss_history_) == 8
+
+    def test_loss_decreases(self, fitted_mar):
+        assert fitted_mar.loss_history_[-1] < fitted_mar.loss_history_[0]
+
+    def test_embeddings_respect_unit_ball(self, fitted_mar):
+        users = fitted_mar.network.user_embeddings.weight.data
+        items = fitted_mar.network.item_embeddings.weight.data
+        assert np.all(np.linalg.norm(users, axis=1) <= 1.0 + 1e-8)
+        assert np.all(np.linalg.norm(items, axis=1) <= 1.0 + 1e-8)
+
+    def test_adaptive_margins_computed(self, fitted_mar, dataset):
+        assert fitted_mar.margins_.shape == (dataset.n_users,)
+        assert np.all(fitted_mar.margins_ > 0)
+
+    def test_fixed_margin_mode(self, dataset):
+        model = MAR(n_facets=2, embedding_dim=8, n_epochs=1, batch_size=64,
+                    adaptive_margin=False, margin=0.7, random_state=0).fit(dataset)
+        assert np.allclose(model.margins_, 0.7)
+
+    def test_beats_random_ranking(self, fitted_mar, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=50, random_state=0)
+        result = evaluator.evaluate(fitted_mar)
+        random_hr = 10.0 / 51.0
+        assert result["hr@10"] > random_hr
+
+    def test_score_items_shape_and_order(self, fitted_mar):
+        scores = fitted_mar.score_items(0, [1, 2, 3, 4])
+        assert scores.shape == (4,)
+        assert np.all(np.isfinite(scores))
+
+    def test_recommend_excludes_seen(self, fitted_mar, dataset):
+        user = int(dataset.evaluable_users()[0])
+        seen = set(dataset.train.items_of_user(user).tolist())
+        recs = fitted_mar.recommend(user, k=10)
+        assert len(recs) == 10
+        assert not seen.intersection(recs.tolist())
+
+    def test_recommend_can_include_seen(self, fitted_mar):
+        recs = fitted_mar.recommend(0, k=5, exclude_seen=False)
+        assert len(recs) == 5
+
+    def test_scoring_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MAR(n_facets=2, embedding_dim=8).score_items(0, [0])
+
+    def test_facet_weights_are_distributions(self, fitted_mar, dataset):
+        weights = fitted_mar.facet_weights()
+        assert weights.shape == (dataset.n_users, 2)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        single = fitted_mar.facet_weights(user=3)
+        assert np.allclose(single, weights[3])
+
+    def test_facet_item_embeddings_shape(self, fitted_mar, dataset):
+        facets = fitted_mar.facet_item_embeddings()
+        assert facets.shape == (2, dataset.n_items, 16)
+
+    def test_save_load_roundtrip(self, fitted_mar, dataset, tmp_path):
+        path = fitted_mar.save(tmp_path / "mar.npz")
+        clone = MAR(n_facets=2, embedding_dim=16, n_epochs=1, batch_size=128,
+                    random_state=0)
+        # Build the network without real training, then load weights.
+        clone.fit(dataset.train.without_pairs([]))  # same shapes, quick 1 epoch
+        clone.load(path)
+        assert np.allclose(clone.score_items(0, [1, 2, 3]),
+                           fitted_mar.score_items(0, [1, 2, 3]))
+
+
+class TestMARSTraining:
+    def test_embeddings_exactly_on_sphere(self, fitted_mars):
+        users = fitted_mars.network.user_embeddings.weight.data
+        items = fitted_mars.network.item_embeddings.weight.data
+        assert np.allclose(np.linalg.norm(users, axis=1), 1.0, atol=1e-8)
+        assert np.allclose(np.linalg.norm(items, axis=1), 1.0, atol=1e-8)
+
+    def test_loss_decreases(self, fitted_mars):
+        assert fitted_mars.loss_history_[-1] < fitted_mars.loss_history_[0]
+
+    def test_scores_bounded_by_cosine_range(self, fitted_mars):
+        scores = fitted_mars.score_items(0, np.arange(20))
+        assert np.all(scores <= 1.0 + 1e-9)
+        assert np.all(scores >= -1.0 - 1e-9)
+
+    def test_beats_random_ranking(self, fitted_mars, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=50, random_state=0)
+        result = evaluator.evaluate(fitted_mars)
+        assert result["hr@10"] > 10.0 / 51.0
+
+    def test_facet_item_embeddings_unit_norm(self, fitted_mars):
+        facets = fitted_mars.facet_item_embeddings()
+        norms = np.linalg.norm(facets, axis=-1)
+        assert np.allclose(norms, 1.0, atol=1e-8)
+
+    def test_uncalibrated_variant_trains(self, dataset):
+        model = MARS(n_facets=2, embedding_dim=8, n_epochs=2, batch_size=64,
+                     calibrate=False, random_state=0).fit(dataset)
+        assert model.is_fitted
+
+    def test_uniform_user_sampling_trains(self, dataset):
+        model = MARS(n_facets=2, embedding_dim=8, n_epochs=2, batch_size=64,
+                     user_sampling="uniform", random_state=0).fit(dataset)
+        assert model.is_fitted
+
+    def test_single_facet_configuration(self, dataset):
+        model = MARS(n_facets=1, embedding_dim=8, n_epochs=2, batch_size=64,
+                     random_state=0).fit(dataset)
+        assert model.facet_weights().shape == (dataset.n_users, 1)
+        assert np.allclose(model.facet_weights(), 1.0)
+
+
+class TestReproducibility:
+    def test_same_seed_same_model(self, dataset):
+        a = MAR(n_facets=2, embedding_dim=8, n_epochs=2, batch_size=64,
+                random_state=11).fit(dataset)
+        b = MAR(n_facets=2, embedding_dim=8, n_epochs=2, batch_size=64,
+                random_state=11).fit(dataset)
+        assert np.allclose(a.network.user_embeddings.weight.data,
+                           b.network.user_embeddings.weight.data)
+
+    def test_different_seed_different_model(self, dataset):
+        a = MAR(n_facets=2, embedding_dim=8, n_epochs=2, batch_size=64,
+                random_state=1).fit(dataset)
+        b = MAR(n_facets=2, embedding_dim=8, n_epochs=2, batch_size=64,
+                random_state=2).fit(dataset)
+        assert not np.allclose(a.network.user_embeddings.weight.data,
+                               b.network.user_embeddings.weight.data)

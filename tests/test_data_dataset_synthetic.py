@@ -1,0 +1,199 @@
+"""Tests for the leave-one-out split, synthetic generator and benchmark presets."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BENCHMARK_PRESETS,
+    ImplicitFeedbackDataset,
+    InteractionMatrix,
+    MultiFacetSyntheticGenerator,
+    SyntheticConfig,
+    list_benchmarks,
+    load_benchmark,
+    train_validation_test_split,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    config = SyntheticConfig(n_users=60, n_items=80, n_facets=3,
+                             interactions_per_user=12.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+class TestLeaveOneOutSplit:
+    def test_holds_out_two_items_per_eligible_user(self):
+        interactions = InteractionMatrix(
+            2, 6,
+            user_indices=[0, 0, 0, 0, 1, 1],
+            item_indices=[0, 1, 2, 3, 4, 5],
+        )
+        ds = train_validation_test_split(interactions, random_state=0, min_interactions=3)
+        assert ds.test_items[0] >= 0 and ds.validation_items[0] >= 0
+        # user 1 has only 2 interactions -> nothing held out
+        assert ds.test_items[1] == -1 and ds.validation_items[1] == -1
+        assert ds.train.n_interactions == 6 - 2
+
+    def test_held_out_items_not_in_train(self, tiny_dataset):
+        for user in tiny_dataset.evaluable_users("test"):
+            test_item = tiny_dataset.held_out_item(user, "test")
+            val_item = tiny_dataset.held_out_item(user, "validation")
+            assert (user, test_item) not in tiny_dataset.train
+            assert (user, val_item) not in tiny_dataset.train
+            assert test_item != val_item
+
+    def test_timestamps_pick_latest_item_as_test(self):
+        interactions = InteractionMatrix(
+            1, 4,
+            user_indices=[0, 0, 0, 0],
+            item_indices=[0, 1, 2, 3],
+            timestamps=[10.0, 40.0, 20.0, 30.0],
+        )
+        ds = train_validation_test_split(interactions, random_state=0)
+        assert ds.test_items[0] == 1      # newest timestamp 40
+        assert ds.validation_items[0] == 3  # second newest 30
+
+    def test_unknown_split_name_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.evaluable_users("bogus")
+
+    def test_statistics_include_held_out(self, tiny_dataset):
+        stats = tiny_dataset.statistics()
+        held = int((tiny_dataset.test_items >= 0).sum()
+                   + (tiny_dataset.validation_items >= 0).sum())
+        assert stats["n_interactions"] == tiny_dataset.train.n_interactions + held
+
+    def test_split_is_deterministic_given_seed(self):
+        config = SyntheticConfig(n_users=40, n_items=50, interactions_per_user=8.0)
+        a = MultiFacetSyntheticGenerator(config, random_state=7).generate_dataset()
+        b = MultiFacetSyntheticGenerator(config, random_state=7).generate_dataset()
+        assert np.array_equal(a.test_items, b.test_items)
+        assert np.array_equal(a.train.toarray(), b.train.toarray())
+
+
+class TestSyntheticGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_users=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(noise=2.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(item_facet_overlap=-0.1)
+
+    def test_generated_shapes(self, tiny_dataset):
+        assert tiny_dataset.n_users == 60
+        assert tiny_dataset.n_items == 80
+        assert tiny_dataset.item_categories.shape == (80,)
+        assert tiny_dataset.user_facet_affinities.shape == (60, 3)
+
+    def test_item_categories_are_valid_facets(self, tiny_dataset):
+        assert tiny_dataset.item_categories.min() >= 0
+        assert tiny_dataset.item_categories.max() < 3
+
+    def test_user_affinities_are_distributions(self, tiny_dataset):
+        sums = tiny_dataset.user_facet_affinities.sum(axis=1)
+        assert np.allclose(sums, 1.0, atol=1e-8)
+
+    def test_interactions_reflect_facet_affinity(self):
+        # With near-deterministic user affinities and no overlap/noise, users
+        # should mostly interact with items of their preferred facet.
+        config = SyntheticConfig(n_users=80, n_items=120, n_facets=4,
+                                 interactions_per_user=15.0,
+                                 facet_concentration=0.05,
+                                 item_facet_overlap=0.0, noise=0.0)
+        gen = MultiFacetSyntheticGenerator(config, random_state=1)
+        interactions, item_categories, affinities = gen.generate_interactions()
+        agreement = []
+        for user in range(config.n_users):
+            items = interactions.items_of_user(user)
+            if items.size == 0:
+                continue
+            preferred = int(np.argmax(affinities[user]))
+            agreement.append(np.mean(item_categories[items] == preferred))
+        assert np.mean(agreement) > 0.6
+
+    def test_density_scales_with_interactions_per_user(self):
+        sparse_cfg = SyntheticConfig(n_users=50, n_items=100, interactions_per_user=4.0)
+        dense_cfg = SyntheticConfig(n_users=50, n_items=100, interactions_per_user=30.0)
+        sparse = MultiFacetSyntheticGenerator(sparse_cfg, random_state=0).generate_interactions()[0]
+        dense = MultiFacetSyntheticGenerator(dense_cfg, random_state=0).generate_interactions()[0]
+        assert dense.density > sparse.density
+
+
+class TestBenchmarkPresets:
+    def test_all_six_paper_datasets_present(self):
+        assert set(list_benchmarks()) == {
+            "delicious", "lastfm", "ciao", "bookx", "ml-1m", "ml-20m"
+        }
+
+    def test_paper_statistics_recorded(self):
+        spec = BENCHMARK_PRESETS["ciao"]
+        assert spec.paper_n_users == 7_000
+        assert spec.paper_density_percent == pytest.approx(0.19)
+
+    def test_load_benchmark_returns_dataset(self):
+        ds = load_benchmark("delicious", random_state=0)
+        assert isinstance(ds, ImplicitFeedbackDataset)
+        assert ds.name == "delicious"
+        assert ds.n_users == BENCHMARK_PRESETS["delicious"].config.n_users
+
+    def test_load_benchmark_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_benchmark("netflix")
+
+    def test_ml1m_preset_denser_than_bookx(self):
+        ml = load_benchmark("ml-1m", random_state=0)
+        bookx = load_benchmark("bookx", random_state=0)
+        assert ml.train.density > bookx.train.density
+
+    def test_load_benchmark_deterministic(self):
+        a = load_benchmark("lastfm", random_state=3)
+        b = load_benchmark("lastfm", random_state=3)
+        assert np.array_equal(a.test_items, b.test_items)
+
+
+class TestCsvLoader:
+    def test_load_interactions_csv(self, tmp_path):
+        path = tmp_path / "mini.csv"
+        path.write_text("u1,i1,5,100\nu1,i2,4,200\nu2,i1,3,50\n")
+        from repro.data import load_interactions_csv
+
+        m = load_interactions_csv(path)
+        assert m.shape == (2, 2)
+        assert m.n_interactions == 3
+        assert m.has_timestamps
+
+    def test_load_interactions_tsv_two_columns(self, tmp_path):
+        path = tmp_path / "mini.tsv"
+        path.write_text("a\tx\nb\ty\nb\tx\n")
+        from repro.data import load_interactions_csv
+
+        m = load_interactions_csv(path)
+        assert m.shape == (2, 2)
+        assert not m.has_timestamps
+
+    def test_missing_file_raises(self, tmp_path):
+        from repro.data import load_interactions_csv
+
+        with pytest.raises(FileNotFoundError):
+            load_interactions_csv(tmp_path / "nope.csv")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("only_one_column\n")
+        from repro.data import load_interactions_csv
+
+        with pytest.raises(ValueError):
+            load_interactions_csv(path)
+
+    def test_load_benchmark_prefers_raw_file(self, tmp_path):
+        raw = tmp_path / "delicious.csv"
+        rows = []
+        for user in range(5):
+            for item in range(4):
+                rows.append(f"u{user},i{item},{item + 1}00\n")
+        raw.write_text("".join(rows))
+        ds = load_benchmark("delicious", random_state=0, data_dir=tmp_path)
+        assert ds.n_users == 5
+        assert ds.n_items == 4

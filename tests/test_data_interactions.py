@@ -1,0 +1,149 @@
+"""Tests for the InteractionMatrix container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import InteractionMatrix
+
+
+@pytest.fixture
+def small_matrix():
+    #       items: 0  1  2  3
+    # user 0:      x     x
+    # user 1:      x  x
+    # user 2:            x  x
+    return InteractionMatrix(
+        n_users=3, n_items=4,
+        user_indices=[0, 0, 1, 1, 2, 2],
+        item_indices=[0, 2, 0, 1, 2, 3],
+    )
+
+
+class TestConstruction:
+    def test_shape_and_counts(self, small_matrix):
+        assert small_matrix.shape == (3, 4)
+        assert small_matrix.n_interactions == 6
+
+    def test_duplicates_are_merged(self):
+        m = InteractionMatrix(2, 2, [0, 0, 0], [1, 1, 1])
+        assert m.n_interactions == 1
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionMatrix(2, 2, [5], [0])
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionMatrix(2, 2, [0], [7])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionMatrix(2, 2, [0, 1], [0])
+
+    def test_non_positive_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionMatrix(0, 2, [], [])
+
+    def test_from_pairs(self):
+        m = InteractionMatrix.from_pairs([(0, 1), (2, 3)])
+        assert m.shape == (3, 4)
+        assert (0, 1) in m and (2, 3) in m
+
+    def test_from_pairs_empty_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionMatrix.from_pairs([])
+
+    def test_from_dense(self):
+        dense = np.array([[1, 0], [0, 1]])
+        m = InteractionMatrix.from_dense(dense)
+        assert m.n_interactions == 2
+        assert np.array_equal(m.toarray(), dense)
+
+    def test_timestamps_stored(self):
+        m = InteractionMatrix(2, 2, [0, 1], [1, 0], timestamps=[5.0, 9.0])
+        assert m.has_timestamps
+        assert m.timestamp_of(0, 1) == 5.0
+        assert m.timestamp_of(1, 1) is None
+
+    def test_timestamp_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionMatrix(2, 2, [0, 1], [1, 0], timestamps=[5.0])
+
+
+class TestViews:
+    def test_items_of_user(self, small_matrix):
+        assert np.array_equal(small_matrix.items_of_user(0), [0, 2])
+        assert np.array_equal(small_matrix.items_of_user(2), [2, 3])
+
+    def test_users_of_item(self, small_matrix):
+        assert np.array_equal(small_matrix.users_of_item(0), [0, 1])
+        assert np.array_equal(small_matrix.users_of_item(3), [2])
+
+    def test_user_degrees(self, small_matrix):
+        assert np.array_equal(small_matrix.user_degrees(), [2, 2, 2])
+
+    def test_item_degrees(self, small_matrix):
+        assert np.array_equal(small_matrix.item_degrees(), [2, 1, 2, 1])
+
+    def test_contains(self, small_matrix):
+        assert (0, 0) in small_matrix
+        assert (0, 1) not in small_matrix
+
+    def test_density(self, small_matrix):
+        assert small_matrix.density == pytest.approx(6 / 12)
+
+    def test_positive_pairs_roundtrip(self, small_matrix):
+        pairs = small_matrix.positive_pairs()
+        rebuilt = InteractionMatrix.from_pairs(
+            [tuple(p) for p in pairs], n_users=3, n_items=4
+        )
+        assert np.array_equal(rebuilt.toarray(), small_matrix.toarray())
+
+    def test_statistics_keys(self, small_matrix):
+        stats = small_matrix.statistics()
+        assert stats["n_users"] == 3
+        assert stats["n_interactions"] == 6
+        assert stats["density_percent"] == pytest.approx(50.0)
+
+
+class TestDerived:
+    def test_two_hop_neighbourhood_sizes(self, small_matrix):
+        # user 0 interacted with items 0 (deg 2) and 2 (deg 2) -> 4
+        # user 1 with items 0 (2) and 1 (1) -> 3
+        # user 2 with items 2 (2) and 3 (1) -> 3
+        assert np.allclose(small_matrix.two_hop_neighbourhood_sizes(), [4, 3, 3])
+
+    def test_without_pairs_removes(self, small_matrix):
+        reduced = small_matrix.without_pairs([(0, 0)])
+        assert reduced.n_interactions == 5
+        assert (0, 0) not in reduced
+        # original untouched
+        assert (0, 0) in small_matrix
+
+    def test_without_pairs_cannot_empty(self):
+        m = InteractionMatrix(1, 1, [0], [0])
+        with pytest.raises(ValueError):
+            m.without_pairs([(0, 0)])
+
+    def test_without_pairs_preserves_timestamps(self):
+        m = InteractionMatrix(2, 2, [0, 0, 1], [0, 1, 1], timestamps=[1.0, 2.0, 3.0])
+        reduced = m.without_pairs([(0, 0)])
+        assert reduced.timestamp_of(0, 1) == 2.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_users=st.integers(min_value=1, max_value=20),
+    n_items=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_degrees_sum_to_interactions(n_users, n_items, seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, n_users * n_items + 1))
+    users = rng.integers(0, n_users, size=n)
+    items = rng.integers(0, n_items, size=n)
+    m = InteractionMatrix(n_users, n_items, users, items)
+    assert m.user_degrees().sum() == m.n_interactions
+    assert m.item_degrees().sum() == m.n_interactions
+    assert 0 < m.density <= 1.0

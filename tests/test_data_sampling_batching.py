@@ -1,0 +1,171 @@
+"""Tests for negative/user samplers and the triplet batcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    FrequencyBiasedUserSampler,
+    InteractionMatrix,
+    PopularityNegativeSampler,
+    TripletBatcher,
+    UniformNegativeSampler,
+)
+
+
+@pytest.fixture
+def interactions():
+    rng = np.random.default_rng(0)
+    users, items = [], []
+    for user in range(30):
+        # user u interacts with u+1 items => heterogeneous activity
+        chosen = rng.choice(50, size=min(50, user + 1), replace=False)
+        users.extend([user] * len(chosen))
+        items.extend(chosen.tolist())
+    return InteractionMatrix(30, 50, users, items)
+
+
+class TestUniformNegativeSampler:
+    def test_negatives_are_never_positives(self, interactions):
+        sampler = UniformNegativeSampler(interactions, random_state=0)
+        for user in range(interactions.n_users):
+            positives = set(interactions.items_of_user(user).tolist())
+            for item in sampler.sample(user, size=20):
+                assert item not in positives
+
+    def test_sample_batch_shape(self, interactions):
+        sampler = UniformNegativeSampler(interactions, random_state=0)
+        users = np.array([0, 5, 5, 29])
+        out = sampler.sample_batch(users)
+        assert out.shape == (4,)
+        assert out.dtype == np.int64
+
+    def test_dense_user_falls_back_to_enumeration(self):
+        # user 0 has interacted with all but one item
+        m = InteractionMatrix(1, 5, [0, 0, 0, 0], [0, 1, 2, 3])
+        sampler = UniformNegativeSampler(m, random_state=0, max_rejections=2)
+        for _ in range(5):
+            assert sampler.sample(0, 1)[0] == 4
+
+    def test_fully_dense_user_raises(self):
+        m = InteractionMatrix(1, 3, [0, 0, 0], [0, 1, 2])
+        sampler = UniformNegativeSampler(m, random_state=0)
+        with pytest.raises(ValueError):
+            sampler.sample(0)
+
+
+class TestPopularityNegativeSampler:
+    def test_negatives_valid(self, interactions):
+        sampler = PopularityNegativeSampler(interactions, random_state=0)
+        positives = set(interactions.items_of_user(3).tolist())
+        for item in sampler.sample(3, size=30):
+            assert item not in positives
+
+    def test_popular_items_sampled_more_often(self):
+        # item 0 very popular, item 9 never interacted: among negatives for a
+        # user who interacted with neither, item 0 should dominate item 9.
+        users = list(range(1, 20))
+        items = [0] * 19
+        m = InteractionMatrix(21, 10, users, items)
+        sampler = PopularityNegativeSampler(m, exponent=1.0, random_state=0)
+        draws = sampler.sample(20, size=400)
+        assert np.sum(draws == 0) > np.sum(draws == 9)
+
+    def test_invalid_exponent_rejected(self, interactions):
+        with pytest.raises(ValueError):
+            PopularityNegativeSampler(interactions, exponent=-1.0)
+
+
+class TestFrequencyBiasedUserSampler:
+    def test_probabilities_sum_to_one(self, interactions):
+        sampler = FrequencyBiasedUserSampler(interactions, beta=0.8, random_state=0)
+        assert sampler.probabilities.sum() == pytest.approx(1.0)
+
+    def test_active_users_sampled_more(self, interactions):
+        sampler = FrequencyBiasedUserSampler(interactions, beta=1.0, random_state=0)
+        draws = sampler.sample(5000)
+        # user 29 has 30 interactions, user 0 has 1
+        assert np.sum(draws == 29) > np.sum(draws == 0)
+
+    def test_beta_zero_is_uniform_over_active_users(self, interactions):
+        sampler = FrequencyBiasedUserSampler(interactions, beta=0.0, random_state=0)
+        probs = sampler.probabilities
+        active = interactions.user_degrees() > 0
+        assert np.allclose(probs[active], 1.0 / active.sum())
+
+    def test_matches_eq10_formula(self, interactions):
+        beta = 0.8
+        sampler = FrequencyBiasedUserSampler(interactions, beta=beta, random_state=0)
+        freq = interactions.user_degrees().astype(float)
+        expected = freq ** beta / (freq ** beta).sum()
+        assert np.allclose(sampler.probabilities, expected)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            m = InteractionMatrix(2, 2, [0], [0])
+            reduced_degrees = m  # matrix with a single interaction is fine...
+            # build a matrix with zero interactions by removing impossible:
+            FrequencyBiasedUserSampler(
+                InteractionMatrix(2, 2, [], []), beta=0.5
+            )
+
+    def test_invalid_beta_rejected(self, interactions):
+        with pytest.raises(ValueError):
+            FrequencyBiasedUserSampler(interactions, beta=-0.5)
+
+
+class TestTripletBatcher:
+    def test_batch_shapes_and_validity(self, interactions):
+        batcher = TripletBatcher(interactions, batch_size=64, random_state=0)
+        batch = batcher.sample_batch()
+        assert len(batch) == 64
+        for user, pos, neg in zip(batch.users, batch.positives, batch.negatives):
+            assert (int(user), int(pos)) in interactions
+            assert (int(user), int(neg)) not in interactions
+
+    def test_epoch_covers_roughly_all_interactions(self, interactions):
+        batcher = TripletBatcher(interactions, batch_size=100, random_state=0)
+        total = sum(len(batch) for batch in batcher.epoch())
+        assert total >= interactions.n_interactions
+
+    def test_uniform_user_sampling_mode(self, interactions):
+        batcher = TripletBatcher(interactions, batch_size=32,
+                                 user_sampling="uniform", random_state=0)
+        batch = batcher.sample_batch()
+        assert len(batch) == 32
+
+    def test_invalid_sampling_mode_rejected(self, interactions):
+        with pytest.raises(ValueError):
+            TripletBatcher(interactions, user_sampling="bogus")
+
+    def test_frequency_mode_prefers_active_users(self, interactions):
+        batcher = TripletBatcher(interactions, batch_size=2000, beta=1.0,
+                                 random_state=0)
+        batch = batcher.sample_batch()
+        active_count = np.sum(batch.users >= 25)   # 5 most active users
+        inactive_count = np.sum(batch.users < 5)   # 5 least active users
+        assert active_count > inactive_count
+
+    def test_custom_batch_size_override(self, interactions):
+        batcher = TripletBatcher(interactions, batch_size=16, random_state=0)
+        assert len(batcher.sample_batch(batch_size=7)) == 7
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000),
+       batch_size=st.integers(min_value=1, max_value=64))
+def test_property_triplets_always_consistent(seed, batch_size):
+    rng = np.random.default_rng(seed)
+    n_users, n_items = 15, 25
+    users, items = [], []
+    for user in range(n_users):
+        chosen = rng.choice(n_items, size=rng.integers(1, 10), replace=False)
+        users.extend([user] * len(chosen))
+        items.extend(chosen.tolist())
+    interactions = InteractionMatrix(n_users, n_items, users, items)
+    batcher = TripletBatcher(interactions, batch_size=batch_size, random_state=seed)
+    batch = batcher.sample_batch()
+    assert len(batch) == batch_size
+    for user, pos, neg in zip(batch.users, batch.positives, batch.negatives):
+        assert (int(user), int(pos)) in interactions
+        assert (int(user), int(neg)) not in interactions

@@ -1,0 +1,191 @@
+"""Tests for ranking metrics and the leave-one-out evaluation protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.base import BaseRecommender
+from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.eval import (
+    LeaveOneOutEvaluator,
+    average_precision_at_k,
+    hit_ratio_at_k,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestMetrics:
+    def test_hit_ratio_hit_and_miss(self):
+        assert hit_ratio_at_k([3, 1, 2], relevant=1, k=2) == 1.0
+        assert hit_ratio_at_k([3, 1, 2], relevant=2, k=2) == 0.0
+
+    def test_hit_ratio_with_set_of_relevant(self):
+        assert hit_ratio_at_k([5, 6, 7], relevant={7, 9}, k=3) == 1.0
+
+    def test_ndcg_position_sensitivity(self):
+        first = ndcg_at_k([1, 2, 3], relevant=1, k=3)
+        third = ndcg_at_k([2, 3, 1], relevant=1, k=3)
+        assert first == pytest.approx(1.0)
+        assert third == pytest.approx(1.0 / np.log2(4))
+        assert first > third
+
+    def test_ndcg_multiple_relevant_perfect_ranking(self):
+        assert ndcg_at_k([1, 2, 3, 4], relevant={1, 2}, k=4) == pytest.approx(1.0)
+
+    def test_ndcg_zero_when_missing(self):
+        assert ndcg_at_k([4, 5], relevant=1, k=2) == 0.0
+
+    def test_mrr(self):
+        assert mean_reciprocal_rank([9, 4, 1], relevant=1) == pytest.approx(1 / 3)
+        assert mean_reciprocal_rank([9, 4], relevant=1) == 0.0
+
+    def test_precision_recall(self):
+        ranked = [1, 2, 3, 4]
+        assert precision_at_k(ranked, {1, 4}, k=2) == pytest.approx(0.5)
+        assert recall_at_k(ranked, {1, 4}, k=2) == pytest.approx(0.5)
+        assert recall_at_k(ranked, {1, 4}, k=4) == pytest.approx(1.0)
+
+    def test_average_precision(self):
+        assert average_precision_at_k([1, 5, 2], relevant={1, 2}, k=3) == pytest.approx(
+            (1.0 + 2.0 / 3.0) / 2.0
+        )
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            hit_ratio_at_k([1], relevant=1, k=0)
+
+    def test_empty_relevant_set_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k([1, 2], relevant=set(), k=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           k=st.integers(min_value=1, max_value=20))
+    def test_property_metrics_bounded(self, seed, k):
+        rng = np.random.default_rng(seed)
+        ranked = rng.permutation(30).tolist()
+        relevant = int(rng.integers(0, 30))
+        for metric in (hit_ratio_at_k, ndcg_at_k, precision_at_k, recall_at_k,
+                       average_precision_at_k):
+            value = metric(ranked, relevant, k)
+            assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_hr_at_full_length_is_one(self, seed):
+        rng = np.random.default_rng(seed)
+        ranked = rng.permutation(15).tolist()
+        relevant = int(rng.integers(0, 15))
+        assert hit_ratio_at_k(ranked, relevant, k=15) == 1.0
+
+
+class _OracleModel(BaseRecommender):
+    """Scores the dataset's held-out test item highest for every user."""
+
+    name = "oracle"
+
+    def __init__(self, dataset):
+        super().__init__()
+        self._dataset = dataset
+
+    def _fit(self, interactions):
+        pass
+
+    def score_items(self, user, items):
+        items = np.asarray(items)
+        target = self._dataset.held_out_item(int(user), "test")
+        return (items == target).astype(float)
+
+
+class _RandomModel(BaseRecommender):
+    name = "random"
+
+    def __init__(self, seed=0):
+        super().__init__()
+        self._rng = np.random.default_rng(seed)
+
+    def _fit(self, interactions):
+        pass
+
+    def score_items(self, user, items):
+        return self._rng.random(len(items))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(n_users=60, n_items=90, interactions_per_user=10.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+class TestLeaveOneOutEvaluator:
+    def test_oracle_gets_perfect_scores(self, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=50, random_state=0)
+        oracle = _OracleModel(dataset).fit(dataset)
+        result = evaluator.evaluate(oracle)
+        assert result["hr@10"] == pytest.approx(1.0)
+        assert result["ndcg@10"] == pytest.approx(1.0)
+        assert result["mrr"] == pytest.approx(1.0)
+
+    def test_random_model_near_chance(self, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=50, random_state=0)
+        result = evaluator.evaluate(_RandomModel().fit(dataset))
+        assert abs(result["hr@10"] - 10.0 / 51.0) < 0.12
+
+    def test_candidates_exclude_training_items(self, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=30, random_state=0)
+        for user in evaluator.users[:10]:
+            candidates = evaluator.candidate_items(user)
+            seen = set(dataset.train.items_of_user(user).tolist())
+            target = dataset.held_out_item(user, "test")
+            assert candidates[0] == target
+            assert not seen.intersection(candidates[1:].tolist())
+            assert len(set(candidates.tolist())) == len(candidates)
+
+    def test_validation_split_uses_validation_items(self, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=20, split="validation",
+                                         random_state=0)
+        user = evaluator.users[0]
+        assert evaluator.candidate_items(user)[0] == dataset.held_out_item(user, "validation")
+
+    def test_max_users_caps_evaluation(self, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=20, max_users=7,
+                                         random_state=0)
+        assert len(evaluator.users) == 7
+
+    def test_same_seed_same_candidates(self, dataset):
+        a = LeaveOneOutEvaluator(dataset, n_negatives=25, random_state=5)
+        b = LeaveOneOutEvaluator(dataset, n_negatives=25, random_state=5)
+        for user in a.users:
+            assert np.array_equal(a.candidate_items(user), b.candidate_items(user))
+
+    def test_unfitted_model_rejected(self, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=10, random_state=0)
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate(_RandomModel())
+
+    def test_wrong_score_shape_rejected(self, dataset):
+        class BadModel(_RandomModel):
+            def score_items(self, user, items):
+                return np.zeros(3)
+
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=10, random_state=0)
+        with pytest.raises(ValueError):
+            evaluator.evaluate(BadModel().fit(dataset))
+
+    def test_evaluate_many_shares_candidates(self, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=30, random_state=0)
+        results = evaluator.evaluate_many({
+            "oracle": _OracleModel(dataset).fit(dataset),
+            "random": _RandomModel().fit(dataset),
+        })
+        assert set(results) == {"oracle", "random"}
+        assert results["oracle"]["ndcg@10"] > results["random"]["ndcg@10"]
+
+    def test_per_user_metrics_exposed(self, dataset):
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=20, random_state=0)
+        result = evaluator.evaluate(_OracleModel(dataset).fit(dataset))
+        assert result.per_user["hr@10"].shape == (result.n_users,)
+        assert result.as_row(["hr@10", "ndcg@10"]) == [1.0, 1.0]

@@ -1,0 +1,193 @@
+"""Tests for the experiment runners and registry.
+
+Runners are exercised with deliberately tiny parameter sets (one dataset, few
+models) so the whole suite stays fast; the benchmark harness runs them at the
+"quick"/"full" scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ModelZoo,
+    experiment_scale,
+    format_table,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments import table1_stats, table2_overall, table3_dimensions
+from repro.experiments import table4_ablation, hyperparams, case_study
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "metric"], [["x", 0.12345], ["longer", 1.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.1234" in text or "0.1235" in text
+
+    def test_result_helpers(self):
+        result = ExperimentResult(
+            experiment_id="tX", title="demo", headers=["model", "score"],
+            rows=[["A", 0.5], ["B", 0.7]],
+        )
+        assert result.column("score") == [0.5, 0.7]
+        assert result.row_by("model", "B") == ["B", 0.7]
+        with pytest.raises(KeyError):
+            result.row_by("model", "C")
+        assert "tX" in result.to_text()
+
+
+class TestRegistryAndZoo:
+    def test_every_paper_artifact_registered(self):
+        assert set(list_experiments()) == {
+            "table1", "table2", "table3", "table4", "fig5", "fig6", "fig7", "tables5-6"
+        }
+
+    def test_get_experiment_returns_callable(self):
+        for experiment_id in list_experiments():
+            assert callable(get_experiment(experiment_id))
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_scale_presets(self):
+        quick = experiment_scale("quick")
+        full = experiment_scale("full")
+        assert quick.n_epochs_multifacet < full.n_epochs_multifacet
+        with pytest.raises(KeyError):
+            experiment_scale("huge")
+
+    def test_zoo_creates_all_table2_models(self):
+        zoo = ModelZoo(scale="quick", random_state=0)
+        for name in ModelZoo.TABLE2_MODELS:
+            model = zoo.create(name)
+            assert model.name == name
+
+    def test_zoo_rejects_unknown_model_and_bad_overrides(self):
+        zoo = ModelZoo(scale="quick")
+        with pytest.raises(KeyError):
+            zoo.create("SVD++")
+        with pytest.raises(ValueError):
+            zoo.create("BPR", n_facets=2)
+
+    def test_zoo_overrides_apply_to_mars(self):
+        zoo = ModelZoo(scale="quick")
+        model = zoo.create("MARS", n_facets=5, lambda_facet=0.1)
+        assert model.config.n_facets == 5
+        assert model.config.lambda_facet == 0.1
+
+
+class TestTable1:
+    def test_reports_all_six_datasets(self):
+        result = table1_stats.run()
+        assert result.experiment_id == "table1"
+        assert len(result.rows) == 6
+        assert result.row_by("dataset", "ciao")[1] == 7_000  # paper user count
+
+    def test_density_ordering_matches_paper(self):
+        result = table1_stats.run()
+        density = {row[0]: row[-1] for row in result.rows}
+        assert density["ml-1m"] > density["bookx"]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2_overall.run(scale="quick", datasets=["delicious"],
+                                  models=["Popularity", "CML", "MARS"], random_state=0)
+
+    def test_row_per_dataset_model_pair(self, result):
+        assert len(result.rows) == 3
+        assert set(result.column("model")) == {"Popularity", "CML", "MARS"}
+
+    def test_metrics_in_unit_interval(self, result):
+        for metric in ["hr@10", "hr@20", "ndcg@10", "ndcg@20"]:
+            assert all(0.0 <= value <= 1.0 for value in result.column(metric))
+
+    def test_hr20_not_lower_than_hr10(self, result):
+        for row in result.rows:
+            hr10 = row[result.headers.index("hr@10")]
+            hr20 = row[result.headers.index("hr@20")]
+            assert hr20 >= hr10 - 1e-9
+
+    def test_improvements_metadata_present(self, result):
+        improvements = result.metadata["improvements_over_best_baseline"]
+        assert "delicious" in improvements
+        assert "MARS_hr@10_improvement" in improvements["delicious"]
+
+    def test_multifacet_model_beats_single_space_cml(self, result):
+        mars = result.row_by("model", "MARS")
+        cml = result.row_by("model", "CML")
+        ndcg_index = result.headers.index("ndcg@10")
+        assert mars[ndcg_index] > cml[ndcg_index]
+
+
+class TestTable3:
+    def test_dimension_sweep_structure(self):
+        result = table3_dimensions.run(scale="quick", dataset_name="delicious",
+                                       dimensions=[8], n_facets=2, random_state=0)
+        models = result.column("model")
+        assert models.count("MARS") == 1
+        assert models.count("TransCF") == 1
+        assert models.count("SML") == 1
+        mars_row = result.row_by("model", "MARS")
+        assert mars_row[result.headers.index("k")] == 2
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4_ablation.run(scale="quick", datasets=["delicious"],
+                                   facet_counts=[1, 2], random_state=0)
+
+    def test_rows_cover_all_facet_counts(self, result):
+        assert result.column("K") == [1, 2]
+
+    def test_cml_reference_constant_across_k(self, result):
+        cml_values = result.column("CML")
+        assert cml_values[0] == pytest.approx(cml_values[1])
+
+    def test_improvement_columns_consistent(self, result):
+        for row in result.rows:
+            cml = row[result.headers.index("CML")]
+            mar = row[result.headers.index("MAR")]
+            imp1 = row[result.headers.index("Imp1_%")]
+            assert imp1 == pytest.approx(100.0 * (mar / cml - 1.0), abs=0.01)
+
+
+class TestHyperparameterSweeps:
+    def test_lambda_pull_sweep(self):
+        result = hyperparams.run_lambda_pull(scale="quick", datasets=["delicious"],
+                                             lambdas=[0.0, 0.1], random_state=0)
+        assert result.experiment_id == "fig5"
+        assert result.column("lambda_pull") == [0.0, 0.1]
+        assert all(0.0 <= v <= 1.0 for v in result.column("mars_ndcg@10"))
+
+    def test_lambda_facet_sweep(self):
+        result = hyperparams.run_lambda_facet(scale="quick", datasets=["delicious"],
+                                              lambdas=[0.01], random_state=0)
+        assert result.experiment_id == "fig6"
+        assert len(result.rows) == 1
+        baseline = result.column("best_baseline_ndcg@10")[0]
+        assert 0.0 <= baseline <= 1.0
+
+
+class TestCaseStudy:
+    def test_fig7_separation_scores(self):
+        result = case_study.run_case_study(scale="quick", dataset_name="delicious",
+                                           random_state=0)
+        models = result.column("model")
+        assert models == ["CML", "MAR", "MARS"]
+        n_spaces = dict(zip(models, result.column("n_spaces")))
+        assert n_spaces["CML"] == 1
+        assert n_spaces["MARS"] > 1
+        assert all(v > 0 for v in result.column("mean_separation"))
+
+    def test_profiles_tables(self):
+        result = case_study.run_profiles(scale="quick", dataset_name="delicious",
+                                         n_users=2, random_state=0)
+        tables = result.column("table")
+        assert "V" in tables and "VI" in tables
+        assert sum(1 for t in tables if t == "VI") == 2

@@ -1,0 +1,112 @@
+"""Tests for the trainer, callbacks and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CML
+from repro.core import MARS
+from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.training import EarlyStopping, GridSearch, History, Trainer
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(n_users=60, n_items=80, interactions_per_user=12.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+class TestCallbacks:
+    def test_history_records_rounds(self):
+        history = History()
+        history.on_round_end(0, {"ndcg@10": 0.1})
+        history.on_round_end(1, {"ndcg@10": 0.2})
+        assert history.series("ndcg@10") == [0.1, 0.2]
+
+    def test_early_stopping_triggers_after_patience(self):
+        stopper = EarlyStopping(monitor="ndcg@10", patience=2)
+        assert not stopper.on_round_end(0, {"ndcg@10": 0.30})
+        assert not stopper.on_round_end(1, {"ndcg@10": 0.29})
+        assert stopper.on_round_end(2, {"ndcg@10": 0.28})
+
+    def test_early_stopping_resets_on_improvement(self):
+        stopper = EarlyStopping(monitor="ndcg@10", patience=2)
+        stopper.on_round_end(0, {"ndcg@10": 0.30})
+        stopper.on_round_end(1, {"ndcg@10": 0.29})
+        assert not stopper.on_round_end(2, {"ndcg@10": 0.40})
+        assert stopper.rounds_without_improvement == 0
+
+    def test_early_stopping_missing_metric_raises(self):
+        stopper = EarlyStopping(monitor="ndcg@10")
+        with pytest.raises(KeyError):
+            stopper.on_round_end(0, {"hr@10": 0.1})
+
+    def test_early_stopping_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestTrainer:
+    def test_trainer_returns_report_with_history(self, dataset):
+        trainer = Trainer(
+            model_factory=lambda: CML(embedding_dim=8, n_epochs=2, batch_size=64,
+                                      random_state=0),
+            dataset=dataset, n_rounds=2, epochs_per_round=2, n_negatives=30,
+        )
+        report = trainer.train()
+        assert report.model.is_fitted
+        assert len(report.history) == 2
+        assert report.best_round in (0, 1)
+        assert "ndcg@10" in report.best_metrics
+        assert len(report.validation_curve()) == 2
+
+    def test_trainer_early_stopping(self, dataset):
+        trainer = Trainer(
+            model_factory=lambda: CML(embedding_dim=8, n_epochs=2, batch_size=64,
+                                      random_state=0),
+            dataset=dataset, n_rounds=4, epochs_per_round=1, n_negatives=30,
+            callbacks=[EarlyStopping(monitor="ndcg@10", patience=1, min_delta=10.0)],
+        )
+        report = trainer.train()
+        assert report.stopped_early
+        assert len(report.history) < 4
+
+    def test_trainer_sets_epoch_budget_on_config_models(self, dataset):
+        captured = []
+
+        def factory():
+            model = MARS(n_facets=2, embedding_dim=8, n_epochs=1, batch_size=64,
+                         random_state=0)
+            captured.append(model)
+            return model
+
+        Trainer(model_factory=factory, dataset=dataset, n_rounds=2,
+                epochs_per_round=3, n_negatives=20).train()
+        assert captured[0].config.n_epochs == 3
+        assert captured[1].config.n_epochs == 6
+
+
+class TestGridSearch:
+    def test_grid_enumerates_all_candidates(self):
+        grid = GridSearch(CML, {"embedding_dim": [4, 8], "margin": [0.3, 0.5, 0.7]})
+        assert grid.n_candidates() == 6
+        assert len(list(grid.candidates())) == 6
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearch(CML, {})
+        with pytest.raises(ValueError):
+            GridSearch(CML, {"embedding_dim": []})
+
+    def test_grid_search_selects_best_by_validation(self, dataset):
+        grid = GridSearch(
+            lambda **kw: CML(n_epochs=3, batch_size=64, random_state=0, **kw),
+            {"embedding_dim": [4, 16]},
+            n_negatives=30,
+        )
+        result = grid.run(dataset)
+        assert result.best_params["embedding_dim"] in (4, 16)
+        assert len(result.results) == 2
+        assert result.best_model.is_fitted
+        table = result.as_table()
+        assert table[0]["score"] >= table[-1]["score"]
+        assert result.best_score == pytest.approx(table[0]["score"])
