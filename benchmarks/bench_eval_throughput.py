@@ -1,0 +1,45 @@
+"""Micro-benchmark for the batched inference hot path.
+
+Records users-scored-per-second of ``LeaveOneOutEvaluator.evaluate`` so
+future PRs can track the evaluation throughput, and prints the speedup of
+the batched path over the per-user reference loop.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_eval_throughput.py
+"""
+
+import time
+
+from repro.core import MARS
+from repro.data import load_benchmark
+from repro.eval import LeaveOneOutEvaluator
+
+
+def _best_of(fn, repeats=3):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
+def test_eval_throughput(benchmark, capsys):
+    dataset = load_benchmark("delicious", random_state=0)
+    model = MARS(n_facets=3, embedding_dim=24, n_epochs=2, batch_size=256,
+                 random_state=0).fit(dataset)
+    evaluator = LeaveOneOutEvaluator(dataset, n_negatives=100, random_state=0)
+    n_users = len(evaluator.users)
+
+    evaluator.evaluate(model)  # warm-up
+    result = benchmark.pedantic(lambda: evaluator.evaluate(model),
+                                rounds=5, iterations=1)
+    assert result.n_users == n_users
+
+    batched_time = _best_of(lambda: evaluator.evaluate(model, batched=True))
+    loop_time = _best_of(lambda: evaluator.evaluate(model, batched=False))
+    with capsys.disabled():
+        print()
+        print(f"evaluated users             : {n_users}")
+        print(f"batched users/second        : {n_users / batched_time:,.0f}")
+        print(f"per-user-loop users/second  : {n_users / loop_time:,.0f}")
+        print(f"batched speedup             : {loop_time / batched_time:.1f}x")

@@ -22,7 +22,9 @@ def main() -> None:
     print(f"Trained {model.name}: final epoch loss {model.loss_history_[-1]:.4f}")
 
     # 3. Evaluate with the paper's protocol: rank the held-out item against
-    #    100 sampled negatives, report HR@K and nDCG@K.
+    #    100 sampled negatives, report HR@K and nDCG@K.  The evaluator stacks
+    #    every user's candidate list into one matrix and scores it through the
+    #    vectorised `score_items_batch`, so this runs at full NumPy speed.
     evaluator = LeaveOneOutEvaluator(dataset, n_negatives=100, random_state=0)
     result = evaluator.evaluate(model)
     for metric in ("hr@10", "hr@20", "ndcg@10", "ndcg@20"):
@@ -34,6 +36,12 @@ def main() -> None:
     recommendations = model.recommend(user, k=10)
     print(f"Top-10 items for user {user}: {recommendations.tolist()}")
     print(f"Facet weights of user {user}: {model.facet_weights(user).round(3).tolist()}")
+
+    # 5. Batch inference: rank top-5 items for many users in one call.
+    users = dataset.evaluable_users()[:4]
+    batch_recommendations = model.recommend_batch(users, k=5)
+    for batch_user, row in zip(users, batch_recommendations):
+        print(f"Top-5 items for user {int(batch_user)}: {row.tolist()}")
 
 
 if __name__ == "__main__":

@@ -5,7 +5,10 @@ on triplet batches drawn by the same :class:`~repro.data.batching.TripletBatcher
 used by MAR/MARS, which keeps the comparison fair.  Subclasses implement
 :meth:`_build` (create parameters), :meth:`_batch_loss` (differentiable loss
 of one batch) and :meth:`_score_pairs_numpy` (fast inference), and optionally
-:meth:`_post_step` (norm constraints) and :meth:`_on_epoch_start`.
+:meth:`_post_step` (norm constraints), :meth:`_on_epoch_start` and
+:meth:`_score_matrix_numpy` (vectorised batch scoring backing
+:meth:`~repro.core.base.BaseRecommender.score_items_batch`; the default loops
+over :meth:`_score_pairs_numpy` one user at a time).
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from repro.autograd.optim import Adagrad, Optimizer, SGD
 from repro.core.base import BaseRecommender
 from repro.data.batching import TripletBatch, TripletBatcher
 from repro.data.interactions import InteractionMatrix
-from repro.utils.logging import get_logger
+from repro.utils.logging import enable_info, get_logger
 from repro.utils.validation import check_in_range, check_positive_int
 
 logger = get_logger("baselines")
@@ -71,6 +74,28 @@ class EmbeddingRecommender(BaseRecommender):
     def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
 
+    def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
+        """Score a ``(U,)`` user batch against a ``(U, C)`` candidate matrix.
+
+        Baselines with a closed-form scorer override this with a fully
+        vectorised implementation; the fallback loops over
+        :meth:`_score_pairs_numpy`.
+        """
+        scores = np.empty(item_matrix.shape, dtype=np.float64)
+        for row, user in enumerate(users):
+            scores[row] = self._score_pairs_numpy(int(user), item_matrix[row])
+        return scores
+
+    def _euclidean_score_matrix(self, users: np.ndarray,
+                                item_matrix: np.ndarray) -> np.ndarray:
+        """Shared batch scorer for the metric-learning baselines that rank by
+        ``-‖u − v‖²`` between plain user/item embeddings (CML, MetricF, SML).
+        """
+        net = self.network
+        user_vecs = net.user_embeddings.weight.data[users][:, None, :]  # (U, 1, D)
+        item_vecs = net.item_embeddings.weight.data[item_matrix]        # (U, C, D)
+        return -np.sum((item_vecs - user_vecs) ** 2, axis=-1)
+
     def _post_step(self) -> None:
         """Hook applied after every optimizer step (e.g. norm clipping)."""
 
@@ -90,6 +115,8 @@ class EmbeddingRecommender(BaseRecommender):
         )
         optimizer = self._make_optimizer()
         self.loss_history_ = []
+        if self.verbose:
+            enable_info(logger)
         for epoch in range(self.n_epochs):
             self._on_epoch_start(epoch, interactions)
             epoch_loss, n_batches = 0.0, 0
@@ -104,8 +131,8 @@ class EmbeddingRecommender(BaseRecommender):
             mean_loss = epoch_loss / max(n_batches, 1)
             self.loss_history_.append(mean_loss)
             if self.verbose:
-                logger.warning("%s epoch %d/%d loss %.4f",
-                               self.name, epoch + 1, self.n_epochs, mean_loss)
+                logger.info("%s epoch %d/%d loss %.4f",
+                            self.name, epoch + 1, self.n_epochs, mean_loss)
 
     def _make_optimizer(self) -> Optimizer:
         parameters = self.network.parameters()
@@ -120,6 +147,14 @@ class EmbeddingRecommender(BaseRecommender):
         if self.network is None:
             raise RuntimeError(f"{type(self).__name__} must be fitted before scoring")
         return self._score_pairs_numpy(int(user), np.asarray(items, dtype=np.int64))
+
+    def score_items_batch(self, users: Sequence[int],
+                          item_matrix: np.ndarray) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before scoring")
+        users = np.asarray(users, dtype=np.int64)
+        item_matrix = self._broadcast_candidates(users, item_matrix)
+        return self._score_matrix_numpy(users, item_matrix)
 
     def get_parameters(self) -> Dict[str, np.ndarray]:
         if self.network is None:

@@ -59,3 +59,10 @@ class BPR(EmbeddingRecommender):
         user_vec = net.user_embeddings.weight.data[user]
         item_vecs = net.item_embeddings.weight.data[items]
         return item_vecs @ user_vec + net.item_bias.data[items]
+
+    def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
+        net: _BPRNetwork = self.network
+        user_vecs = net.user_embeddings.weight.data[users]          # (U, D)
+        item_vecs = net.item_embeddings.weight.data[item_matrix]    # (U, C, D)
+        dots = np.matmul(item_vecs, user_vecs[:, :, None])[..., 0]  # (U, C)
+        return dots + net.item_bias.data[item_matrix]

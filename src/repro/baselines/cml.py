@@ -70,3 +70,6 @@ class CML(EmbeddingRecommender):
         item_vecs = net.item_embeddings.weight.data[items]
         distances = np.sum((item_vecs - user_vec) ** 2, axis=-1)
         return -distances
+
+    def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
+        return self._euclidean_score_matrix(users, item_matrix)

@@ -90,3 +90,17 @@ class LRML(EmbeddingRecommender):
         relation = attention @ net.memory_slots.data
         translated = user_vec + relation
         return -np.sum((translated - item_vecs) ** 2, axis=-1)
+
+    def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
+        net: _LRMLNetwork = self.network
+        user_vecs = net.user_embeddings.weight.data[users][:, None, :]  # (U, 1, D)
+        item_vecs = net.item_embeddings.weight.data[item_matrix]        # (U, C, D)
+
+        joint = user_vecs * item_vecs
+        logits = joint @ net.memory_keys.data                           # (U, C, M)
+        logits = logits - logits.max(axis=-1, keepdims=True)
+        attention = np.exp(logits)
+        attention = attention / attention.sum(axis=-1, keepdims=True)
+        relation = attention @ net.memory_slots.data                    # (U, C, D)
+        translated = user_vecs + relation
+        return -np.sum((translated - item_vecs) ** 2, axis=-1)

@@ -72,3 +72,14 @@ class NeuMF(EmbeddingRecommender):
         with no_grad():
             logits = net.predict_logits(users, items)
         return logits.data.copy()
+
+    def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
+        net: _NeuMFNetwork = self.network
+        n_users, n_candidates = item_matrix.shape
+        flat_users = np.repeat(users, n_candidates)
+        flat_items = item_matrix.reshape(-1)
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            logits = net.predict_logits(flat_users, flat_items)
+        return logits.data.reshape(n_users, n_candidates).copy()

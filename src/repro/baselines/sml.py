@@ -94,3 +94,6 @@ class SML(EmbeddingRecommender):
         user_vec = net.user_embeddings.weight.data[user]
         item_vecs = net.item_embeddings.weight.data[items]
         return -np.sum((item_vecs - user_vec) ** 2, axis=-1)
+
+    def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
+        return self._euclidean_score_matrix(users, item_matrix)

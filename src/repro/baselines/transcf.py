@@ -103,3 +103,13 @@ class TransCF(EmbeddingRecommender):
         relation = self._user_context[user] * self._item_context[items]
         translated = user_vec[None, :] + relation
         return -np.sum((translated - item_vecs) ** 2, axis=-1)
+
+    def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
+        net: _TransCFNetwork = self.network
+        if self._user_context.size == 0:
+            self._on_epoch_start(0, self._require_fitted())
+        user_vecs = net.user_embeddings.weight.data[users][:, None, :]      # (U, 1, D)
+        item_vecs = net.item_embeddings.weight.data[item_matrix]            # (U, C, D)
+        relation = self._user_context[users][:, None, :] * self._item_context[item_matrix]
+        translated = user_vecs + relation
+        return -np.sum((translated - item_vecs) ** 2, axis=-1)

@@ -86,8 +86,15 @@ class TripletBatcher:
         return self._rng.choice(self._active_users, size=size)
 
     def sample_batch(self, batch_size: Optional[int] = None) -> TripletBatch:
-        """Draw a single triplet batch."""
-        size = batch_size or self.batch_size
+        """Draw a single triplet batch.
+
+        ``batch_size`` overrides the configured size for this draw only; it
+        must be a positive integer when given.
+        """
+        if batch_size is None:
+            size = self.batch_size
+        else:
+            size = check_positive_int(batch_size, "batch_size")
         users = self._sample_users(size)
         positives = np.empty(size, dtype=np.int64)
         for index, user in enumerate(users):

@@ -52,9 +52,46 @@ class UniformNegativeSampler:
             negatives[slot] = item
         return negatives
 
+    def _propose(self, size: int) -> np.ndarray:
+        """Draw ``size`` candidate items from the sampler's proposal distribution."""
+        return self._rng.integers(0, self.interactions.n_items, size=size).astype(np.int64)
+
     def sample_batch(self, users: np.ndarray) -> np.ndarray:
-        """Draw one negative item per user in ``users``."""
-        return np.array([self.sample(int(user), 1)[0] for user in users], dtype=np.int64)
+        """Draw one negative item per user in ``users`` (vectorised rejection).
+
+        The whole batch is proposed at once; only the slots that collided
+        with an observed interaction are redrawn, so the expected number of
+        proposal rounds is ``O(log(batch) / log(1 / density))`` instead of
+        one Python-level rejection loop per user.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        matrix = self.interactions.csr()
+        negatives = self._propose(users.size)
+        pending = np.flatnonzero(
+            np.asarray(matrix[users, negatives]).ravel() != 0
+        )
+        for _ in range(self.max_rejections):
+            if pending.size == 0:
+                break
+            negatives[pending] = self._propose(pending.size)
+            still_positive = np.asarray(
+                matrix[users[pending], negatives[pending]]
+            ).ravel() != 0
+            pending = pending[still_positive]
+        for slot in pending:
+            # Extremely dense user: fall back to explicit enumeration.
+            positives = self._positive_sets[int(users[slot])]
+            if len(positives) >= self.interactions.n_items:
+                raise ValueError(f"user {int(users[slot])} has interacted with every "
+                                 "item; cannot sample negatives")
+            candidates = np.setdiff1d(
+                np.arange(self.interactions.n_items),
+                np.fromiter(positives, dtype=np.int64),
+            )
+            negatives[slot] = int(self._rng.choice(candidates))
+        return negatives
 
 
 class PopularityNegativeSampler(UniformNegativeSampler):
@@ -72,6 +109,10 @@ class PopularityNegativeSampler(UniformNegativeSampler):
         degrees = interactions.item_degrees().astype(np.float64)
         weights = (degrees + 1.0) ** self.exponent
         self._item_probs = weights / weights.sum()
+
+    def _propose(self, size: int) -> np.ndarray:
+        return self._rng.choice(self.interactions.n_items, size=size,
+                                p=self._item_probs).astype(np.int64)
 
     def sample(self, user: int, size: int = 1) -> np.ndarray:
         positives = self._positive_sets[user]

@@ -4,6 +4,13 @@ For every evaluable user, the held-out item is ranked against 100 items the
 user never interacted with; HR@K and nDCG@K are averaged over users.  The
 same sampled negative candidates are reused across models (given the same
 seed) so that comparisons are paired.
+
+Scoring is batched by default: the per-user candidate lists are stacked into
+a ``(U, 1 + n_negatives)`` matrix and scored with a single
+:meth:`~repro.core.base.BaseRecommender.score_items_batch` call per candidate
+width, which lets vectorised models (MAR/MARS and the embedding baselines)
+evaluate an order of magnitude faster than the per-user loop.  Both paths
+produce identical metrics; pass ``batched=False`` to force the loop.
 """
 
 from __future__ import annotations
@@ -19,6 +26,11 @@ from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 from repro.eval import metrics as M
 
+#: Cap on candidate-score elements requested per score_items_batch call; at
+#: the default 101-wide candidate lists this scores ~10k users per chunk,
+#: keeping the vectorised models' scratch arrays bounded at any user count.
+_EVAL_BATCH_ELEMENT_BUDGET = 1_000_000
+
 
 @dataclass
 class EvaluationResult:
@@ -32,8 +44,13 @@ class EvaluationResult:
         return self.metrics[key]
 
     def as_row(self, keys: Optional[Sequence[str]] = None) -> List[float]:
-        """Metric values in a stable order (for table formatting)."""
-        keys = keys or sorted(self.metrics)
+        """Metric values in a stable order (for table formatting).
+
+        An explicitly empty ``keys`` sequence yields an empty row; all
+        metrics (sorted by name) are returned only when ``keys`` is ``None``.
+        """
+        if keys is None:
+            keys = sorted(self.metrics)
         return [self.metrics[key] for key in keys]
 
 
@@ -108,14 +125,83 @@ class LeaveOneOutEvaluator:
         return self._candidates[int(user)].copy()
 
     # ------------------------------------------------------------------ #
-    def evaluate(self, model: BaseRecommender) -> EvaluationResult:
-        """Evaluate a fitted model and return aggregated metrics."""
+    def evaluate(self, model: BaseRecommender, batched: bool = True) -> EvaluationResult:
+        """Evaluate a fitted model and return aggregated metrics.
+
+        Parameters
+        ----------
+        model:
+            A fitted recommender.
+        batched:
+            When true (default) the candidate lists are stacked into a
+            ``(U, 1 + n_negatives)`` matrix and scored through
+            :meth:`~repro.core.base.BaseRecommender.score_items_batch`;
+            when false each user is scored individually through
+            :meth:`~repro.core.base.BaseRecommender.score_items`.  Both
+            paths produce identical metrics.
+        """
         if not model.is_fitted:
             raise RuntimeError("evaluate() requires a fitted model")
+        if batched:
+            return self._evaluate_batched(model)
+        return self._evaluate_per_user(model)
 
-        metric_names = [f"hr@{k}" for k in self.cutoffs] + [f"ndcg@{k}" for k in self.cutoffs]
-        per_user: Dict[str, List[float]] = {name: [] for name in metric_names}
-        per_user["mrr"] = []
+    def _metric_names(self) -> List[str]:
+        names = [f"hr@{k}" for k in self.cutoffs] + [f"ndcg@{k}" for k in self.cutoffs]
+        names.append("mrr")
+        return names
+
+    def _evaluate_batched(self, model: BaseRecommender) -> EvaluationResult:
+        """Score all users in stacked batches and compute metrics from ranks.
+
+        The held-out target sits at column 0 of every candidate row and never
+        reappears among the negatives, so under the stable descending sort of
+        the per-user path its rank equals the number of candidates with a
+        strictly greater score — which lets every metric be computed without
+        materialising the sorted lists.
+        """
+        users = list(self._candidates)
+        n_users = len(users)
+        per_user: Dict[str, np.ndarray] = {
+            name: np.zeros(n_users) for name in self._metric_names()
+        }
+
+        # Candidate lists can (rarely) be ragged when a user's negative pool
+        # is smaller than n_negatives; batch the users of each width together.
+        # Each width group is further chunked so the scorers' (chunk, width)
+        # scratch arrays stay memory-bounded at any user count.
+        widths = np.array([self._candidates[user].size for user in users])
+        for width in np.unique(widths):
+            group_rows = np.flatnonzero(widths == width)
+            chunk = max(1, _EVAL_BATCH_ELEMENT_BUDGET // int(width))
+            for start in range(0, group_rows.size, chunk):
+                rows = group_rows[start:start + chunk]
+                group = np.array([users[row] for row in rows], dtype=np.int64)
+                matrix = np.stack([self._candidates[int(user)] for user in group])
+                scores = np.asarray(model.score_items_batch(group, matrix),
+                                    dtype=np.float64)
+                if scores.shape != matrix.shape:
+                    raise ValueError(
+                        f"{type(model).__name__}.score_items_batch returned shape "
+                        f"{scores.shape}, expected {matrix.shape}"
+                    )
+                ranks = np.sum(scores > scores[:, :1], axis=1)
+                for k in self.cutoffs:
+                    hit = ranks < min(k, width)
+                    per_user[f"hr@{k}"][rows] = hit.astype(np.float64)
+                    per_user[f"ndcg@{k}"][rows] = np.where(
+                        hit, 1.0 / np.log2(ranks + 2.0), 0.0
+                    )
+                per_user["mrr"][rows] = 1.0 / (ranks + 1.0)
+
+        aggregated = {name: float(np.mean(values)) if n_users else 0.0
+                      for name, values in per_user.items()}
+        return EvaluationResult(metrics=aggregated, per_user=per_user,
+                                n_users=n_users)
+
+    def _evaluate_per_user(self, model: BaseRecommender) -> EvaluationResult:
+        """Reference implementation: one ``score_items`` call per user."""
+        per_user: Dict[str, List[float]] = {name: [] for name in self._metric_names()}
 
         for user, candidates in self._candidates.items():
             target = int(candidates[0])

@@ -38,6 +38,25 @@ def get_logger(name: str) -> logging.Logger:
 
 
 def set_verbosity(level: int) -> None:
-    """Set the log level for the whole ``repro`` logger hierarchy."""
+    """Set the log level for the whole ``repro`` logger hierarchy.
+
+    Also clears any explicit level a child logger picked up through
+    :func:`enable_info`, so this call is always authoritative.
+    """
     _configure_root()
+    for name, child in logging.Logger.manager.loggerDict.items():
+        if isinstance(child, logging.Logger) and name.startswith("repro."):
+            child.setLevel(logging.NOTSET)
     logging.getLogger("repro").setLevel(level)
+
+
+def enable_info(logger: logging.Logger) -> None:
+    """Let ``logger`` emit INFO records while the library root stays at WARNING.
+
+    Used by trainers when ``verbose=True``: records still propagate to the
+    root handler (handlers don't re-check logger levels), so only the one
+    namespaced logger becomes chatty.
+    """
+    _configure_root()
+    if logger.getEffectiveLevel() > logging.INFO:
+        logger.setLevel(logging.INFO)
