@@ -17,7 +17,20 @@ _EPS = 1e-12
 
 
 class Optimizer:
-    """Base class holding the parameter list and shared bookkeeping."""
+    """Base class holding the parameter list and shared bookkeeping.
+
+    Besides the classic :meth:`step` (consume the ``.grad`` of every managed
+    parameter), optimizers supporting the fused training engine expose two
+    out-of-band entry points that take gradients as explicit arguments:
+
+    * :meth:`step_dense` — update one parameter from a full-shape gradient;
+    * :meth:`step_rows` — update only the given rows of a parameter from a
+      ``(len(rows), ...)`` gradient block, so a sparse batch update never
+      materialises an ``(n_rows, D)`` gradient buffer.
+
+    Both are numerically identical to :meth:`step` on a gradient that is zero
+    outside the given rows.
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
         self.parameters: List[Parameter] = list(parameters)
@@ -34,6 +47,17 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def step_dense(self, parameter: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support out-of-band dense updates"
+        )
+
+    def step_rows(self, parameter: Parameter, rows: np.ndarray,
+                  row_grads: np.ndarray) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sparse row updates"
+        )
 
 
 class SGD(Optimizer):
@@ -52,19 +76,35 @@ class SGD(Optimizer):
         for parameter in self.parameters:
             if parameter.grad is None:
                 continue
-            grad = parameter.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
-            if self.momentum:
-                velocity = self._velocity.get(id(parameter))
-                if velocity is None:
-                    velocity = np.zeros_like(parameter.data)
-                velocity = self.momentum * velocity + grad
-                self._velocity[id(parameter)] = velocity
-                update = velocity
-            else:
-                update = grad
-            parameter.data = parameter.data - self.lr * update
+            self.step_dense(parameter, parameter.grad)
+
+    def step_dense(self, parameter: Parameter, grad: np.ndarray) -> None:
+        """Apply one SGD update to ``parameter`` from an explicit gradient."""
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        if self.momentum:
+            velocity = self._velocity.get(id(parameter))
+            if velocity is None:
+                velocity = np.zeros_like(parameter.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[id(parameter)] = velocity
+            update = velocity
+        else:
+            update = grad
+        parameter.data = parameter.data - self.lr * update
+
+    def step_rows(self, parameter: Parameter, rows: np.ndarray,
+                  row_grads: np.ndarray) -> None:
+        """Update only ``parameter.data[rows]`` (rows must be unique).
+
+        Momentum and weight decay are stateful over the *full* parameter, so
+        they cannot be reproduced from a row slice; the multi-facet models
+        use neither on their sparse tables.
+        """
+        if self.momentum or self.weight_decay:
+            raise ValueError("sparse row updates require momentum=0 and "
+                             "weight_decay=0")
+        parameter.data[rows] = parameter.data[rows] - self.lr * row_grads
 
 
 class Adagrad(Optimizer):
@@ -157,49 +197,49 @@ class RiemannianSGD(Optimizer):
         self.weight_decay = float(weight_decay)
 
     # ------------------------------------------------------------------ #
-    def _spherical_update(self, parameter: Parameter) -> None:
-        x = parameter.data
-        grad = parameter.grad
-        if x.ndim == 1:
-            x = x[None, :]
-            grad = grad[None, :]
-            squeeze = True
-        else:
-            squeeze = False
-
-        grad_norm = np.linalg.norm(grad, axis=-1, keepdims=True)
-        # Rows with a zero gradient stay put.
-        safe_norm = np.maximum(grad_norm, _EPS)
-
-        # Tangent-space projection: (I - x xᵀ) ∇f(x), computed row-wise.
-        radial = np.sum(x * grad, axis=-1, keepdims=True)
-        tangent = grad - radial * x
-
-        if self.calibrate:
-            calibration = 1.0 + radial / safe_norm
-        else:
-            calibration = np.ones_like(radial)
-
-        step = -self.lr * calibration * tangent
-        updated = x + step
-        norms = np.maximum(np.linalg.norm(updated, axis=-1, keepdims=True), _EPS)
-        updated = updated / norms
-        # Rows that had no gradient signal keep their previous value exactly.
-        updated = np.where(grad_norm > 0, updated, x)
-
-        parameter.data = updated[0] if squeeze else updated
-
-    def _euclidean_update(self, parameter: Parameter) -> None:
-        grad = parameter.grad
-        if self.weight_decay:
-            grad = grad + self.weight_decay * parameter.data
-        parameter.data = parameter.data - self.euclidean_lr * grad
-
     def step(self) -> None:
         for parameter in self.parameters:
             if parameter.grad is None:
                 continue
-            if getattr(parameter, "spherical", False):
-                self._spherical_update(parameter)
+            self.step_dense(parameter, parameter.grad)
+
+    def step_dense(self, parameter: Parameter, grad: np.ndarray) -> None:
+        """Apply one update to ``parameter`` from an explicit full gradient."""
+        # Imported lazily: repro.core depends on repro.autograd at import
+        # time, so the reverse import must not run while this module loads.
+        from repro.core.spherical import riemannian_update_rows
+
+        if getattr(parameter, "spherical", False):
+            x = parameter.data
+            if x.ndim == 1:
+                updated = riemannian_update_rows(x[None, :], grad[None, :],
+                                                 lr=self.lr,
+                                                 calibrate=self.calibrate)
+                parameter.data = updated[0]
             else:
-                self._euclidean_update(parameter)
+                parameter.data = riemannian_update_rows(
+                    x, grad, lr=self.lr, calibrate=self.calibrate)
+        else:
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            parameter.data = parameter.data - self.euclidean_lr * grad
+
+    def step_rows(self, parameter: Parameter, rows: np.ndarray,
+                  row_grads: np.ndarray) -> None:
+        """Update only ``parameter.data[rows]`` (rows must be unique).
+
+        Spherical parameters get the calibrated Riemannian step of Eq. 21 on
+        just the selected rows; Euclidean ones a plain SGD row update.  Rows
+        whose gradient block is zero keep their value exactly, matching the
+        dense :meth:`step` on a gradient that is zero outside ``rows``.
+        """
+        from repro.core.spherical import riemannian_update_rows
+
+        if getattr(parameter, "spherical", False):
+            parameter.data[rows] = riemannian_update_rows(
+                parameter.data[rows], row_grads,
+                lr=self.lr, calibrate=self.calibrate)
+        else:
+            if self.weight_decay:
+                raise ValueError("sparse row updates require weight_decay=0")
+            parameter.data[rows] = parameter.data[rows] - self.euclidean_lr * row_grads

@@ -6,7 +6,7 @@ from repro.core.config import MARConfig, MARSConfig
 from repro.core.margins import adaptive_margins
 from repro.core.mar import MAR
 from repro.core.mars import MARS
-from repro.core import losses, similarity, spherical
+from repro.core import fused, losses, similarity, spherical
 
 __all__ = [
     "BaseRecommender",
@@ -15,6 +15,7 @@ __all__ = [
     "adaptive_margins",
     "MAR",
     "MARS",
+    "fused",
     "losses",
     "similarity",
     "spherical",

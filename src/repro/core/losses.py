@@ -9,16 +9,25 @@
 
 All functions return scalar tensors and are shared by MAR (Euclidean mode)
 and MARS (spherical mode).
+
+Each objective also has a plain NumPy ``*_numpy`` variant that returns the
+loss value *and* its analytic gradient in one pass.  These closed forms back
+the fused training engine (:mod:`repro.core.fused`); they are tested for
+~1e-10 agreement against the autograd path, and use the same epsilon
+conventions as :mod:`repro.autograd.functional` so the two paths differ only
+by floating-point rounding.
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Tuple, Union
 
 import numpy as np
 
 from repro.autograd import Tensor
 from repro.autograd import functional as F
+
+_EPS = 1e-12
 
 
 def push_loss(positive_similarity: Tensor, negative_similarity: Tensor,
@@ -41,8 +50,8 @@ def pull_loss(positive_similarity: Tensor) -> Tensor:
     return (positive_similarity * -1.0).mean()
 
 
-def facet_separating_loss(facet_embeddings: List[Tensor], alpha: float = 0.1,
-                          spherical: bool = False) -> Tensor:
+def facet_separating_loss(facet_embeddings: Union[Tensor, List[Tensor]],
+                          alpha: float = 0.1, spherical: bool = False) -> Tensor:
     """Spread the facet-specific embeddings of each entity across spaces.
 
     Euclidean mode implements Eq. 6: for every pair of facets (i, j) the loss
@@ -56,38 +65,45 @@ def facet_separating_loss(facet_embeddings: List[Tensor], alpha: float = 0.1,
     we flip the sign so the loss matches the paper's stated intent of
     encouraging diversity among facet spaces — see DESIGN.md.)
 
+    All ``K·(K−1)/2`` facet pairs are evaluated on a single stacked
+    ``(K, B, D)`` tensor — two gathers and one batched pairwise op — rather
+    than ``K²`` separate graph branches, so the graph size is constant in K.
+
     Parameters
     ----------
     facet_embeddings:
-        List of K tensors of shape ``(B, D)`` — the same batch of entities
-        projected into each facet space.
+        Stacked tensor of shape ``(K, B, D)``, or a list of K tensors of
+        shape ``(B, D)`` — the same batch of entities projected into each
+        facet space.
     alpha:
         Scale hyperparameter (paper default 0.1).
     spherical:
         Select the cosine-based variant.
     """
-    n_facets = len(facet_embeddings)
-    if n_facets < 2:
-        return Tensor(0.0)
     if alpha <= 0:
         raise ValueError(f"alpha must be positive, got {alpha}")
+    if isinstance(facet_embeddings, Tensor):
+        stacked = facet_embeddings
+    else:
+        if len(facet_embeddings) < 2:
+            return Tensor(0.0)
+        stacked = Tensor.stack(facet_embeddings, axis=0)
+    n_facets = stacked.shape[0]
+    if n_facets < 2:
+        return Tensor(0.0)
 
-    total = None
-    for i in range(n_facets):
-        for j in range(i + 1, n_facets):
-            if spherical:
-                closeness = F.cosine_similarity(
-                    facet_embeddings[i], facet_embeddings[j], axis=-1
-                )
-                pairwise = F.softplus(closeness * alpha) * (1.0 / alpha)
-            else:
-                distance = F.squared_euclidean(
-                    facet_embeddings[i], facet_embeddings[j], axis=-1
-                )
-                pairwise = F.softplus(distance * -alpha) * (1.0 / alpha)
-            term = pairwise.mean()
-            total = term if total is None else total + term
-    return total
+    pair_i, pair_j = np.triu_indices(n_facets, k=1)
+    left = stacked[pair_i]    # (P, B, D)
+    right = stacked[pair_j]   # (P, B, D)
+    if spherical:
+        closeness = F.cosine_similarity(left, right, axis=-1)       # (P, B)
+        pairwise = F.softplus(closeness * alpha) * (1.0 / alpha)
+    else:
+        distance = F.squared_euclidean(left, right, axis=-1)        # (P, B)
+        pairwise = F.softplus(distance * -alpha) * (1.0 / alpha)
+    # Mean over the batch, summed over facet pairs (matches the historical
+    # per-pair ``mean()`` accumulation exactly).
+    return pairwise.mean(axis=1).sum()
 
 
 def combined_objective(positive_similarity: Tensor, negative_similarity: Tensor,
@@ -106,3 +122,95 @@ def combined_objective(positive_similarity: Tensor, negative_similarity: Tensor,
         )
         loss = loss + separation * lambda_facet
     return loss
+
+
+# --------------------------------------------------------------------------- #
+# closed-form (NumPy) variants used by the fused training engine
+# --------------------------------------------------------------------------- #
+def _softplus_numpy(x: np.ndarray) -> np.ndarray:
+    """``log(1 + exp(x))`` with the same stabilisation as :func:`F.softplus`."""
+    return np.maximum(x, 0.0) + np.log(1.0 + np.exp(-np.abs(x)))
+
+
+def _sigmoid_numpy(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid — the exact derivative of :func:`_softplus_numpy`."""
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def push_loss_numpy(positive_similarity: np.ndarray, negative_similarity: np.ndarray,
+                    margins: Union[np.ndarray, float]
+                    ) -> Tuple[float, np.ndarray, np.ndarray]:
+    """:func:`push_loss` with its gradients wrt the two similarity vectors.
+
+    Returns ``(loss, d loss/d positive, d loss/d negative)``; the hinge uses
+    the same strict-inequality subgradient (zero at the kink) as the autograd
+    :meth:`~repro.autograd.tensor.Tensor.clip_min` op.
+    """
+    violations = margins - positive_similarity + negative_similarity
+    active = violations > 0
+    batch = positive_similarity.shape[0]
+    loss = float(np.sum(violations * active) / batch)
+    grad_negative = active / batch
+    return loss, -grad_negative, grad_negative
+
+
+def pull_loss_numpy(positive_similarity: np.ndarray) -> Tuple[float, np.ndarray]:
+    """:func:`pull_loss` with its gradient wrt the positive similarities."""
+    batch = positive_similarity.shape[0]
+    loss = float(-np.sum(positive_similarity) / batch)
+    return loss, np.full(batch, -1.0 / batch)
+
+
+def facet_separating_loss_numpy(stacked: np.ndarray, alpha: float = 0.1,
+                                spherical: bool = False
+                                ) -> Tuple[float, np.ndarray]:
+    """:func:`facet_separating_loss` with its gradient, on a ``(K, B, D)`` stack.
+
+    Works on the all-pairs Gram tensor ``G_{kj} = x_k · x_j`` instead of
+    gathered facet pairs, so both the value and the gradient come out of two
+    ``K²·B·D`` contractions plus cheap ``(K, K, B)`` elementwise algebra.
+
+    Derivation (per facet pair ``(k, j)``, per batch row, mean over the batch
+    of size B):
+
+    * Euclidean — with ``d = ‖x_k − x_j‖² = G_kk + G_jj − 2 G_kj`` the
+      pairwise term is ``softplus(−α d)/α``, so ``∂/∂d = −σ(−α d)`` and
+      ``∂d/∂x_k = 2 (x_k − x_j)``; summing over partners j with the
+      symmetric, zero-diagonal coefficients ``C_kj = −σ(−α d_kj)/B`` gives
+      ``∂L/∂x_k = 2 (Σ_j C_kj) x_k − 2 Σ_j C_kj x_j``;
+    * spherical — with ``c = cos(x_k, x_j) = G_kj/(n_k n_j)`` (ε-stabilised
+      norms, matching :func:`F.cosine_similarity`) the term is
+      ``softplus(α c)/α``, so ``∂/∂c = σ(α c)`` and
+      ``∂c/∂x_k = x_j/(n_k n_j) − c·x_k/n_k²``, accumulated the same way.
+    """
+    n_facets, batch = stacked.shape[0], stacked.shape[1]
+    grad = np.zeros_like(stacked)
+    if n_facets < 2:
+        return 0.0, grad
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+
+    gram = np.einsum("kbd,jbd->kjb", stacked, stacked)              # (K, K, B)
+    diagonal = np.arange(n_facets)
+    squared = gram[diagonal, diagonal]                              # (K, B)
+    pair_i, pair_j = np.triu_indices(n_facets, k=1)
+    if spherical:
+        squared = squared + _EPS
+        inv_norms = 1.0 / np.sqrt(squared[:, None, :] * squared[None, :, :])
+        closeness = gram * inv_norms                                # (K, K, B)
+        loss = float(np.sum(_softplus_numpy(
+            alpha * closeness[pair_i, pair_j])) / (alpha * batch))
+        coef = _sigmoid_numpy(alpha * closeness) / batch
+        coef[diagonal, diagonal] = 0.0
+        grad = np.einsum("kjb,jbd->kbd", coef * inv_norms, stacked)
+        grad -= (np.sum(coef * closeness, axis=1)
+                 / squared)[..., None] * stacked
+    else:
+        distances = squared[:, None, :] + squared[None, :, :] - 2.0 * gram
+        loss = float(np.sum(_softplus_numpy(
+            -alpha * distances[pair_i, pair_j])) / (alpha * batch))
+        coef = -_sigmoid_numpy(-alpha * distances) / batch
+        coef[diagonal, diagonal] = 0.0
+        grad = 2.0 * (np.sum(coef, axis=1)[..., None] * stacked
+                      - np.einsum("kjb,jbd->kbd", coef, stacked))
+    return loss, grad

@@ -4,9 +4,20 @@ The facet-specific similarity becomes cosine similarity, universal embeddings
 are constrained exactly onto the unit hypersphere, and they are updated with
 the calibrated Riemannian SGD of Eq. 21.  Projection matrices and facet
 weights remain Euclidean parameters.
+
+Training runs on the fused closed-form engine by default
+(``engine="fused"``, see :mod:`repro.core.fused`): analytic gradients, with
+the tangent projection + retraction of Eq. 21 applied row-wise to only the
+embedding rows a batch touched.  ``engine="autograd"`` selects the
+reverse-mode reference path; both produce identical loss curves from the
+same seed up to float tolerance.
 """
 
 from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
 
 from repro.autograd.optim import Optimizer, RiemannianSGD
 from repro.core._multifacet import MultiFacetRecommender, _MultiFacetNetwork
@@ -52,9 +63,12 @@ class MARS(MultiFacetRecommender):
             euclidean_lr=euclidean_lr,
         )
 
-    def _apply_constraints(self, network: _MultiFacetNetwork) -> None:
+    def _apply_constraints(self, network: _MultiFacetNetwork,
+                           user_rows: Optional[np.ndarray] = None,
+                           item_rows: Optional[np.ndarray] = None) -> None:
         # Eq. 17: every embedding lies exactly on the unit sphere.  Riemannian
         # SGD already retracts onto the sphere; the explicit projection guards
-        # against numerical drift.
-        network.user_embeddings.project_to_sphere()
-        network.item_embeddings.project_to_sphere()
+        # against numerical drift.  Only the rows a step retracted can drift,
+        # so the guard is restricted to them when given.
+        network.user_embeddings.project_to_sphere(rows=user_rows)
+        network.item_embeddings.project_to_sphere(rows=item_rows)

@@ -43,6 +43,51 @@ def calibration_factor(points: np.ndarray, gradients: np.ndarray) -> np.ndarray:
     return 1.0 + radial / np.maximum(norms, _EPS)
 
 
+def riemannian_update_rows(points: np.ndarray, gradients: np.ndarray,
+                           lr: float, calibrate: bool = True) -> np.ndarray:
+    """One calibrated Riemannian SGD step (Eq. 21) on a stack of sphere rows.
+
+    Applies, row-wise: tangent projection ``(I − x xᵀ) ∇f(x)``, the optional
+    calibration multiplier ``1 + xᵀ∇f(x) / ‖∇f(x)‖``, and the retraction
+    ``R_x(z) = (x + z) / ‖x + z‖``.  Rows with a zero gradient keep their
+    previous value exactly.  This is the update kernel shared by
+    :class:`~repro.autograd.optim.RiemannianSGD` (full tables) and the fused
+    training engine (only the rows a batch touched), so the two paths are
+    numerically identical.
+
+    Parameters
+    ----------
+    points:
+        Current positions on the unit sphere, shape ``(R, D)``.
+    gradients:
+        Euclidean gradients at ``points``, same shape.
+    lr:
+        Step size.
+    calibrate:
+        Apply the calibration factor of Eq. 21 (otherwise plain Riemannian
+        SGD, Eq. 20).
+    """
+    # Reductions via contraction einsums: same arithmetic as np.linalg.norm
+    # with less per-call overhead on the small row blocks of a batch update.
+    grad_norm = np.sqrt(np.einsum("rd,rd->r", gradients, gradients))[:, None]
+    safe_norm = np.maximum(grad_norm, _EPS)
+
+    radial = np.einsum("rd,rd->r", points, gradients)[:, None]
+
+    if calibrate:
+        calibration = 1.0 + radial / safe_norm
+    else:
+        calibration = np.ones_like(radial)
+
+    # x − η·c·(I − x xᵀ)∇ expanded to (1 + η·c·⟨x, ∇⟩)·x − η·c·∇, so the
+    # tangent vector never materialises.
+    step_size = lr * calibration
+    updated = (1.0 + step_size * radial) * points - step_size * gradients
+    norms = np.sqrt(np.einsum("rd,rd->r", updated, updated))[:, None]
+    updated = updated / np.maximum(norms, _EPS)
+    return np.where(grad_norm > 0, updated, points)
+
+
 def geodesic_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Great-circle distance between unit vectors along the last axis."""
     cosines = np.clip(np.sum(a * b, axis=-1), -1.0, 1.0)
@@ -83,15 +128,18 @@ def sample_vmf(mean_direction: np.ndarray, concentration: float, size: int,
     x0 = (1 - b) / (1 + b)
     c = concentration * x0 + (dim - 1) * np.log(1 - x0**2)
 
+    # Vectorised rejection: propose betas/uniforms for every still-pending
+    # sample in whole-batch rounds instead of one Python loop per sample.
+    # Wood's envelope accepts most proposals, so a couple of rounds suffice.
     cosines = np.empty(size)
-    for index in range(size):
-        while True:
-            z = rng.beta((dim - 1) / 2.0, (dim - 1) / 2.0)
-            w = (1 - (1 + b) * z) / (1 - (1 - b) * z)
-            u = rng.uniform()
-            if concentration * w + (dim - 1) * np.log(1 - x0 * w) - c >= np.log(u):
-                cosines[index] = w
-                break
+    pending = np.arange(size)
+    while pending.size:
+        z = rng.beta((dim - 1) / 2.0, (dim - 1) / 2.0, size=pending.size)
+        w = (1 - (1 + b) * z) / (1 - (1 - b) * z)
+        u = rng.uniform(size=pending.size)
+        accept = concentration * w + (dim - 1) * np.log(1 - x0 * w) - c >= np.log(u)
+        cosines[pending[accept]] = w[accept]
+        pending = pending[~accept]
 
     # Tangential directions orthogonal to mu.
     tangential = rng.normal(size=(size, dim))

@@ -70,9 +70,13 @@ class TripletBatcher:
         self._active_users = np.flatnonzero(degrees > 0)
         if self._active_users.size == 0:
             raise ValueError("no users with interactions")
-        self._positive_lists = [
-            interactions.items_of_user(int(user)) for user in range(interactions.n_users)
-        ]
+        # CSR-style positive lists — the interaction matrix's own indptr /
+        # indices arrays — so positive sampling is a single vectorised
+        # random-offset gather instead of a Python loop over per-user arrays.
+        matrix = interactions.csr()
+        self._positive_counts = degrees
+        self._positive_offsets = matrix.indptr.astype(np.int64)
+        self._positive_items = matrix.indices.astype(np.int64)
 
     # ------------------------------------------------------------------ #
     def n_batches_per_epoch(self) -> int:
@@ -96,10 +100,10 @@ class TripletBatcher:
         else:
             size = check_positive_int(batch_size, "batch_size")
         users = self._sample_users(size)
-        positives = np.empty(size, dtype=np.int64)
-        for index, user in enumerate(users):
-            candidates = self._positive_lists[int(user)]
-            positives[index] = candidates[self._rng.integers(0, len(candidates))]
+        # Sampled users always have at least one interaction, so the random
+        # offsets into each user's CSR slice are well defined.
+        offsets = self._rng.integers(0, self._positive_counts[users])
+        positives = self._positive_items[self._positive_offsets[users] + offsets]
         negatives = self._negative_sampler.sample_batch(users)
         return TripletBatch(users=users.astype(np.int64), positives=positives,
                             negatives=negatives)

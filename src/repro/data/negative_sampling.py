@@ -28,6 +28,24 @@ class UniformNegativeSampler:
             set(interactions.items_of_user(user).tolist())
             for user in range(interactions.n_users)
         ]
+        # Sorted encoded (user, item) keys: membership of a whole candidate
+        # batch is one searchsorted instead of a scipy fancy-index lookup,
+        # which keeps the training-loop sampling off the profile.
+        matrix = interactions.csr()
+        user_ids = np.repeat(np.arange(interactions.n_users, dtype=np.int64),
+                             np.diff(matrix.indptr))
+        self._pair_keys = np.sort(
+            user_ids * interactions.n_items + matrix.indices.astype(np.int64)
+        )
+
+    def _is_positive(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Vectorised membership test for ``(user, item)`` pairs."""
+        if self._pair_keys.size == 0:
+            return np.zeros(users.shape, dtype=bool)
+        keys = users * self.interactions.n_items + items
+        slots = np.searchsorted(self._pair_keys, keys)
+        slots = np.minimum(slots, self._pair_keys.size - 1)
+        return self._pair_keys[slots] == keys
 
     def sample(self, user: int, size: int = 1) -> np.ndarray:
         """Draw ``size`` negative items for ``user`` (with rejection)."""
@@ -67,18 +85,13 @@ class UniformNegativeSampler:
         users = np.asarray(users, dtype=np.int64)
         if users.size == 0:
             return np.empty(0, dtype=np.int64)
-        matrix = self.interactions.csr()
         negatives = self._propose(users.size)
-        pending = np.flatnonzero(
-            np.asarray(matrix[users, negatives]).ravel() != 0
-        )
+        pending = np.flatnonzero(self._is_positive(users, negatives))
         for _ in range(self.max_rejections):
             if pending.size == 0:
                 break
             negatives[pending] = self._propose(pending.size)
-            still_positive = np.asarray(
-                matrix[users[pending], negatives[pending]]
-            ).ravel() != 0
+            still_positive = self._is_positive(users[pending], negatives[pending])
             pending = pending[still_positive]
         for slot in pending:
             # Extremely dense user: fall back to explicit enumeration.

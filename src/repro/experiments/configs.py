@@ -54,15 +54,30 @@ def experiment_scale(name: str) -> ScalePreset:
 
 
 class ModelZoo:
-    """Factory for every model of Table II at a given experiment scale."""
+    """Factory for every model of Table II at a given experiment scale.
+
+    Parameters
+    ----------
+    scale:
+        ``"quick"`` or ``"full"`` (see :func:`experiment_scale`).
+    random_state:
+        Seed shared by every model the zoo creates.
+    engine:
+        Training engine for MAR/MARS — ``"fused"`` (default, closed-form
+        gradients) or ``"autograd"`` (reference reverse-mode path).  Both
+        yield identical seeded loss curves up to float tolerance, so every
+        experiment preset reproduces the same tables either way.
+    """
 
     #: Order used in Table II of the paper (baselines first, ours last).
     TABLE2_MODELS = ["BPR", "NMF", "NeuMF", "CML", "MetricF", "TransCF",
                      "LRML", "SML", "MAR", "MARS"]
 
-    def __init__(self, scale: str = "quick", random_state: int = 0) -> None:
+    def __init__(self, scale: str = "quick", random_state: int = 0,
+                 engine: str = "fused") -> None:
         self.scale = experiment_scale(scale)
         self.random_state = random_state
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     def available_models(self) -> List[str]:
@@ -116,6 +131,7 @@ class ModelZoo:
             "n_epochs": self.scale.n_epochs_multifacet,
             "batch_size": self.scale.batch_size,
             "learning_rate": learning_rate,
+            "engine": self.engine,
             "random_state": self.random_state,
         }
         kwargs.update(overrides)
