@@ -2,12 +2,41 @@
 
 Ensures the ``src`` layout is importable even when the package has not been
 installed (useful in fully offline environments where ``pip install -e .``
-cannot build an editable wheel).
+cannot build an editable wheel), and registers the ``slow`` marker.
+
+Tests marked ``slow`` (timing-sensitive speedup/throughput asserts) are
+deselected from default runs — the tier-1 command behaves as if
+``-m "not slow"`` were passed.  Opt in with ``-m slow`` (or any ``-m``
+expression naming the marker).  Benchmarks under ``benchmarks/`` are only
+ever collected by explicit path, so they always run as invoked.
 """
 
+import re
 import sys
 from pathlib import Path
 
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: timing-sensitive speedup/throughput assert; deselected by "
+        "default, run with -m slow")
+
+
+_BENCHMARKS_DIR = Path(__file__).parent / "benchmarks"
+
+
+def pytest_collection_modifyitems(config, items):
+    if re.search(r"\bslow\b", config.option.markexpr or ""):
+        return  # an explicit -m expression naming the marker decides what runs
+    skip_slow = pytest.mark.skip(reason="slow: run with -m slow")
+    for item in items:
+        if ("slow" in item.keywords
+                and not Path(str(item.fspath)).is_relative_to(_BENCHMARKS_DIR)):
+            item.add_marker(skip_slow)

@@ -133,10 +133,47 @@ def hinge_loss(positive_scores: Tensor, negative_scores: Tensor,
     return violations.mean()
 
 
-def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
-    """Bayesian Personalised Ranking loss ``-log σ(pos - neg)`` (mean)."""
-    diff = as_tensor(positive_scores) - as_tensor(negative_scores)
-    return (log_sigmoid(diff) * -1.0).mean()
+def hinge_push(violations: Tensor, reduction: str = "sum") -> Tensor:
+    """Reduce a block of hinge violations to the scalar push loss.
+
+    ``violations`` holds the pre-hinge margin violations, shape ``(B,)`` for
+    classic one-negative triplets or ``(B, N)`` for multi-negative blocks.
+    With ``reduction="sum"`` every negative contributes
+    (``mean_b Σ_n [v_bn]₊``); ``"hardest"`` keeps only the most violating
+    negative per example (``mean_b [max_n v_bn]₊``), with the gradient routed
+    to the first maximum at ties (see :meth:`Tensor.max`).
+    """
+    if reduction not in ("sum", "hardest"):
+        raise ValueError(f"reduction must be 'sum' or 'hardest', got {reduction!r}")
+    violations = as_tensor(violations)
+    if violations.ndim == 1:
+        return hinge(violations).mean()
+    if reduction == "hardest":
+        return hinge(violations.max(axis=1)).mean()
+    return hinge(violations).sum(axis=1).mean()
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor,
+             reduction: str = "sum") -> Tensor:
+    """Bayesian Personalised Ranking loss ``-log σ(pos - neg)``.
+
+    ``negative_scores`` may be ``(B,)`` (classic, mean over the batch) or a
+    ``(B, N)`` multi-negative block: ``reduction="sum"`` averages the
+    per-example *sum* over negatives, ``"hardest"`` scores only the
+    highest-scoring negative of each example.
+    """
+    if reduction not in ("sum", "hardest"):
+        raise ValueError(f"reduction must be 'sum' or 'hardest', got {reduction!r}")
+    positive_scores = as_tensor(positive_scores)
+    negative_scores = as_tensor(negative_scores)
+    if negative_scores.ndim == 1:
+        diff = positive_scores - negative_scores
+        return (log_sigmoid(diff) * -1.0).mean()
+    if reduction == "hardest":
+        diff = positive_scores - negative_scores.max(axis=1)
+        return (log_sigmoid(diff) * -1.0).mean()
+    diff = positive_scores.reshape(positive_scores.shape[0], 1) - negative_scores
+    return (log_sigmoid(diff) * -1.0).sum(axis=1).mean()
 
 
 def binary_cross_entropy(predictions: Tensor, targets: ArrayOrTensor) -> Tensor:

@@ -159,11 +159,12 @@ class Embedding(Module):
         exactly 1.0, so the restricted and full projections agree bitwise.
         """
         if rows is None:
-            norms = np.linalg.norm(self.weight.data, axis=1, keepdims=True)
+            norms = np.sqrt(np.einsum("rd,rd->r", self.weight.data,
+                                      self.weight.data))[:, None]
             self.weight.data = self.weight.data / np.maximum(norms, 1.0)
         else:
             block = self.weight.data[rows]
-            norms = np.linalg.norm(block, axis=1, keepdims=True)
+            norms = np.sqrt(np.einsum("rd,rd->r", block, block))[:, None]
             self.weight.data[rows] = block / np.maximum(norms, 1.0)
 
     def project_to_sphere(self, rows: Optional[np.ndarray] = None) -> None:

@@ -121,15 +121,39 @@ class Adagrad(Optimizer):
         for parameter in self.parameters:
             if parameter.grad is None:
                 continue
-            grad = parameter.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
-            acc = self._accumulator.get(id(parameter))
-            if acc is None:
-                acc = np.zeros_like(parameter.data)
-            acc = acc + grad ** 2
+            self.step_dense(parameter, parameter.grad)
+
+    def step_dense(self, parameter: Parameter, grad: np.ndarray) -> None:
+        """Apply one Adagrad update to ``parameter`` from an explicit gradient."""
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        acc = self._accumulator.get(id(parameter))
+        if acc is None:
+            acc = np.zeros_like(parameter.data)
+        acc = acc + grad ** 2
+        self._accumulator[id(parameter)] = acc
+        parameter.data = parameter.data - self.lr * grad / (np.sqrt(acc) + self.eps)
+
+    def step_rows(self, parameter: Parameter, rows: np.ndarray,
+                  row_grads: np.ndarray) -> None:
+        """Update only ``parameter.data[rows]`` (rows must be unique).
+
+        The squared-gradient accumulator lives at full parameter shape but is
+        only touched at ``rows``, so the update is numerically identical to
+        :meth:`step_dense` on a gradient that is zero outside ``rows``.
+        Weight decay is stateless over the full parameter and cannot be
+        reproduced from a row slice; the fused baselines apply it inside the
+        loss instead.
+        """
+        if self.weight_decay:
+            raise ValueError("sparse row updates require weight_decay=0")
+        acc = self._accumulator.get(id(parameter))
+        if acc is None:
+            acc = np.zeros_like(parameter.data)
             self._accumulator[id(parameter)] = acc
-            parameter.data = parameter.data - self.lr * grad / (np.sqrt(acc) + self.eps)
+        acc[rows] += row_grads ** 2
+        parameter.data[rows] = (parameter.data[rows]
+                                - self.lr * row_grads / (np.sqrt(acc[rows]) + self.eps))
 
 
 class Adam(Optimizer):

@@ -268,6 +268,38 @@ class Tensor:
             count = self.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Maximum along ``axis``, routing the gradient to the first maximum.
+
+        The subgradient convention matches ``np.argmax``: when several
+        elements tie for the maximum, only the first one (lowest index)
+        receives the upstream gradient.  This is the convention the fused
+        engine's hardest-negative reduction uses, so the two paths agree
+        exactly at ties.
+        """
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if axis is None:
+            flat_index = int(self.data.argmax())
+
+            def backward(grad: np.ndarray) -> None:
+                full = np.zeros_like(self.data)
+                full.reshape(-1)[flat_index] = np.asarray(grad).reshape(-1)[0]
+                self._accumulate(full)
+
+            return self._make_child(out_data, (self,), backward, "max")
+
+        argmax = np.expand_dims(self.data.argmax(axis=axis), axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            full = np.zeros_like(self.data)
+            np.put_along_axis(full, argmax, g, axis=axis)
+            self._accumulate(full)
+
+        return self._make_child(out_data, (self,), backward, "max")
+
     # ------------------------------------------------------------------ #
     # elementwise nonlinearities
     # ------------------------------------------------------------------ #

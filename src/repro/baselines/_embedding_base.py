@@ -9,6 +9,36 @@ of one batch) and :meth:`_score_pairs_numpy` (fast inference), and optionally
 :meth:`_score_matrix_numpy` (vectorised batch scoring backing
 :meth:`~repro.core.base.BaseRecommender.score_items_batch`; the default loops
 over :meth:`_score_pairs_numpy` one user at a time).
+
+Training engines
+----------------
+Like MAR/MARS (``MARConfig.engine``), every baseline carries an ``engine``
+knob with the same contract (see :mod:`repro.core.fused` for the full
+write-up):
+
+* ``engine="autograd"`` — the reference path: :meth:`_batch_loss` builds a
+  reverse-mode graph, ``loss.backward()`` walks it, the optimizer consumes
+  dense ``.grad`` buffers and :meth:`_post_step` re-applies constraints to
+  the whole tables.
+* ``engine="fused"`` — the metric baselines (CML, MetricF, SML, TransCF,
+  BPR) additionally implement :meth:`_fused_step`: hand-derived analytic
+  gradients of the *same* loss evaluated in a few NumPy/BLAS calls,
+  scatter-summed onto unique rows and applied with sparse
+  ``optimizer.step_rows`` updates; :meth:`_post_step` then censors only the
+  touched rows.  Both engines agree to ~1e-10 per step, so seeded training
+  runs produce identical loss curves (``tests/test_fused_baselines.py``).
+
+Models without a closed-form kernel (NeuMF's MLP head, LRML's attention
+memory) set ``_supports_fused = False`` and reject ``engine="fused"`` at
+construction.  To add a fused engine to a new baseline: implement
+:meth:`_fused_step` from the kernels in :mod:`repro.core.fused`, set
+``_supports_fused = True``, accept/forward the ``engine`` kwarg, and extend
+the parity matrix in ``tests/test_fused_baselines.py``.
+
+Multi-negative batches: ``n_negatives > 1`` draws ``(B, N)`` negative
+blocks per batch and ``negative_reduction`` picks the per-example
+aggregation (``"sum"`` over all negatives or ``"hardest"`` negative only)
+in both engines.
 """
 
 from __future__ import annotations
@@ -20,6 +50,7 @@ import numpy as np
 from repro.autograd import Module, Tensor
 from repro.autograd.optim import Adagrad, Optimizer, SGD
 from repro.core.base import BaseRecommender
+from repro.core.fused import negatives_matrix, scatter_rows
 from repro.data.batching import TripletBatch, TripletBatcher
 from repro.data.interactions import InteractionMatrix
 from repro.utils.logging import enable_info, get_logger
@@ -42,11 +73,24 @@ class EmbeddingRecommender(BaseRecommender):
     user_sampling:
         ``"uniform"`` (default for baselines, matching their original
         implementations) or ``"frequency"``.
+    engine:
+        ``"autograd"`` (reverse-mode reference) or ``"fused"`` (closed-form
+        analytic gradients; only on baselines that implement
+        :meth:`_fused_step`).  See the module docstring.
+    n_negatives:
+        Negatives sampled per positive; > 1 trains on ``(B, N)`` blocks.
+    negative_reduction:
+        ``"sum"`` or ``"hardest"`` aggregation over a multi-negative block.
     """
+
+    #: Whether this baseline implements :meth:`_fused_step`.
+    _supports_fused = False
 
     def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.1,
                  optimizer: str = "adagrad", user_sampling: str = "uniform",
+                 engine: str = "autograd", n_negatives: int = 1,
+                 negative_reduction: str = "sum",
                  random_state: Optional[int] = 0, verbose: bool = False) -> None:
         super().__init__()
         self.embedding_dim = check_positive_int(embedding_dim, "embedding_dim")
@@ -57,6 +101,17 @@ class EmbeddingRecommender(BaseRecommender):
             raise ValueError("optimizer must be 'sgd' or 'adagrad'")
         self.optimizer = optimizer
         self.user_sampling = user_sampling
+        if engine not in ("fused", "autograd"):
+            raise ValueError("engine must be 'fused' or 'autograd'")
+        if engine == "fused" and not type(self)._supports_fused:
+            raise ValueError(
+                f"{type(self).__name__} has no fused training engine; "
+                "use engine='autograd'")
+        self.engine = engine
+        self.n_negatives = check_positive_int(n_negatives, "n_negatives")
+        if negative_reduction not in ("sum", "hardest"):
+            raise ValueError("negative_reduction must be 'sum' or 'hardest'")
+        self.negative_reduction = negative_reduction
         self.random_state = random_state
         self.verbose = verbose
         self.network: Optional[Module] = None
@@ -70,6 +125,82 @@ class EmbeddingRecommender(BaseRecommender):
 
     def _batch_loss(self, batch: TripletBatch) -> Tensor:  # pragma: no cover
         raise NotImplementedError
+
+    def _fused_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
+        """One closed-form training step (gradients + row updates + censoring).
+
+        Implemented by the baselines that support ``engine="fused"``; must
+        compute the *same* loss as :meth:`_batch_loss` to ~1e-10, apply the
+        updates through ``optimizer.step_rows`` / ``step_dense`` and return
+        the batch loss.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement a fused training step")
+
+    def _gather_fused_batch(self, batch: TripletBatch):
+        """Index arrays and embedding blocks every fused step starts from.
+
+        Returns ``(users, positives, neg_matrix, user_emb, pos_emb,
+        neg_emb)`` — int64 index arrays of shape ``(B,)`` / ``(B,)`` /
+        ``(B, N)`` and the corresponding gathered embedding rows of shape
+        ``(B, D)`` / ``(B, D)`` / ``(B, N, D)``.
+        """
+        net = self.network
+        users = np.asarray(batch.users, dtype=np.int64)
+        positives = np.asarray(batch.positives, dtype=np.int64)
+        neg_matrix = negatives_matrix(batch.negatives)
+        return (users, positives, neg_matrix,
+                net.user_embeddings.weight.data[users],
+                net.item_embeddings.weight.data[positives],
+                net.item_embeddings.weight.data[neg_matrix])
+
+    def _apply_fused_updates(self, optimizer: Optimizer,
+                             users: np.ndarray, grad_user: np.ndarray,
+                             positives: np.ndarray, neg_matrix: np.ndarray,
+                             grad_pos: np.ndarray, grad_neg: np.ndarray,
+                             user_extras=(), item_extras=(),
+                             positive_extras=()):
+        """Shared tail of every fused step.
+
+        Scatters the per-example gradients onto unique rows
+        (:func:`repro.core.fused.scatter_rows`), applies sparse row-wise
+        optimizer updates to the user/item embedding tables, and re-censors
+        the touched rows through :meth:`_post_step`.
+
+        Parameters
+        ----------
+        users, positives, neg_matrix:
+            Batch index arrays of shape ``(B,)``, ``(B,)`` and ``(B, N)``.
+        grad_user, grad_pos, grad_neg:
+            Per-example gradients of the gathered user / positive / negative
+            embeddings — ``(B, D)``, ``(B, D)`` and ``(B, N, D)``.
+        user_extras, item_extras, positive_extras:
+            Optional ``(parameter, per_example_grads)`` pairs for extra
+            per-row parameters riding the same index sets — ``users``, the
+            stacked positive∪negative item ids, or ``positives`` (e.g.
+            BPR's item bias, SML's learnable margins).
+
+        Returns ``(user_rows, item_rows)``, the unique touched rows.
+        """
+        net = self.network
+        items_flat = np.concatenate([positives, neg_matrix.reshape(-1)])
+        item_grads = np.concatenate(
+            [grad_pos, grad_neg.reshape(-1, grad_neg.shape[-1])])
+        user_rows, user_grad, *user_extra_grads = scatter_rows(
+            users, grad_user, *(grads for _, grads in user_extras))
+        item_rows, item_grad, *item_extra_grads = scatter_rows(
+            items_flat, item_grads, *(grads for _, grads in item_extras))
+        optimizer.step_rows(net.user_embeddings.weight, user_rows, user_grad)
+        optimizer.step_rows(net.item_embeddings.weight, item_rows, item_grad)
+        for (parameter, _), grads in zip(user_extras, user_extra_grads):
+            optimizer.step_rows(parameter, user_rows, grads)
+        for (parameter, _), grads in zip(item_extras, item_extra_grads):
+            optimizer.step_rows(parameter, item_rows, grads)
+        for parameter, grads in positive_extras:
+            rows, summed = scatter_rows(positives, grads)
+            optimizer.step_rows(parameter, rows, summed)
+        self._post_step(user_rows=user_rows, item_rows=item_rows)
+        return user_rows, item_rows
 
     def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
@@ -96,8 +227,15 @@ class EmbeddingRecommender(BaseRecommender):
         item_vecs = net.item_embeddings.weight.data[item_matrix]        # (U, C, D)
         return -np.sum((item_vecs - user_vecs) ** 2, axis=-1)
 
-    def _post_step(self) -> None:
-        """Hook applied after every optimizer step (e.g. norm clipping)."""
+    def _post_step(self, user_rows: Optional[np.ndarray] = None,
+                   item_rows: Optional[np.ndarray] = None) -> None:
+        """Hook applied after every optimizer step (e.g. norm clipping).
+
+        ``user_rows`` / ``item_rows`` restrict the constraint to the unique
+        rows a fused step touched (``None`` — the autograd path — means the
+        whole table); the restricted and full applications agree bitwise
+        because untouched rows already satisfy the constraint.
+        """
 
     def _on_epoch_start(self, epoch: int, interactions: InteractionMatrix) -> None:
         """Hook before each epoch (e.g. refresh cached neighbourhood vectors)."""
@@ -107,9 +245,17 @@ class EmbeddingRecommender(BaseRecommender):
     # ------------------------------------------------------------------ #
     def _fit(self, interactions: InteractionMatrix) -> None:
         self.network = self._build(interactions)
+        # Apply the model's norm constraints to the freshly initialised
+        # tables once (Gaussian init can start outside the unit ball), as
+        # MAR/MARS do: afterwards each training step only needs to censor
+        # the rows it touched, which is what keeps the fused engine's
+        # row-restricted :meth:`_post_step` exactly equivalent to the
+        # autograd engine's full-table application.
+        self._post_step()
         batcher = TripletBatcher(
             interactions,
             batch_size=self.batch_size,
+            n_negatives=self.n_negatives,
             user_sampling=self.user_sampling,
             random_state=self.random_state,
         )
@@ -121,18 +267,24 @@ class EmbeddingRecommender(BaseRecommender):
             self._on_epoch_start(epoch, interactions)
             epoch_loss, n_batches = 0.0, 0
             for batch in batcher.epoch():
-                optimizer.zero_grad()
-                loss = self._batch_loss(batch)
-                loss.backward()
-                optimizer.step()
-                self._post_step()
-                epoch_loss += float(loss.item())
+                epoch_loss += self._train_step(batch, optimizer)
                 n_batches += 1
             mean_loss = epoch_loss / max(n_batches, 1)
             self.loss_history_.append(mean_loss)
             if self.verbose:
                 logger.info("%s epoch %d/%d loss %.4f",
                             self.name, epoch + 1, self.n_epochs, mean_loss)
+
+    def _train_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
+        """One gradient step on a triplet batch; dispatches on ``engine``."""
+        if self.engine == "fused":
+            return self._fused_step(batch, optimizer)
+        optimizer.zero_grad()
+        loss = self._batch_loss(batch)
+        loss.backward()
+        optimizer.step()
+        self._post_step()
+        return float(loss.item())
 
     def _make_optimizer(self) -> Optimizer:
         parameters = self.network.parameters()
@@ -156,12 +308,64 @@ class EmbeddingRecommender(BaseRecommender):
         item_matrix = self._broadcast_candidates(users, item_matrix)
         return self._score_matrix_numpy(users, item_matrix)
 
+    #: Scalar hyperparameters persisted alongside the learned parameters so
+    #: that a reloaded baseline resumes training with identical behaviour
+    #: (training engine, optimizer family and step size, negative sampling).
+    _META_FIELDS = ("engine", "optimizer", "learning_rate",
+                    "n_negatives", "negative_reduction")
+    _META_PREFIX = "_meta."
+
     def get_parameters(self) -> Dict[str, np.ndarray]:
         if self.network is None:
             raise RuntimeError("model is not fitted")
-        return self.network.state_dict()
+        state = self.network.state_dict()
+        for field in self._META_FIELDS:
+            state[self._META_PREFIX + field] = np.asarray(getattr(self, field))
+        return state
 
     def set_parameters(self, parameters: Dict[str, np.ndarray]) -> None:
         if self.network is None:
             raise RuntimeError("fit the model (to build its network) before loading")
-        self.network.load_state_dict(dict(parameters))
+        parameters = dict(parameters)
+        meta = {
+            field: parameters.pop(self._META_PREFIX + field)
+            for field in self._META_FIELDS
+            if self._META_PREFIX + field in parameters
+        }
+        # Checkpoints written before the metadata block simply restore no
+        # hyperparameters (backwards compatible).  Restored values pass the
+        # same validation as the constructor — and are validated *before*
+        # the network is mutated, so a corrupted or foreign-model metadata
+        # block fails loudly without leaving a half-loaded model behind.
+        restored = {}
+        if "engine" in meta:
+            engine = str(meta["engine"].item())
+            if engine not in ("fused", "autograd"):
+                raise ValueError(f"checkpoint engine must be 'fused' or "
+                                 f"'autograd', got {engine!r}")
+            if engine == "fused" and not type(self)._supports_fused:
+                raise ValueError(
+                    f"checkpoint was trained with engine='fused' but "
+                    f"{type(self).__name__} has no fused training engine")
+            restored["engine"] = engine
+        if "optimizer" in meta:
+            optimizer = str(meta["optimizer"].item())
+            if optimizer not in ("sgd", "adagrad"):
+                raise ValueError(f"checkpoint optimizer must be 'sgd' or "
+                                 f"'adagrad', got {optimizer!r}")
+            restored["optimizer"] = optimizer
+        if "learning_rate" in meta:
+            restored["learning_rate"] = check_in_range(
+                float(meta["learning_rate"].item()), "learning_rate", 1e-8, 10.0)
+        if "n_negatives" in meta:
+            restored["n_negatives"] = check_positive_int(
+                int(meta["n_negatives"].item()), "n_negatives")
+        if "negative_reduction" in meta:
+            reduction = str(meta["negative_reduction"].item())
+            if reduction not in ("sum", "hardest"):
+                raise ValueError(f"checkpoint negative_reduction must be "
+                                 f"'sum' or 'hardest', got {reduction!r}")
+            restored["negative_reduction"] = reduction
+        self.network.load_state_dict(parameters)
+        for field, value in restored.items():
+            setattr(self, field, value)

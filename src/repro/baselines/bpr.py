@@ -7,7 +7,9 @@ import numpy as np
 
 from repro.autograd import Embedding, Module, Parameter, Tensor
 from repro.autograd import functional as F
+from repro.autograd.optim import Optimizer
 from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.core.losses import bpr_loss_numpy
 from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
 
@@ -28,13 +30,18 @@ class BPR(EmbeddingRecommender):
     """
 
     name = "BPR"
+    _supports_fused = True
 
     def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.1,
-                 weight_decay: float = 1e-4, random_state=0, verbose: bool = False) -> None:
+                 weight_decay: float = 1e-4, engine: str = "fused",
+                 n_negatives: int = 1, negative_reduction: str = "sum",
+                 random_state=0, verbose: bool = False) -> None:
         super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
                          batch_size=batch_size, learning_rate=learning_rate,
-                         optimizer="adagrad", random_state=random_state, verbose=verbose)
+                         optimizer="adagrad", engine=engine, n_negatives=n_negatives,
+                         negative_reduction=negative_reduction,
+                         random_state=random_state, verbose=verbose)
         self.weight_decay = float(weight_decay)
 
     def _build(self, interactions: InteractionMatrix) -> Module:
@@ -47,11 +54,50 @@ class BPR(EmbeddingRecommender):
         positives = net.item_embeddings(batch.positives)
         negatives = net.item_embeddings(batch.negatives)
         pos_scores = F.dot(users, positives, axis=-1) + net.item_bias.gather_rows(batch.positives)
-        neg_scores = F.dot(users, negatives, axis=-1) + net.item_bias.gather_rows(batch.negatives)
-        loss = F.bpr_loss(pos_scores, neg_scores)
+        users_wide = (users.reshape(len(batch), 1, self.embedding_dim)
+                      if negatives.ndim == 3 else users)
+        neg_scores = F.dot(users_wide, negatives, axis=-1) + net.item_bias.gather_rows(batch.negatives)
+        loss = F.bpr_loss(pos_scores, neg_scores, self.negative_reduction)
         if self.weight_decay:
             reg = F.l2_regularization(users, positives, negatives)
             loss = loss + reg * (self.weight_decay / len(batch))
+        return loss
+
+    def _fused_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
+        net: _BPRNetwork = self.network
+        (users, positives, neg_matrix,
+         user_emb, pos_emb, neg_emb) = self._gather_fused_batch(batch)
+        batch_size = users.shape[0]
+        bias = net.item_bias.data
+
+        pos_scores = np.einsum("bd,bd->b", user_emb, pos_emb) + bias[positives]
+        neg_scores = (np.einsum("bd,bnd->bn", user_emb, neg_emb)
+                      + bias[neg_matrix])
+        loss, grad_pos_score, grad_neg_score = bpr_loss_numpy(
+            pos_scores, neg_scores, reduction=self.negative_reduction)
+
+        grad_user = (grad_pos_score[:, None] * pos_emb
+                     + np.einsum("bn,bnd->bd", grad_neg_score, neg_emb))
+        grad_pos = grad_pos_score[:, None] * user_emb
+        grad_neg = grad_neg_score[..., None] * user_emb[:, None, :]
+        if self.weight_decay:
+            # L2 term over the gathered batch rows (duplicates counted per
+            # occurrence), matching ``F.l2_regularization`` in the autograd
+            # loss.
+            coeff = 2.0 * self.weight_decay / batch_size
+            loss += (self.weight_decay / batch_size) * float(
+                np.einsum("bd,bd->", user_emb, user_emb)
+                + np.einsum("bd,bd->", pos_emb, pos_emb)
+                + np.einsum("bnd,bnd->", neg_emb, neg_emb))
+            grad_user = grad_user + coeff * user_emb
+            grad_pos = grad_pos + coeff * pos_emb
+            grad_neg = grad_neg + coeff * neg_emb
+
+        bias_grads = np.concatenate(
+            [grad_pos_score, grad_neg_score.reshape(-1)])
+        self._apply_fused_updates(
+            optimizer, users, grad_user, positives, neg_matrix, grad_pos,
+            grad_neg, item_extras=[(net.item_bias, bias_grads)])
         return loss
 
     def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:

@@ -12,7 +12,9 @@ import numpy as np
 
 from repro.autograd import Embedding, Module, Tensor
 from repro.autograd import functional as F
+from repro.autograd.optim import Optimizer
 from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.core.fused import hinge_distance_push
 from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
 
@@ -34,13 +36,18 @@ class CML(EmbeddingRecommender):
     """
 
     name = "CML"
+    _supports_fused = True
 
     def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.3,
-                 margin: float = 0.5, random_state=0, verbose: bool = False) -> None:
+                 margin: float = 0.5, engine: str = "fused",
+                 n_negatives: int = 1, negative_reduction: str = "sum",
+                 random_state=0, verbose: bool = False) -> None:
         super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
                          batch_size=batch_size, learning_rate=learning_rate,
-                         optimizer="sgd", random_state=random_state, verbose=verbose)
+                         optimizer="sgd", engine=engine, n_negatives=n_negatives,
+                         negative_reduction=negative_reduction,
+                         random_state=random_state, verbose=verbose)
         if margin <= 0:
             raise ValueError("margin must be positive")
         self.margin = float(margin)
@@ -55,14 +62,31 @@ class CML(EmbeddingRecommender):
         positives = net.item_embeddings(batch.positives)
         negatives = net.item_embeddings(batch.negatives)
         pos_distance = F.squared_euclidean(users, positives, axis=-1)
+        if negatives.ndim == 3:
+            users = users.reshape(len(batch), 1, self.embedding_dim)
+            pos_distance = pos_distance.reshape(len(batch), 1)
         neg_distance = F.squared_euclidean(users, negatives, axis=-1)
-        # hinge(margin + d(u, v+)² − d(u, v−)²)
-        return F.hinge(pos_distance - neg_distance + self.margin).mean()
+        # hinge(margin + d(u, v+)² − d(u, v−)²), one column per negative
+        return F.hinge_push(pos_distance - neg_distance + self.margin,
+                            self.negative_reduction)
 
-    def _post_step(self) -> None:
+    def _fused_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
+        (users, positives, neg_matrix,
+         user_emb, pos_emb, neg_emb) = self._gather_fused_batch(batch)
+        pos_diff = user_emb - pos_emb
+        neg_diff = user_emb[:, None, :] - neg_emb
+
+        loss, grad_pos_diff, grad_neg_diff, _ = hinge_distance_push(
+            pos_diff, neg_diff, self.margin, self.negative_reduction)
+        self._apply_fused_updates(
+            optimizer, users, grad_pos_diff + grad_neg_diff.sum(axis=1),
+            positives, neg_matrix, -grad_pos_diff, -grad_neg_diff)
+        return loss
+
+    def _post_step(self, user_rows=None, item_rows=None) -> None:
         net: _CMLNetwork = self.network
-        net.user_embeddings.clip_to_unit_ball()
-        net.item_embeddings.clip_to_unit_ball()
+        net.user_embeddings.clip_to_unit_ball(rows=user_rows)
+        net.item_embeddings.clip_to_unit_ball(rows=item_rows)
 
     def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
         net: _CMLNetwork = self.network

@@ -45,10 +45,14 @@ class LRML(EmbeddingRecommender):
 
     def __init__(self, embedding_dim: int = 32, n_memories: int = 10,
                  n_epochs: int = 30, batch_size: int = 256, learning_rate: float = 0.3,
-                 margin: float = 0.5, random_state=0, verbose: bool = False) -> None:
+                 margin: float = 0.5, engine: str = "autograd",
+                 random_state=0, verbose: bool = False) -> None:
+        # No fused kernel for the attention memory; the base class rejects
+        # engine="fused" because _supports_fused stays False.
         super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
                          batch_size=batch_size, learning_rate=learning_rate,
-                         optimizer="sgd", random_state=random_state, verbose=verbose)
+                         optimizer="sgd", engine=engine,
+                         random_state=random_state, verbose=verbose)
         if n_memories <= 0:
             raise ValueError("n_memories must be positive")
         if margin <= 0:
@@ -72,10 +76,10 @@ class LRML(EmbeddingRecommender):
         neg_distance = F.squared_euclidean(users + neg_relation, negatives, axis=-1)
         return F.hinge(pos_distance - neg_distance + self.margin).mean()
 
-    def _post_step(self) -> None:
+    def _post_step(self, user_rows=None, item_rows=None) -> None:
         net: _LRMLNetwork = self.network
-        net.user_embeddings.clip_to_unit_ball()
-        net.item_embeddings.clip_to_unit_ball()
+        net.user_embeddings.clip_to_unit_ball(rows=user_rows)
+        net.item_embeddings.clip_to_unit_ball(rows=item_rows)
 
     def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
         net: _LRMLNetwork = self.network

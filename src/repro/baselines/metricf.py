@@ -12,7 +12,9 @@ import numpy as np
 
 from repro.autograd import Embedding, Module, Tensor
 from repro.autograd import functional as F
+from repro.autograd.optim import Optimizer
 from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.core.losses import push_loss_numpy
 from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
 
@@ -40,14 +42,19 @@ class MetricF(EmbeddingRecommender):
     """
 
     name = "MetricF"
+    _supports_fused = True
 
     def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.3,
                  max_distance: float = 2.0, negative_weight: float = 0.5,
+                 engine: str = "fused", n_negatives: int = 1,
+                 negative_reduction: str = "sum",
                  random_state=0, verbose: bool = False) -> None:
         super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
                          batch_size=batch_size, learning_rate=learning_rate,
-                         optimizer="sgd", random_state=random_state, verbose=verbose)
+                         optimizer="sgd", engine=engine, n_negatives=n_negatives,
+                         negative_reduction=negative_reduction,
+                         random_state=random_state, verbose=verbose)
         if max_distance <= 0:
             raise ValueError("max_distance must be positive")
         self.max_distance = float(max_distance)
@@ -65,14 +72,42 @@ class MetricF(EmbeddingRecommender):
         # Pull positives towards the user (squared distance), gently push
         # negatives out to at least ``max_distance``.
         pull = F.squared_euclidean(users, positives, axis=-1).mean()
+        if negatives.ndim == 3:
+            users = users.reshape(len(batch), 1, self.embedding_dim)
         neg_distance = F.squared_euclidean(users, negatives, axis=-1)
-        push = F.hinge(neg_distance * -1.0 + self.max_distance).mean()
+        push = F.hinge_push(neg_distance * -1.0 + self.max_distance,
+                            self.negative_reduction)
         return pull + push * self.negative_weight
 
-    def _post_step(self) -> None:
+    def _fused_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
+        (users, positives, neg_matrix,
+         user_emb, pos_emb, neg_emb) = self._gather_fused_batch(batch)
+        batch_size = users.shape[0]
+        pos_diff = user_emb - pos_emb
+        neg_diff = user_emb[:, None, :] - neg_emb
+
+        # Pull term: mean of d(u, v+)², so ∂/∂pos_diff = (2/B)·pos_diff.
+        loss = float(np.einsum("bd,bd->", pos_diff, pos_diff)) / batch_size
+        grad_pos_diff = (2.0 / batch_size) * pos_diff
+        # Push term: the hinge [max_distance − d(u, v−)²]₊ is the push loss
+        # on similarity −d with a zero positive score and margin
+        # max_distance.
+        neg_dist = np.einsum("bnd,bnd->bn", neg_diff, neg_diff)
+        push, _, grad_neg_score = push_loss_numpy(
+            np.zeros(batch_size), -neg_dist, self.max_distance,
+            reduction=self.negative_reduction)
+        loss += self.negative_weight * push
+        grad_neg_diff = ((-2.0 * self.negative_weight) * grad_neg_score
+                         )[..., None] * neg_diff
+        self._apply_fused_updates(
+            optimizer, users, grad_pos_diff + grad_neg_diff.sum(axis=1),
+            positives, neg_matrix, -grad_pos_diff, -grad_neg_diff)
+        return loss
+
+    def _post_step(self, user_rows=None, item_rows=None) -> None:
         net: _MetricFNetwork = self.network
-        net.user_embeddings.clip_to_unit_ball()
-        net.item_embeddings.clip_to_unit_ball()
+        net.user_embeddings.clip_to_unit_ball(rows=user_rows)
+        net.item_embeddings.clip_to_unit_ball(rows=item_rows)
 
     def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
         net: _MetricFNetwork = self.network

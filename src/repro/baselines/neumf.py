@@ -47,10 +47,13 @@ class NeuMF(EmbeddingRecommender):
 
     def __init__(self, embedding_dim: int = 16, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.05,
-                 random_state=0, verbose: bool = False) -> None:
+                 engine: str = "autograd", random_state=0, verbose: bool = False) -> None:
+        # No fused kernel for the MLP head; the base class rejects
+        # engine="fused" because _supports_fused stays False.
         super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
                          batch_size=batch_size, learning_rate=learning_rate,
-                         optimizer="adagrad", random_state=random_state, verbose=verbose)
+                         optimizer="adagrad", engine=engine,
+                         random_state=random_state, verbose=verbose)
 
     def _build(self, interactions: InteractionMatrix) -> Module:
         return _NeuMFNetwork(interactions.n_users, interactions.n_items,

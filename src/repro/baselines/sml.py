@@ -11,7 +11,9 @@ import numpy as np
 
 from repro.autograd import Embedding, Module, Parameter, Tensor
 from repro.autograd import functional as F
+from repro.autograd.optim import Optimizer
 from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.core.fused import hinge_distance_push
 from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
 
@@ -43,15 +45,20 @@ class SML(EmbeddingRecommender):
     """
 
     name = "SML"
+    _supports_fused = True
 
     def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.3,
                  init_margin: float = 0.5, max_margin: float = 1.0,
                  item_weight: float = 0.5, margin_weight: float = 0.1,
+                 engine: str = "fused", n_negatives: int = 1,
+                 negative_reduction: str = "sum",
                  random_state=0, verbose: bool = False) -> None:
         super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
                          batch_size=batch_size, learning_rate=learning_rate,
-                         optimizer="sgd", random_state=random_state, verbose=verbose)
+                         optimizer="sgd", engine=engine, n_negatives=n_negatives,
+                         negative_reduction=negative_reduction,
+                         random_state=random_state, verbose=verbose)
         if init_margin <= 0 or max_margin < init_margin:
             raise ValueError("margins must satisfy 0 < init_margin <= max_margin")
         self.init_margin = float(init_margin)
@@ -73,21 +80,82 @@ class SML(EmbeddingRecommender):
         item_margin = net.item_margins.gather_rows(batch.positives)
 
         pos_distance = F.squared_euclidean(users, positives, axis=-1)
-        neg_user_distance = F.squared_euclidean(users, negatives, axis=-1)
-        neg_item_distance = F.squared_euclidean(positives, negatives, axis=-1)
+        if negatives.ndim == 3:
+            batch_size = len(batch)
+            users_wide = users.reshape(batch_size, 1, self.embedding_dim)
+            positives_wide = positives.reshape(batch_size, 1, self.embedding_dim)
+            pos_distance_wide = pos_distance.reshape(batch_size, 1)
+            user_margin_wide = user_margin.reshape(batch_size, 1)
+            item_margin_wide = item_margin.reshape(batch_size, 1)
+        else:
+            users_wide, positives_wide = users, positives
+            pos_distance_wide = pos_distance
+            user_margin_wide, item_margin_wide = user_margin, item_margin
+        neg_user_distance = F.squared_euclidean(users_wide, negatives, axis=-1)
+        neg_item_distance = F.squared_euclidean(positives_wide, negatives, axis=-1)
 
-        user_term = F.hinge(pos_distance - neg_user_distance + user_margin).mean()
-        item_term = F.hinge(pos_distance - neg_item_distance + item_margin).mean()
+        user_term = F.hinge_push(
+            pos_distance_wide - neg_user_distance + user_margin_wide,
+            self.negative_reduction)
+        item_term = F.hinge_push(
+            pos_distance_wide - neg_item_distance + item_margin_wide,
+            self.negative_reduction)
         # Encourage margins to stay large (the regulariser of the original paper).
         margin_reg = (user_margin.mean() + item_margin.mean()) * -1.0
         return user_term + item_term * self.item_weight + margin_reg * self.margin_weight
 
-    def _post_step(self) -> None:
+    def _fused_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
         net: _SMLNetwork = self.network
-        net.user_embeddings.clip_to_unit_ball()
-        net.item_embeddings.clip_to_unit_ball()
-        np.clip(net.user_margins.data, 0.01, self.max_margin, out=net.user_margins.data)
-        np.clip(net.item_margins.data, 0.01, self.max_margin, out=net.item_margins.data)
+        (users, positives, neg_matrix,
+         user_emb, pos_emb, neg_emb) = self._gather_fused_batch(batch)
+        batch_size = users.shape[0]
+        user_margin = net.user_margins.data[users]
+        item_margin = net.item_margins.data[positives]
+
+        pos_diff = user_emb - pos_emb
+        neg_user_diff = user_emb[:, None, :] - neg_emb
+        neg_item_diff = pos_emb[:, None, :] - neg_emb
+
+        # User-centric hinge (the CML term, with learnable per-user margins)
+        # and the symmetric item-centric hinge; both share the positive pair.
+        user_loss, user_gpd, user_gnd, user_gmargin = hinge_distance_push(
+            pos_diff, neg_user_diff, user_margin, self.negative_reduction)
+        item_loss, item_gpd, item_gnd, item_gmargin = hinge_distance_push(
+            pos_diff, neg_item_diff, item_margin, self.negative_reduction)
+
+        weight = self.item_weight
+        loss = (user_loss + weight * item_loss
+                - self.margin_weight * (float(user_margin.mean())
+                                        + float(item_margin.mean())))
+
+        grad_user = user_gpd + user_gnd.sum(axis=1) + weight * item_gpd
+        grad_pos = -user_gpd + weight * (-item_gpd + item_gnd.sum(axis=1))
+        grad_neg = -user_gnd - weight * item_gnd
+        reg_grad = self.margin_weight / batch_size
+        self._apply_fused_updates(
+            optimizer, users, grad_user, positives, neg_matrix, grad_pos,
+            grad_neg,
+            user_extras=[(net.user_margins, user_gmargin - reg_grad)],
+            positive_extras=[(net.item_margins,
+                              weight * item_gmargin - reg_grad)])
+        return loss
+
+    def _post_step(self, user_rows=None, item_rows=None) -> None:
+        net: _SMLNetwork = self.network
+        net.user_embeddings.clip_to_unit_ball(rows=user_rows)
+        net.item_embeddings.clip_to_unit_ball(rows=item_rows)
+        if user_rows is None:
+            np.clip(net.user_margins.data, 0.01, self.max_margin,
+                    out=net.user_margins.data)
+        else:
+            net.user_margins.data[user_rows] = np.clip(
+                net.user_margins.data[user_rows], 0.01, self.max_margin)
+        if item_rows is None:
+            np.clip(net.item_margins.data, 0.01, self.max_margin,
+                    out=net.item_margins.data)
+        else:
+            net.item_margins.data[item_rows] = np.clip(
+                net.item_margins.data[item_rows], 0.01, self.max_margin)
 
     def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
         net: _SMLNetwork = self.network

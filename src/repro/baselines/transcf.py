@@ -19,7 +19,9 @@ import numpy as np
 
 from repro.autograd import Embedding, Module, Tensor
 from repro.autograd import functional as F
+from repro.autograd.optim import Optimizer
 from repro.baselines._embedding_base import EmbeddingRecommender
+from repro.core.fused import hinge_distance_push
 from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
 
@@ -37,13 +39,18 @@ class TransCF(EmbeddingRecommender):
     """Translational metric learning with neighbourhood-based relation vectors."""
 
     name = "TransCF"
+    _supports_fused = True
 
     def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.3,
-                 margin: float = 0.5, random_state=0, verbose: bool = False) -> None:
+                 margin: float = 0.5, engine: str = "fused",
+                 n_negatives: int = 1, negative_reduction: str = "sum",
+                 random_state=0, verbose: bool = False) -> None:
         super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
                          batch_size=batch_size, learning_rate=learning_rate,
-                         optimizer="sgd", random_state=random_state, verbose=verbose)
+                         optimizer="sgd", engine=engine, n_negatives=n_negatives,
+                         negative_reduction=negative_reduction,
+                         random_state=random_state, verbose=verbose)
         if margin <= 0:
             raise ValueError("margin must be positive")
         self.margin = float(margin)
@@ -74,7 +81,11 @@ class TransCF(EmbeddingRecommender):
         self._item_context = self._norm_item @ net.user_embeddings.weight.data
 
     def _relation(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
-        return self._user_context[users] * self._item_context[items]
+        user_context = self._user_context[users]
+        item_context = self._item_context[items]
+        if item_context.ndim == 3:          # (B, N) negative block
+            user_context = user_context[:, None, :]
+        return user_context * item_context
 
     def _batch_loss(self, batch: TripletBatch) -> Tensor:
         net: _TransCFNetwork = self.network
@@ -86,13 +97,34 @@ class TransCF(EmbeddingRecommender):
         neg_relation = Tensor(self._relation(batch.users, batch.negatives))
 
         pos_distance = F.squared_euclidean(users + pos_relation, positives, axis=-1)
+        if negatives.ndim == 3:
+            users = users.reshape(len(batch), 1, self.embedding_dim)
+            pos_distance = pos_distance.reshape(len(batch), 1)
         neg_distance = F.squared_euclidean(users + neg_relation, negatives, axis=-1)
-        return F.hinge(pos_distance - neg_distance + self.margin).mean()
+        return F.hinge_push(pos_distance - neg_distance + self.margin,
+                            self.negative_reduction)
 
-    def _post_step(self) -> None:
+    def _fused_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
+        (users, positives, neg_matrix,
+         user_emb, pos_emb, neg_emb) = self._gather_fused_batch(batch)
+        # Relation vectors are epoch constants (refreshed in
+        # :meth:`_on_epoch_start`), so they only shift the difference
+        # vectors; the gradients flow to the embeddings alone.
+        pos_diff = user_emb + self._relation(users, positives) - pos_emb
+        neg_diff = (user_emb[:, None, :] + self._relation(users, neg_matrix)
+                    - neg_emb)
+
+        loss, grad_pos_diff, grad_neg_diff, _ = hinge_distance_push(
+            pos_diff, neg_diff, self.margin, self.negative_reduction)
+        self._apply_fused_updates(
+            optimizer, users, grad_pos_diff + grad_neg_diff.sum(axis=1),
+            positives, neg_matrix, -grad_pos_diff, -grad_neg_diff)
+        return loss
+
+    def _post_step(self, user_rows=None, item_rows=None) -> None:
         net: _TransCFNetwork = self.network
-        net.user_embeddings.clip_to_unit_ball()
-        net.item_embeddings.clip_to_unit_ball()
+        net.user_embeddings.clip_to_unit_ball(rows=user_rows)
+        net.item_embeddings.clip_to_unit_ball(rows=item_rows)
 
     def _score_pairs_numpy(self, user: int, items: np.ndarray) -> np.ndarray:
         net: _TransCFNetwork = self.network

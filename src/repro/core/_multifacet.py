@@ -145,6 +145,7 @@ class MultiFacetRecommender(BaseRecommender):
         batcher = TripletBatcher(
             interactions,
             batch_size=config.batch_size,
+            n_negatives=config.n_negatives,
             user_sampling=config.user_sampling,
             beta=config.beta,
             random_state=config.random_state,
@@ -182,17 +183,22 @@ class MultiFacetRecommender(BaseRecommender):
         return self._train_step_autograd(batch, optimizer)
 
     def _autograd_loss(self, batch) -> Tensor:
-        """Build the autograd graph of the combined objective for a batch."""
+        """Build the autograd graph of the combined objective for a batch.
+
+        Handles both classic ``(B,)`` negatives and ``(B, N)`` multi-negative
+        blocks: the negative side is scored as ``B·N`` flattened triplets
+        (users repeated per negative column) and reshaped back into a
+        ``(B, N)`` score matrix for the reduction inside
+        :func:`~repro.core.losses.combined_objective`.
+        """
         network = self.network
         config = self.config
 
         user_emb = network.user_embeddings(batch.users)
         pos_emb = network.item_embeddings(batch.positives)
-        neg_emb = network.item_embeddings(batch.negatives)
 
         user_facets = project_facets(user_emb, network.user_projections)
         pos_facets = project_facets(pos_emb, network.item_projections)
-        neg_facets = project_facets(neg_emb, network.item_projections)
 
         weights = F.softmax(network.facet_logits.gather_rows(batch.users), axis=-1)
         spherical = self._spherical()
@@ -200,9 +206,27 @@ class MultiFacetRecommender(BaseRecommender):
         pos_scores = cross_facet_similarity(
             facet_similarities(user_facets, pos_facets, spherical), weights
         )
-        neg_scores = cross_facet_similarity(
-            facet_similarities(user_facets, neg_facets, spherical), weights
-        )
+
+        negatives = np.asarray(batch.negatives)
+        if negatives.ndim == 1:
+            neg_emb = network.item_embeddings(negatives)
+            neg_facets = project_facets(neg_emb, network.item_projections)
+            neg_scores = cross_facet_similarity(
+                facet_similarities(user_facets, neg_facets, spherical), weights
+            )
+        else:
+            batch_size, n_negatives = negatives.shape
+            neg_users = np.repeat(np.asarray(batch.users), n_negatives)
+            neg_user_facets = project_facets(
+                network.user_embeddings(neg_users), network.user_projections)
+            neg_emb = network.item_embeddings(negatives.reshape(-1))
+            neg_facets = project_facets(neg_emb, network.item_projections)
+            neg_weights = F.softmax(
+                network.facet_logits.gather_rows(neg_users), axis=-1)
+            neg_scores = cross_facet_similarity(
+                facet_similarities(neg_user_facets, neg_facets, spherical),
+                neg_weights,
+            ).reshape(batch_size, n_negatives)
 
         margins = self.margins_[batch.users]
         return losses.combined_objective(
@@ -212,6 +236,7 @@ class MultiFacetRecommender(BaseRecommender):
             lambda_facet=config.lambda_facet,
             alpha=config.alpha,
             spherical=spherical,
+            reduction=config.negative_reduction,
         )
 
     def _train_step_autograd(self, batch, optimizer: Optimizer) -> float:
@@ -223,7 +248,9 @@ class MultiFacetRecommender(BaseRecommender):
         self._apply_constraints(
             self.network,
             user_rows=np.unique(batch.users),
-            item_rows=np.unique(np.concatenate([batch.positives, batch.negatives])),
+            item_rows=np.unique(np.concatenate(
+                [np.asarray(batch.positives).ravel(),
+                 np.asarray(batch.negatives).ravel()])),
         )
         return float(loss.item())
 
@@ -243,6 +270,7 @@ class MultiFacetRecommender(BaseRecommender):
             lambda_facet=config.lambda_facet,
             alpha=config.alpha,
             spherical=self._spherical(),
+            reduction=config.negative_reduction,
         )
         optimizer.step_rows(network.user_embeddings.weight,
                             step.user_rows, step.user_grad)

@@ -48,6 +48,14 @@ class MARConfig:
         initialisation of the facet projection matrices.
     user_sampling:
         ``"frequency"`` (Eq. 10) or ``"uniform"``.
+    n_negatives:
+        Negatives sampled per positive.  The paper's objective uses 1;
+        values > 1 train on ``(B, N)`` negative blocks, aggregated by
+        ``negative_reduction``.
+    negative_reduction:
+        Push aggregation over a multi-negative block: ``"sum"`` adds every
+        negative's hinge term, ``"hardest"`` keeps only the most violating
+        negative per example.  Ignored when ``n_negatives = 1``.
     engine:
         Training-step implementation.  ``"fused"`` (default) evaluates the
         closed-form gradients of the combined objective in a handful of
@@ -74,6 +82,8 @@ class MARConfig:
     min_margin: float = 0.05
     projection_noise: float = 0.05
     user_sampling: str = "frequency"
+    n_negatives: int = 1
+    negative_reduction: str = "sum"
     engine: str = "fused"
     random_state: Optional[int] = 0
     verbose: bool = False
@@ -92,6 +102,9 @@ class MARConfig:
         check_in_range(self.min_margin, "min_margin", 0.0, 1.0)
         if self.user_sampling not in ("frequency", "uniform"):
             raise ValueError("user_sampling must be 'frequency' or 'uniform'")
+        check_positive_int(self.n_negatives, "n_negatives")
+        if self.negative_reduction not in ("sum", "hardest"):
+            raise ValueError("negative_reduction must be 'sum' or 'hardest'")
         if self.engine not in ("fused", "autograd"):
             raise ValueError("engine must be 'fused' or 'autograd'")
 

@@ -1,4 +1,4 @@
-"""Fused closed-form training engine for MAR and MARS.
+"""Fused closed-form training kernels for the triplet-trained models.
 
 One :func:`fused_forward_backward` call evaluates the combined objective of
 Eq. 11 (MAR) / Eq. 17 (MARS) — push + pull + facet-separating terms — *and*
@@ -8,6 +8,42 @@ is the default training path (``MARConfig.engine = "fused"``); the autograd
 engine of :mod:`repro.autograd` is retained as the slow reference
 implementation, and the two agree to ~1e-10 (see
 ``tests/test_fused_engine.py``).
+
+Training engines
+----------------
+Every triplet-trained model in the repository exposes an ``engine`` knob
+with the same contract:
+
+* ``"autograd"`` is the *reference* implementation — the loss is built as a
+  reverse-mode computation graph (:mod:`repro.autograd`) and walked
+  backward.  It is the ground truth the tests certify against (ultimately
+  via finite differences) but pays Python-level graph overhead per op.
+* ``"fused"`` evaluates hand-derived analytic gradients of the same
+  objective with a few large NumPy/BLAS calls, scatter-sums duplicate rows
+  onto unique rows (:func:`scatter_rows`) and applies sparse row-wise
+  optimizer updates (``Optimizer.step_rows`` / ``step_dense``).  Norm
+  constraints are re-applied only to the rows a step touched.
+
+The two engines must agree to ~1e-10 per step so that seeded training runs
+produce identical loss curves up to float tolerance — that equivalence is
+what lets the fused path be the default everywhere while the autograd path
+stays the parity oracle.
+
+To add a fused engine for a new model: (1) write its ``_batch_loss``
+autograd reference first; (2) express the forward as gathers plus the
+shared kernels below (:func:`hinge_distance_push` for hinge-of-distance
+pushes, :func:`repro.core.losses.push_loss_numpy` /
+:func:`repro.core.losses.bpr_loss_numpy` for score-level losses); (3)
+scatter per-example gradients onto unique rows with :func:`scatter_rows`
+and apply them through ``optimizer.step_rows``; (4) extend the parity
+matrix in ``tests/test_fused_baselines.py`` with the new model.
+
+Multi-negative batches: every kernel accepts negatives of shape ``(B,)``
+(classic triplets) or ``(B, N)`` blocks drawn by
+``TripletBatcher(n_negatives=N)``, reduced per example either by summing
+all negatives' hinges (``reduction="sum"``) or by keeping only the most
+violating one (``reduction="hardest"``, first-maximum subgradient at
+ties).
 
 Forward recap for a batch of B triplets ``(u, v_p, v_q)`` with K facets of
 dimension D:
@@ -80,7 +116,7 @@ class FusedStepResult:
     item_projection_grad: np.ndarray
 
 
-def _scatter_rows(indices: np.ndarray, *grads: np.ndarray):
+def scatter_rows(indices: np.ndarray, *grads: np.ndarray):
     """Sum per-example gradient blocks onto unique rows (embedding-lookup VJP).
 
     Sorts the batch by row id once and segment-sums every gradient block with
@@ -97,6 +133,54 @@ def _scatter_rows(indices: np.ndarray, *grads: np.ndarray):
     return (rows, *(np.add.reduceat(grad[order], starts, axis=0) for grad in grads))
 
 
+# Backwards-compatible alias (pre-kernel-layer name).
+_scatter_rows = scatter_rows
+
+
+def negatives_matrix(negatives: np.ndarray) -> np.ndarray:
+    """Normalise a negative-index array to a ``(B, N)`` block.
+
+    ``TripletBatcher`` emits ``(B,)`` for ``n_negatives=1`` and ``(B, N)``
+    blocks otherwise; the fused kernels always work on the 2-D view.
+    """
+    negatives = np.asarray(negatives, dtype=np.int64)
+    if negatives.ndim == 1:
+        return negatives[:, None]
+    if negatives.ndim != 2:
+        raise ValueError(f"negatives must be (B,) or (B, N), got shape "
+                         f"{negatives.shape}")
+    return negatives
+
+
+def hinge_distance_push(pos_diff: np.ndarray, neg_diff: np.ndarray,
+                        margins: Union[np.ndarray, float],
+                        reduction: str = "sum"):
+    """Hinge push on squared-Euclidean distances, differentiated to the diffs.
+
+    The shared shape of CML / TransCF / SML / MetricF's ranking terms:
+    ``red_n [margin + ‖pos_diff‖² − ‖neg_diff_n‖²]₊`` averaged over the
+    batch, where ``pos_diff`` (shape ``(B, D)``) and ``neg_diff`` (shape
+    ``(B, N, D)``) are whatever difference vectors the model's geometry
+    produces (plain ``u − v`` for CML, translated ``u + r − v`` for
+    TransCF, …).  Equivalent to :func:`repro.core.losses.push_loss_numpy`
+    on the similarity scores ``−‖·‖²``.
+
+    Returns ``(loss, grad_pos_diff, grad_neg_diff, grad_margin)`` — the
+    gradients wrt the two diff blocks (same shapes) and wrt a per-example
+    margin (shape ``(B,)``; zero-filled when the margin is a constant, used
+    by SML's learnable margins).
+    """
+    pos_dist = np.einsum("bd,bd->b", pos_diff, pos_diff)
+    neg_dist = np.einsum("bnd,bnd->bn", neg_diff, neg_diff)
+    loss, grad_pos_score, grad_neg_score = push_loss_numpy(
+        -pos_dist, -neg_dist, margins, reduction=reduction)
+    # scores are −distances, and ∂‖x‖²/∂x = 2x.
+    grad_pos_diff = (-2.0 * grad_pos_score)[:, None] * pos_diff
+    grad_neg_diff = (-2.0 * grad_neg_score)[..., None] * neg_diff
+    # ∂violation/∂margin = 1 wherever the hinge is active, i.e. −∂L/∂s_pos.
+    return loss, grad_pos_diff, grad_neg_diff, -grad_pos_score
+
+
 def fused_forward_backward(
     user_table: np.ndarray, item_table: np.ndarray,
     user_projections: np.ndarray, item_projections: np.ndarray,
@@ -104,6 +188,7 @@ def fused_forward_backward(
     users: np.ndarray, positives: np.ndarray, negatives: np.ndarray,
     margins: Union[np.ndarray, float],
     lambda_pull: float, lambda_facet: float, alpha: float, spherical: bool,
+    reduction: str = "sum",
 ) -> FusedStepResult:
     """Loss and analytic gradients of Eq. 11 / Eq. 17 for one triplet batch.
 
@@ -116,69 +201,85 @@ def fused_forward_backward(
         Facet projection stacks Φ and Ψ, shape ``(K, D, D)``.
     facet_logits:
         Facet-weight logits Θ, shape ``(n_users, K)``.
-    users, positives, negatives:
+    users, positives:
         Triplet index arrays, shape ``(B,)``.
+    negatives:
+        Negative item ids, shape ``(B,)`` or a ``(B, N)`` multi-negative
+        block.
     margins:
         Per-example margins γ_u (shape ``(B,)``) or a scalar margin.
     lambda_pull, lambda_facet, alpha, spherical:
         Objective hyperparameters (see :class:`~repro.core.config.MARConfig`).
+    reduction:
+        Push aggregation over a ``(B, N)`` negative block — ``"sum"`` or
+        ``"hardest"`` (see :func:`repro.core.losses.push_loss_numpy`).
     """
     users = np.asarray(users, dtype=np.int64)
     positives = np.asarray(positives, dtype=np.int64)
-    negatives = np.asarray(negatives, dtype=np.int64)
+    neg_matrix = negatives_matrix(negatives)                         # (B, N)
     batch = users.shape[0]
+    n_negatives = neg_matrix.shape[1]
+    slots = 1 + n_negatives
 
     user_emb = user_table[users]                                     # (B, D)
     # Positives and negatives share the Ψ projections, so the whole item
-    # side runs through one stacked (2B, D) block per BLAS call.
-    items_stacked = np.concatenate([positives, negatives])
-    item_emb = item_table[items_stacked]                             # (2B, D)
+    # side runs through one stacked ((1+N)·B, D) block per BLAS call, laid
+    # out slot-major: slot 0 holds the positives, slots 1..N one negative
+    # column each.
+    items_stacked = np.concatenate([positives, neg_matrix.T.reshape(-1)])
+    item_emb = item_table[items_stacked]                             # ((1+N)B, D)
 
     # (1, B, D) × (K, D, D) → (K, B, D): one BLAS matmul per facet (the
     # broadcasted gufunc loop), much faster than the naive einsum kernel.
     user_facets = np.matmul(user_emb[None, :, :], user_projections)
-    item_facets = np.matmul(item_emb[None, :, :], item_projections)  # (K, 2B, D)
+    item_facets = np.matmul(item_emb[None, :, :], item_projections)  # (K, (1+N)B, D)
 
     weights = softmax_numpy(facet_logits[users], axis=-1)            # (B, K)
 
-    # Per-facet similarities, with the positive and negative halves of the
-    # item block riding through every op as one (K, 2, B) stack (t = 0 is
-    # the positive half, t = 1 the negative).  All (·, D) reductions go
-    # through contraction einsums, so no (K, 2, B, D) products materialise.
+    # Per-facet similarities, with every item slot riding through each op as
+    # one (K, 1+N, B) stack (t = 0 is the positive slot, t ≥ 1 the
+    # negatives).  All (·, D) reductions go through contraction einsums, so
+    # no (K, 1+N, B, D) products materialise on the spherical path.
     n_facets = user_projections.shape[0]
     dim = user_projections.shape[2]
-    item_view = item_facets.reshape(n_facets, 2, batch, dim)
+    item_view = item_facets.reshape(n_facets, slots, batch, dim)
     dots = np.einsum("kbd,ktbd->ktb", user_facets, item_view)
     if spherical:
         user_sq = np.einsum("kbd,kbd->kb", user_facets, user_facets) + _EPS
         item_sq = np.einsum("ktbd,ktbd->ktb", item_view, item_view) + _EPS
-        inv_norms = 1.0 / np.sqrt(user_sq[:, None, :] * item_sq)      # (K, 2, B)
+        inv_norms = 1.0 / np.sqrt(user_sq[:, None, :] * item_sq)      # (K, 1+N, B)
         sims = dots * inv_norms
     else:
-        diff = user_facets[:, None] - item_view                       # (K, 2, B, D)
+        diff = user_facets[:, None] - item_view                       # (K, 1+N, B, D)
         sims = -np.einsum("ktbd,ktbd->ktb", diff, diff)
 
-    scores = np.einsum("ktb,bk->tb", sims, weights)
+    scores = np.einsum("ktb,bk->tb", sims, weights)                   # (1+N, B)
     pos_scores = scores[0]
-    neg_scores = scores[1]
 
     # ---------------------------------------------------------------- loss
-    loss, grad_pos_scores, grad_neg_scores = push_loss_numpy(
-        pos_scores, neg_scores, margins)
+    if n_negatives == 1:
+        loss, grad_pos_scores, grad_neg = push_loss_numpy(
+            pos_scores, scores[1], margins)
+        grad_neg_slots = grad_neg[None]                               # (1, B)
+    else:
+        loss, grad_pos_scores, grad_neg = push_loss_numpy(
+            pos_scores, scores[1:].T, margins, reduction=reduction)
+        grad_neg_slots = grad_neg.T                                   # (N, B)
     if lambda_pull:
         pull_value, pull_grad = pull_loss_numpy(pos_scores)
         loss += lambda_pull * pull_value
         grad_pos_scores = grad_pos_scores + lambda_pull * pull_grad
 
     # ------------------------------------------------- backward: similarity
-    # ∂L/∂s_{ktb} = w_{bk} · ∂L/∂g_{tb} for both similarity halves at once.
-    grad_scores = np.stack([grad_pos_scores, grad_neg_scores])        # (2, B)
-    grad_sims = weights.T[:, None, :] * grad_scores[None]             # (K, 2, B)
+    # ∂L/∂s_{ktb} = w_{bk} · ∂L/∂g_{tb} for every similarity slot at once.
+    grad_scores = np.concatenate(
+        [grad_pos_scores[None], grad_neg_slots])                      # (1+N, B)
+    grad_sims = weights.T[:, None, :] * grad_scores[None]             # (K, 1+N, B)
 
     if spherical:
-        # ∂c/∂u = v/(‖u‖‖v‖) − c·u/‖u‖²; the u-side terms of both halves
+        # ∂c/∂u = v/(‖u‖‖v‖) − c·u/‖u‖²; the u-side terms of every slot
         # are merged into one contraction over t plus a self term.
-        coef_cross = grad_sims * inv_norms                            # (K, 2, B)
+        coef_cross = grad_sims * inv_norms                            # (K, 1+N, B)
         coef_user = -np.einsum("ktb,ktb->kb", grad_sims, sims) / user_sq
         grad_user_facets = (np.einsum("ktb,ktbd->kbd", coef_cross, item_view)
                             + coef_user[..., None] * user_facets)     # (K, B, D)
@@ -186,9 +287,9 @@ def fused_forward_backward(
                           - (grad_sims * sims / item_sq)[..., None] * item_view)
     else:
         # ∂(−‖u−v‖²)/∂u = −2(u−v), ∂/∂v = +2(u−v).
-        grad_item_view = (2.0 * grad_sims)[..., None] * diff          # (K, 2, B, D)
+        grad_item_view = (2.0 * grad_sims)[..., None] * diff          # (K, 1+N, B, D)
         grad_user_facets = -grad_item_view.sum(axis=1)
-    grad_item_facets = grad_item_view.reshape(n_facets, 2 * batch, dim)
+    grad_item_facets = grad_item_view.reshape(n_facets, slots * batch, dim)
 
     # ------------------------------------------------ backward: Θ (softmax)
     grad_weights = np.einsum("ktb,tb->bk", sims, grad_scores)         # (B, K)
@@ -220,9 +321,9 @@ def fused_forward_backward(
     item_projection_grad = np.matmul(item_emb.T[None, :, :], grad_item_facets)
 
     # ------------------------------------------- scatter onto unique rows
-    user_rows, user_grad, logit_grad = _scatter_rows(
+    user_rows, user_grad, logit_grad = scatter_rows(
         users, grad_user_emb, grad_logits)
-    item_rows, item_grad = _scatter_rows(items_stacked, grad_item_emb)
+    item_rows, item_grad = scatter_rows(items_stacked, grad_item_emb)
 
     return FusedStepResult(
         loss=float(loss),

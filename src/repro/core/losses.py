@@ -31,18 +31,35 @@ _EPS = 1e-12
 
 
 def push_loss(positive_similarity: Tensor, negative_similarity: Tensor,
-              margins: Union[np.ndarray, float]) -> Tensor:
+              margins: Union[np.ndarray, float],
+              reduction: str = "sum") -> Tensor:
     """Relative "pushing" objective ``[γ_u − g(u,v_p) + g(u,v_q)]₊`` (Eq. 8).
 
     Parameters
     ----------
     positive_similarity, negative_similarity:
         Cross-facet similarities of the positive and negative pairs in the
-        batch, shape ``(B,)``.
+        batch.  Positives have shape ``(B,)``; negatives either ``(B,)``
+        (classic single-negative triplets) or ``(B, N)`` for multi-negative
+        blocks.
     margins:
         Scalar margin or per-example adaptive margins γ_u, shape ``(B,)``.
+    reduction:
+        How a ``(B, N)`` negative block collapses to one loss per example:
+        ``"sum"`` adds every negative's hinge, ``"hardest"`` keeps only the
+        most violating negative.  Ignored for ``(B,)`` negatives.
     """
-    return F.hinge_loss(positive_similarity, negative_similarity, margins)
+    negative_similarity = F.as_tensor(negative_similarity)
+    if negative_similarity.ndim == 1:
+        return F.hinge_loss(positive_similarity, negative_similarity, margins)
+    positive_similarity = F.as_tensor(positive_similarity)
+    batch = positive_similarity.shape[0]
+    margins_column = np.broadcast_to(
+        np.asarray(margins, dtype=np.float64), (batch,)).reshape(batch, 1)
+    violations = (Tensor(margins_column)
+                  - positive_similarity.reshape(batch, 1)
+                  + negative_similarity)
+    return F.hinge_push(violations, reduction=reduction)
 
 
 def pull_loss(positive_similarity: Tensor) -> Tensor:
@@ -110,9 +127,17 @@ def combined_objective(positive_similarity: Tensor, negative_similarity: Tensor,
                        margins: Union[np.ndarray, float],
                        user_facets: List[Tensor], item_facets: List[Tensor],
                        lambda_pull: float, lambda_facet: float,
-                       alpha: float = 0.1, spherical: bool = False) -> Tensor:
-    """Full training objective of Eq. 11 (MAR) / Eq. 17 (MARS) for a batch."""
-    loss = push_loss(positive_similarity, negative_similarity, margins)
+                       alpha: float = 0.1, spherical: bool = False,
+                       reduction: str = "sum") -> Tensor:
+    """Full training objective of Eq. 11 (MAR) / Eq. 17 (MARS) for a batch.
+
+    ``negative_similarity`` may be a ``(B, N)`` multi-negative block, in
+    which case ``reduction`` selects the push aggregation (see
+    :func:`push_loss`); the pull and facet-separating terms always operate
+    on the ``B`` positives.
+    """
+    loss = push_loss(positive_similarity, negative_similarity, margins,
+                     reduction=reduction)
     if lambda_pull:
         loss = loss + pull_loss(positive_similarity) * lambda_pull
     if lambda_facet:
@@ -138,20 +163,79 @@ def _sigmoid_numpy(x: np.ndarray) -> np.ndarray:
 
 
 def push_loss_numpy(positive_similarity: np.ndarray, negative_similarity: np.ndarray,
-                    margins: Union[np.ndarray, float]
+                    margins: Union[np.ndarray, float],
+                    reduction: str = "sum"
                     ) -> Tuple[float, np.ndarray, np.ndarray]:
-    """:func:`push_loss` with its gradients wrt the two similarity vectors.
+    """:func:`push_loss` with its gradients wrt the two similarity arrays.
 
-    Returns ``(loss, d loss/d positive, d loss/d negative)``; the hinge uses
-    the same strict-inequality subgradient (zero at the kink) as the autograd
-    :meth:`~repro.autograd.tensor.Tensor.clip_min` op.
+    ``negative_similarity`` is ``(B,)`` or a ``(B, N)`` multi-negative block;
+    ``positive_similarity`` is always ``(B,)``.  Returns
+    ``(loss, d loss/d positive, d loss/d negative)`` with the negative
+    gradient matching the input's shape.  The hinge uses the same
+    strict-inequality subgradient (zero at the kink) as the autograd
+    :meth:`~repro.autograd.tensor.Tensor.clip_min` op; the ``"hardest"``
+    reduction routes the whole gradient to the *first* maximal violation of
+    each row at ties, matching :meth:`~repro.autograd.tensor.Tensor.max`.
     """
-    violations = margins - positive_similarity + negative_similarity
-    active = violations > 0
+    if reduction not in ("sum", "hardest"):
+        raise ValueError(f"reduction must be 'sum' or 'hardest', got {reduction!r}")
     batch = positive_similarity.shape[0]
-    loss = float(np.sum(violations * active) / batch)
-    grad_negative = active / batch
-    return loss, -grad_negative, grad_negative
+    if negative_similarity.ndim == 1:
+        violations = margins - positive_similarity + negative_similarity
+        active = violations > 0
+        loss = float(np.sum(violations * active) / batch)
+        grad_negative = active / batch
+        return loss, -grad_negative, grad_negative
+    violations = ((margins - positive_similarity)[:, None]
+                  + negative_similarity)                              # (B, N)
+    if reduction == "hardest":
+        hardest = np.argmax(violations, axis=1)
+        selected = np.take_along_axis(violations, hardest[:, None], axis=1)[:, 0]
+        active = selected > 0
+        loss = float(np.sum(selected * active) / batch)
+        grad_negative = np.zeros_like(violations)
+        np.put_along_axis(grad_negative, hardest[:, None],
+                          (active / batch)[:, None], axis=1)
+    else:
+        active = violations > 0
+        loss = float(np.sum(violations * active) / batch)
+        grad_negative = active / batch
+    return loss, -grad_negative.sum(axis=1), grad_negative
+
+
+def bpr_loss_numpy(positive_scores: np.ndarray, negative_scores: np.ndarray,
+                   reduction: str = "sum"
+                   ) -> Tuple[float, np.ndarray, np.ndarray]:
+    """:func:`repro.autograd.functional.bpr_loss` with its analytic gradients.
+
+    ``negative_scores`` is ``(B,)`` or a ``(B, N)`` multi-negative block;
+    with ``reduction="sum"`` every negative's ``−log σ(pos − neg)`` term is
+    summed per example (mean over the batch), with ``"hardest"`` only the
+    highest-scoring negative of each example contributes.  Returns
+    ``(loss, d loss/d positive, d loss/d negative)``.
+    """
+    if reduction not in ("sum", "hardest"):
+        raise ValueError(f"reduction must be 'sum' or 'hardest', got {reduction!r}")
+    batch = positive_scores.shape[0]
+    if negative_scores.ndim == 1:
+        diff = positive_scores - negative_scores
+        loss = float(np.sum(_softplus_numpy(-diff)) / batch)
+        grad_diff = -_sigmoid_numpy(-diff) / batch
+        return loss, grad_diff, -grad_diff
+    if reduction == "hardest":
+        hardest = np.argmax(negative_scores, axis=1)
+        selected = np.take_along_axis(negative_scores, hardest[:, None], axis=1)[:, 0]
+        diff = positive_scores - selected
+        loss = float(np.sum(_softplus_numpy(-diff)) / batch)
+        grad_diff = -_sigmoid_numpy(-diff) / batch
+        grad_negative = np.zeros_like(negative_scores)
+        np.put_along_axis(grad_negative, hardest[:, None],
+                          -grad_diff[:, None], axis=1)
+        return loss, grad_diff, grad_negative
+    diff = positive_scores[:, None] - negative_scores                 # (B, N)
+    loss = float(np.sum(_softplus_numpy(-diff)) / batch)
+    grad_diff = -_sigmoid_numpy(-diff) / batch
+    return loss, grad_diff.sum(axis=1), -grad_diff
 
 
 def pull_loss_numpy(positive_similarity: np.ndarray) -> Tuple[float, np.ndarray]:

@@ -21,7 +21,13 @@ from repro.utils.validation import check_positive_int
 
 @dataclass
 class TripletBatch:
-    """A batch of training triplets (parallel index arrays)."""
+    """A batch of training triplets (parallel index arrays).
+
+    ``users`` and ``positives`` have shape ``(B,)``.  ``negatives`` is
+    ``(B,)`` for classic single-negative triplets, or a ``(B, N)`` block
+    when the batcher draws ``n_negatives = N > 1`` negatives per positive
+    (row ``b`` holds the negatives of ``users[b]``).
+    """
 
     users: np.ndarray
     positives: np.ndarray
@@ -29,6 +35,11 @@ class TripletBatch:
 
     def __len__(self) -> int:
         return len(self.users)
+
+    @property
+    def n_negatives(self) -> int:
+        """Negatives per positive (columns of the negative block)."""
+        return 1 if self.negatives.ndim == 1 else self.negatives.shape[1]
 
 
 class TripletBatcher:
@@ -42,8 +53,10 @@ class TripletBatcher:
         Number of triplets per batch (the paper uses 1000; scaled presets use
         a few hundred).
     n_negatives:
-        Negatives per positive.  The main MARS objective uses 1; values > 1
-        repeat the (user, positive) pair for each extra negative.
+        Negatives per positive.  The main MARS objective uses 1 (negatives
+        of shape ``(B,)``); values > 1 emit a ``(B, N)`` negative block per
+        batch, each row sampled for that row's user, for the multi-negative
+        push reductions of the fused/autograd training engines.
     user_sampling:
         ``"frequency"`` for Eq. 10 (default, with ``beta``), ``"uniform"`` to
         sample uniformly among observed interactions.
@@ -80,9 +93,14 @@ class TripletBatcher:
 
     # ------------------------------------------------------------------ #
     def n_batches_per_epoch(self) -> int:
-        """Number of batches so that one epoch sees ≈ every interaction once."""
-        total = self.interactions.n_interactions * self.n_negatives
-        return max(1, int(np.ceil(total / self.batch_size)))
+        """Number of batches so that one epoch sees ≈ every interaction once.
+
+        Each batch carries ``batch_size`` positives regardless of
+        ``n_negatives`` (extra negatives widen the block instead of
+        repeating pairs), so the epoch length depends only on the number of
+        observed interactions.
+        """
+        return max(1, int(np.ceil(self.interactions.n_interactions / self.batch_size)))
 
     def _sample_users(self, size: int) -> np.ndarray:
         if self._user_sampler is not None:
@@ -104,7 +122,15 @@ class TripletBatcher:
         # offsets into each user's CSR slice are well defined.
         offsets = self._rng.integers(0, self._positive_counts[users])
         positives = self._positive_items[self._positive_offsets[users] + offsets]
-        negatives = self._negative_sampler.sample_batch(users)
+        if self.n_negatives == 1:
+            negatives = self._negative_sampler.sample_batch(users)
+        else:
+            # One vectorised rejection pass over the repeated user column
+            # keeps the per-user guarantee (no observed interaction ever
+            # lands in a user's negative block) at any block width.
+            negatives = self._negative_sampler.sample_batch(
+                np.repeat(users, self.n_negatives)
+            ).reshape(size, self.n_negatives)
         return TripletBatch(users=users.astype(np.int64), positives=positives,
                             negatives=negatives)
 

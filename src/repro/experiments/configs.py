@@ -63,10 +63,13 @@ class ModelZoo:
     random_state:
         Seed shared by every model the zoo creates.
     engine:
-        Training engine for MAR/MARS — ``"fused"`` (default, closed-form
+        Training engine for MAR/MARS and the metric baselines (BPR, CML,
+        MetricF, TransCF, SML) — ``"fused"`` (default, closed-form
         gradients) or ``"autograd"`` (reference reverse-mode path).  Both
         yield identical seeded loss curves up to float tolerance, so every
-        experiment preset reproduces the same tables either way.
+        experiment preset reproduces the same tables either way.  Models
+        without a fused kernel (NMF, NeuMF, LRML, the heuristics) ignore
+        the knob.
     """
 
     #: Order used in Table II of the paper (baselines first, ours last).
@@ -92,7 +95,8 @@ class ModelZoo:
             "ItemKNN": lambda: ItemKNN(k_neighbours=50),
             "BPR": lambda: BPR(embedding_dim=scale.embedding_dim,
                                n_epochs=scale.n_epochs_mf,
-                               batch_size=scale.batch_size, random_state=seed),
+                               batch_size=scale.batch_size,
+                               engine=self.engine, random_state=seed),
             "NMF": lambda: NMF(n_factors=scale.embedding_dim,
                                n_iterations=max(scale.n_epochs_mf * 2, 40),
                                random_state=seed),
@@ -101,19 +105,23 @@ class ModelZoo:
                                    batch_size=scale.batch_size, random_state=seed),
             "CML": lambda: CML(embedding_dim=scale.embedding_dim,
                                n_epochs=scale.n_epochs_metric,
-                               batch_size=scale.batch_size, random_state=seed),
+                               batch_size=scale.batch_size,
+                               engine=self.engine, random_state=seed),
             "MetricF": lambda: MetricF(embedding_dim=scale.embedding_dim,
                                        n_epochs=scale.n_epochs_metric,
-                                       batch_size=scale.batch_size, random_state=seed),
+                                       batch_size=scale.batch_size,
+                                       engine=self.engine, random_state=seed),
             "TransCF": lambda: TransCF(embedding_dim=scale.embedding_dim,
                                        n_epochs=scale.n_epochs_metric,
-                                       batch_size=scale.batch_size, random_state=seed),
+                                       batch_size=scale.batch_size,
+                                       engine=self.engine, random_state=seed),
             "LRML": lambda: LRML(embedding_dim=scale.embedding_dim,
                                  n_epochs=scale.n_epochs_metric,
                                  batch_size=scale.batch_size, random_state=seed),
             "SML": lambda: SML(embedding_dim=scale.embedding_dim,
                                n_epochs=scale.n_epochs_metric,
-                               batch_size=scale.batch_size, random_state=seed),
+                               batch_size=scale.batch_size,
+                               engine=self.engine, random_state=seed),
             "MAR": lambda: MAR(**self._multifacet_kwargs(0.5, overrides)),
             "MARS": lambda: MARS(**self._multifacet_kwargs(4.0, overrides)),
         }

@@ -1,0 +1,447 @@
+"""Fused training engines of the metric baselines vs. the autograd reference.
+
+The same three layers of evidence as ``tests/test_fused_engine.py`` gives for
+MAR/MARS, extended over the whole baseline family and the multi-negative
+batch shapes:
+
+* gradient parity — for every fused baseline (CML, MetricF, SML, TransCF,
+  BPR) × ``n_negatives ∈ {1, 4}`` × push reduction, one engine step from an
+  identical parameter state applies updates matching the autograd engine to
+  ~1e-10 (SGD and Adagrad updates are invertible in the gradients, so equal
+  parameters ⇒ equal analytic gradients);
+* trajectory equivalence — seeded end-to-end ``fit`` produces identical loss
+  curves and final parameters for both engines;
+* closed-form losses — the new multi-negative NumPy losses
+  (``push_loss_numpy``, ``bpr_loss_numpy``) are certified against central
+  finite differences, including the hardest-negative subgradient convention
+  at ties;
+
+plus regression coverage for the ``(B, N)`` negative blocks of
+``TripletBatcher`` and for the engine/optimizer metadata the baselines now
+persist through ``save``/``load``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.gradcheck import numeric_gradient
+from repro.autograd.optim import Adagrad
+from repro.autograd import Parameter
+from repro.baselines import BPR, CML, LRML, MetricF, NeuMF, SML, TransCF
+from repro.core.losses import bpr_loss_numpy, push_loss_numpy
+from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.data.batching import TripletBatch, TripletBatcher
+
+FUSED_BASELINES = [CML, MetricF, SML, TransCF, BPR]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(n_users=40, n_items=60, n_facets=2,
+                             interactions_per_user=8.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+def _prepared_model(model_cls, dataset, engine, n_negatives, reduction,
+                    seed=3, **overrides):
+    """Model with a freshly built (untrained) network, ready for one step."""
+    model = model_cls(embedding_dim=8, n_epochs=1, batch_size=24,
+                      engine=engine, n_negatives=n_negatives,
+                      negative_reduction=reduction, random_state=seed,
+                      **overrides)
+    model._train_interactions = dataset.train
+    model.network = model._build(dataset.train)
+    model._post_step()
+    model._on_epoch_start(0, dataset.train)
+    return model
+
+
+def _duplicate_heavy_batch(rng, n_users, n_items, batch_size, n_negatives):
+    """Random batch with forced duplicate rows to exercise the scatter paths."""
+    users = rng.integers(0, n_users, size=batch_size)
+    positives = rng.integers(0, n_items, size=batch_size)
+    if n_negatives == 1:
+        negatives = rng.integers(0, n_items, size=batch_size)
+        negatives[2] = positives[3]
+    else:
+        negatives = rng.integers(0, n_items, size=(batch_size, n_negatives))
+        negatives[2, 1] = positives[3]
+        negatives[4, 0] = negatives[4, 1]
+    users[0] = users[1]
+    positives[5] = positives[6]
+    return TripletBatch(users=users, positives=positives, negatives=negatives)
+
+
+class TestGradientParityMatrix:
+    """One engine step from identical states must apply identical updates."""
+
+    @pytest.mark.parametrize("model_cls", FUSED_BASELINES)
+    @pytest.mark.parametrize("n_negatives", [1, 4])
+    @pytest.mark.parametrize("reduction", ["sum", "hardest"])
+    def test_one_step_parameter_parity(self, dataset, model_cls, n_negatives,
+                                       reduction):
+        rng = np.random.default_rng(11)
+        batch = _duplicate_heavy_batch(rng, dataset.train.n_users,
+                                       dataset.train.n_items, 24, n_negatives)
+        results = {}
+        for engine in ("fused", "autograd"):
+            model = _prepared_model(model_cls, dataset, engine, n_negatives,
+                                    reduction)
+            optimizer = model._make_optimizer()
+            loss = model._train_step(batch, optimizer)
+            results[engine] = (loss, model.network.state_dict())
+
+        fused_loss, fused_state = results["fused"]
+        autograd_loss, autograd_state = results["autograd"]
+        assert fused_loss == pytest.approx(autograd_loss, abs=1e-10)
+        assert fused_state.keys() == autograd_state.keys()
+        for name in fused_state:
+            np.testing.assert_allclose(
+                fused_state[name], autograd_state[name], rtol=1e-9, atol=1e-11,
+                err_msg=f"{model_cls.name} {name} n_negatives={n_negatives} "
+                        f"reduction={reduction}")
+
+    @pytest.mark.parametrize("model_cls", FUSED_BASELINES)
+    def test_multi_step_parity_with_optimizer_state(self, dataset, model_cls):
+        """Several steps, so stateful optimizers (Adagrad) stay in lockstep."""
+        rng = np.random.default_rng(5)
+        batches = [_duplicate_heavy_batch(rng, dataset.train.n_users,
+                                          dataset.train.n_items, 24, 4)
+                   for _ in range(4)]
+        states = {}
+        for engine in ("fused", "autograd"):
+            model = _prepared_model(model_cls, dataset, engine, 4, "sum")
+            optimizer = model._make_optimizer()
+            losses = [model._train_step(batch, optimizer) for batch in batches]
+            states[engine] = (losses, model.network.state_dict())
+        np.testing.assert_allclose(states["fused"][0], states["autograd"][0],
+                                   rtol=1e-9, atol=1e-10)
+        for name, value in states["fused"][1].items():
+            np.testing.assert_allclose(value, states["autograd"][1][name],
+                                       rtol=1e-8, atol=1e-10, err_msg=name)
+
+
+class TestTrajectoryEquivalence:
+    @pytest.mark.parametrize("model_cls", FUSED_BASELINES)
+    @pytest.mark.parametrize("n_negatives,reduction",
+                             [(1, "sum"), (4, "sum"), (4, "hardest")])
+    def test_identical_seeded_loss_curves(self, dataset, model_cls,
+                                          n_negatives, reduction):
+        kwargs = dict(embedding_dim=10, n_epochs=2, batch_size=32,
+                      n_negatives=n_negatives, negative_reduction=reduction,
+                      random_state=5)
+        fused = model_cls(engine="fused", **kwargs).fit(dataset)
+        autograd = model_cls(engine="autograd", **kwargs).fit(dataset)
+        np.testing.assert_allclose(fused.loss_history_, autograd.loss_history_,
+                                   rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(
+            fused.network.user_embeddings.weight.data,
+            autograd.network.user_embeddings.weight.data,
+            rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(
+            fused.network.item_embeddings.weight.data,
+            autograd.network.item_embeddings.weight.data,
+            rtol=1e-8, atol=1e-10)
+
+    def test_sml_margins_follow_identical_trajectories(self, dataset):
+        kwargs = dict(embedding_dim=8, n_epochs=2, batch_size=32,
+                      n_negatives=2, random_state=1)
+        fused = SML(engine="fused", **kwargs).fit(dataset)
+        autograd = SML(engine="autograd", **kwargs).fit(dataset)
+        np.testing.assert_allclose(fused.network.user_margins.data,
+                                   autograd.network.user_margins.data,
+                                   rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(fused.network.item_margins.data,
+                                   autograd.network.item_margins.data,
+                                   rtol=1e-8, atol=1e-10)
+
+    @pytest.mark.parametrize("model_cls", FUSED_BASELINES)
+    def test_constraints_hold_under_fused_training(self, dataset, model_cls):
+        model = model_cls(embedding_dim=8, n_epochs=2, batch_size=32,
+                          engine="fused", random_state=0).fit(dataset)
+        if model_cls is BPR:            # no norm constraint on BPR
+            return
+        for table in (model.network.user_embeddings, model.network.item_embeddings):
+            norms = np.linalg.norm(table.weight.data, axis=1)
+            assert np.all(norms <= 1.0 + 1e-8)
+
+
+class TestEngineKnob:
+    @pytest.mark.parametrize("model_cls", FUSED_BASELINES)
+    def test_fused_is_the_default_engine(self, model_cls):
+        assert model_cls().engine == "fused"
+
+    @pytest.mark.parametrize("model_cls", [NeuMF, LRML])
+    def test_models_without_kernels_reject_fused(self, model_cls):
+        assert model_cls().engine == "autograd"
+        with pytest.raises(ValueError, match="fused"):
+            model_cls(engine="fused")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            CML(engine="bogus")
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            CML(negative_reduction="median")
+
+
+class TestMultiNegativeLossesGradcheck:
+    """Finite-difference certification of the new NumPy loss closed forms."""
+
+    def _check(self, analytic_fn, value_fn, inputs, atol=1e-7):
+        grads = analytic_fn(*inputs)
+        for index in range(len(inputs)):
+            numeric = numeric_gradient(value_fn, inputs, index, epsilon=1e-6)
+            np.testing.assert_allclose(grads[index], numeric, rtol=1e-6,
+                                       atol=atol, err_msg=f"input {index}")
+
+    @pytest.mark.parametrize("reduction", ["sum", "hardest"])
+    def test_push_loss_numpy_matches_finite_differences(self, reduction):
+        rng = np.random.default_rng(7)
+        pos = rng.normal(size=12)
+        neg = rng.normal(size=(12, 5))
+        margins = rng.uniform(0.3, 0.8, size=12)
+
+        def value_fn(p, n):
+            return Tensor(push_loss_numpy(p.data, n.data, margins,
+                                          reduction=reduction)[0])
+
+        def analytic_fn(p, n):
+            _, grad_pos, grad_neg = push_loss_numpy(p, n, margins,
+                                                    reduction=reduction)
+            return grad_pos, grad_neg
+
+        self._check(analytic_fn, value_fn, [pos, neg])
+
+    @pytest.mark.parametrize("reduction", ["sum", "hardest"])
+    def test_bpr_loss_numpy_matches_finite_differences(self, reduction):
+        rng = np.random.default_rng(8)
+        pos = rng.normal(size=10)
+        neg = rng.normal(size=(10, 4))
+
+        def value_fn(p, n):
+            return Tensor(bpr_loss_numpy(p.data, n.data,
+                                         reduction=reduction)[0])
+
+        def analytic_fn(p, n):
+            _, grad_pos, grad_neg = bpr_loss_numpy(p, n, reduction=reduction)
+            return grad_pos, grad_neg
+
+        self._check(analytic_fn, value_fn, [pos, neg])
+
+    def test_hardest_subgradient_routes_to_first_tie(self):
+        """At exact ties the whole gradient goes to the first maximum, in both
+        the NumPy closed form and the autograd reference (``Tensor.max``)."""
+        pos = np.array([0.1, 0.2])
+        neg = np.array([[0.5, 0.5, 0.3],       # tie between columns 0 and 1
+                        [0.1, 0.4, 0.4]])      # tie between columns 1 and 2
+        margins = 0.5
+        _, grad_pos, grad_neg = push_loss_numpy(pos, neg, margins,
+                                                reduction="hardest")
+        expected = np.array([[0.5, 0.0, 0.0],
+                             [0.0, 0.5, 0.0]])
+        np.testing.assert_array_equal(grad_neg, expected)
+        np.testing.assert_array_equal(grad_pos, [-0.5, -0.5])
+
+        neg_tensor = Tensor(neg, requires_grad=True)
+        violations = Tensor(margins - pos).reshape(2, 1) + neg_tensor
+        loss = violations.max(axis=1).clip_min(0.0).mean()
+        loss.backward()
+        np.testing.assert_array_equal(neg_tensor.grad, expected)
+
+    def test_hardest_loss_value_uses_single_negative(self):
+        pos = np.array([0.0])
+        neg = np.array([[1.0, 3.0, 2.0]])
+        loss, _, grad_neg = push_loss_numpy(pos, neg, 0.5, reduction="hardest")
+        assert loss == pytest.approx(3.5)
+        np.testing.assert_array_equal(grad_neg, [[0.0, 1.0, 0.0]])
+
+    def test_single_negative_column_matches_classic_vector(self):
+        rng = np.random.default_rng(9)
+        pos = rng.normal(size=16)
+        neg = rng.normal(size=16)
+        margins = rng.uniform(0.1, 0.9, size=16)
+        loss_vec, gp_vec, gn_vec = push_loss_numpy(pos, neg, margins)
+        for reduction in ("sum", "hardest"):
+            loss, gp, gn = push_loss_numpy(pos, neg[:, None], margins,
+                                           reduction=reduction)
+            assert loss == pytest.approx(loss_vec, abs=1e-14)
+            np.testing.assert_allclose(gp, gp_vec, atol=1e-15)
+            np.testing.assert_allclose(gn[:, 0], gn_vec, atol=1e-15)
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            push_loss_numpy(np.zeros(2), np.zeros((2, 3)), 0.5, reduction="avg")
+        with pytest.raises(ValueError):
+            bpr_loss_numpy(np.zeros(2), np.zeros((2, 3)), reduction="avg")
+
+
+class TestAdagradRowUpdates:
+    def test_step_rows_matches_dense_step(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(10, 4))
+        rows = np.array([1, 4, 7])
+        row_grads = rng.normal(size=(3, 4))
+
+        dense = Parameter(data.copy())
+        dense_opt = Adagrad([dense], lr=0.1)
+        sparse = Parameter(data.copy())
+        sparse_opt = Adagrad([sparse], lr=0.1)
+        for _ in range(3):                       # accumulator state matters
+            dense.grad = np.zeros_like(data)
+            dense.grad[rows] = row_grads
+            dense_opt.step()
+            sparse_opt.step_rows(sparse, rows, row_grads)
+        np.testing.assert_array_equal(sparse.data, dense.data)
+
+    def test_step_rows_rejects_weight_decay(self):
+        parameter = Parameter(np.ones((4, 2)))
+        optimizer = Adagrad([parameter], lr=0.1, weight_decay=0.1)
+        with pytest.raises(ValueError):
+            optimizer.step_rows(parameter, np.array([0]), np.ones((1, 2)))
+
+
+class TestMultiNegativeBatcher:
+    def test_negative_blocks_never_contain_positives(self, dataset):
+        interactions = dataset.train
+        batcher = TripletBatcher(interactions, batch_size=48, n_negatives=5,
+                                 random_state=0)
+        for _ in range(25):
+            batch = batcher.sample_batch()
+            assert batch.negatives.shape == (48, 5)
+            for user, block in zip(batch.users, batch.negatives):
+                for item in block:
+                    assert (int(user), int(item)) not in interactions
+
+    def test_shapes_and_dtypes_stable_across_seeds(self, dataset):
+        for seed in (0, 1, 17, 123):
+            batcher = TripletBatcher(dataset.train, batch_size=32,
+                                     n_negatives=3, random_state=seed)
+            batch = batcher.sample_batch()
+            assert batch.users.shape == (32,)
+            assert batch.positives.shape == (32,)
+            assert batch.negatives.shape == (32, 3)
+            assert batch.users.dtype == np.int64
+            assert batch.positives.dtype == np.int64
+            assert batch.negatives.dtype == np.int64
+            assert batch.n_negatives == 3
+            override = batcher.sample_batch(batch_size=7)
+            assert override.negatives.shape == (7, 3)
+
+    def test_single_negative_keeps_flat_shape(self, dataset):
+        batcher = TripletBatcher(dataset.train, batch_size=16, random_state=0)
+        batch = batcher.sample_batch()
+        assert batch.negatives.shape == (16,)
+        assert batch.n_negatives == 1
+
+    def test_epoch_length_independent_of_negative_width(self, dataset):
+        narrow = TripletBatcher(dataset.train, batch_size=50, n_negatives=1,
+                                random_state=0)
+        wide = TripletBatcher(dataset.train, batch_size=50, n_negatives=6,
+                              random_state=0)
+        assert narrow.n_batches_per_epoch() == wide.n_batches_per_epoch()
+
+
+class TestSaveLoadRoundTrip:
+    def test_engine_and_optimizer_hyperparameters_persist(self, dataset, tmp_path):
+        model = CML(embedding_dim=8, n_epochs=2, batch_size=32,
+                    engine="autograd", learning_rate=0.07, n_negatives=3,
+                    negative_reduction="hardest", random_state=0).fit(dataset)
+        path = model.save(tmp_path / "cml.npz")
+
+        clone = CML(embedding_dim=8, n_epochs=1, batch_size=32,
+                    engine="fused", learning_rate=0.5, random_state=0).fit(dataset)
+        clone.load(path)
+        assert clone.engine == "autograd"
+        assert clone.optimizer == "sgd"
+        assert clone.learning_rate == pytest.approx(0.07)
+        assert clone.n_negatives == 3
+        assert clone.negative_reduction == "hardest"
+        np.testing.assert_array_equal(clone.network.user_embeddings.weight.data,
+                                      model.network.user_embeddings.weight.data)
+
+    @pytest.mark.parametrize("model_cls", [CML, BPR])
+    def test_reloaded_model_resumes_identically(self, dataset, model_cls, tmp_path):
+        """A reloaded baseline takes the exact same next training step."""
+        model = model_cls(embedding_dim=8, n_epochs=1, batch_size=32,
+                          engine="fused", n_negatives=2, random_state=0).fit(dataset)
+        path = model.save(tmp_path / "model.npz")
+        clone = model_cls(embedding_dim=8, n_epochs=1, batch_size=32,
+                          engine="autograd", learning_rate=0.01,
+                          random_state=0).fit(dataset)
+        clone.load(path)
+
+        rng = np.random.default_rng(3)
+        batch = _duplicate_heavy_batch(rng, dataset.train.n_users,
+                                       dataset.train.n_items, 24, 2)
+        losses = []
+        for instance in (model, clone):
+            optimizer = instance._make_optimizer()
+            losses.append(instance._train_step(batch, optimizer))
+        assert losses[0] == pytest.approx(losses[1], abs=1e-12)
+        for name, value in model.network.state_dict().items():
+            np.testing.assert_array_equal(value, clone.network.state_dict()[name],
+                                          err_msg=name)
+
+    def test_legacy_checkpoints_without_metadata_still_load(self, dataset, tmp_path):
+        model = CML(embedding_dim=8, n_epochs=1, batch_size=32,
+                    random_state=0).fit(dataset)
+        legacy = {key: value for key, value in model.get_parameters().items()
+                  if not key.startswith("_meta.")}
+        from repro.utils.io import save_arrays
+        path = save_arrays(tmp_path / "legacy.npz", legacy)
+        clone = CML(embedding_dim=8, n_epochs=1, batch_size=32,
+                    engine="autograd", random_state=0).fit(dataset)
+        clone.load(path)
+        assert clone.engine == "autograd"     # untouched by a legacy file
+        np.testing.assert_array_equal(clone.network.user_embeddings.weight.data,
+                                      model.network.user_embeddings.weight.data)
+
+
+class TestBaselineFusedSpeedup:
+    @pytest.mark.slow
+    def test_fused_step_at_least_3x_faster_at_catalogue_scale(self):
+        """Per-step speedup for CML/MetricF/SML at a production-sized
+        catalogue (8k users × 12k items, D=32, B=256), where the autograd
+        engine's dense gradient buffers and full-table optimizer/censoring
+        passes dominate.  Interleaved best-of rounds so load skews both
+        engines alike."""
+        from repro.data.interactions import InteractionMatrix
+
+        n_users, n_items, steps = 8000, 12000, 10
+        rng = np.random.default_rng(0)
+        users = np.repeat(np.arange(n_users), 3)
+        items = rng.integers(0, n_items, users.size)
+        train = InteractionMatrix(n_users, n_items, users, items)
+        batches = [TripletBatch(users=rng.integers(0, n_users, 256),
+                                positives=rng.integers(0, n_items, 256),
+                                negatives=rng.integers(0, n_items, 256))
+                   for _ in range(steps)]
+
+        for model_cls in (CML, MetricF, SML):
+            runners = {}
+            for engine in ("fused", "autograd"):
+                model = model_cls(embedding_dim=32, n_epochs=1, batch_size=256,
+                                  engine=engine, random_state=0)
+                model._train_interactions = train
+                model.network = model._build(train)
+                model._post_step()
+                model._on_epoch_start(0, train)
+                optimizer = model._make_optimizer()
+                model._train_step(batches[0], optimizer)       # warm-up
+                runners[engine] = (model, optimizer)
+            best = {"fused": np.inf, "autograd": np.inf}
+            for _ in range(3):
+                for engine, (model, optimizer) in runners.items():
+                    start = time.perf_counter()
+                    for batch in batches:
+                        model._train_step(batch, optimizer)
+                    best[engine] = min(best[engine],
+                                       time.perf_counter() - start)
+            speedup = best["autograd"] / best["fused"]
+            assert speedup >= 3.0, (
+                f"fused {model_cls.name} step only {speedup:.2f}x faster")

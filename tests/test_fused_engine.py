@@ -291,6 +291,7 @@ class TestRowWiseOptimizerHelpers:
 
 
 class TestFusedSpeedup:
+    @pytest.mark.slow
     def test_fused_step_at_least_3x_faster_than_autograd(self):
         """Per-step speedup at MARS full-preset shapes (K=4, D=32, B=256).
 
