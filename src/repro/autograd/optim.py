@@ -91,7 +91,9 @@ class SGD(Optimizer):
             update = velocity
         else:
             update = grad
-        parameter.data = parameter.data - self.lr * update
+        # In-place so concurrent shard threads (Hogwild sharded executor)
+        # race per element instead of losing whole updates to a rebind.
+        np.subtract(parameter.data, self.lr * update, out=parameter.data)
 
     def step_rows(self, parameter: Parameter, rows: np.ndarray,
                   row_grads: np.ndarray) -> None:
@@ -129,10 +131,14 @@ class Adagrad(Optimizer):
             grad = grad + self.weight_decay * parameter.data
         acc = self._accumulator.get(id(parameter))
         if acc is None:
-            acc = np.zeros_like(parameter.data)
-        acc = acc + grad ** 2
-        self._accumulator[id(parameter)] = acc
-        parameter.data = parameter.data - self.lr * grad / (np.sqrt(acc) + self.eps)
+            # Atomic under the GIL, like step_rows: concurrent first-touch
+            # from shard threads shares one accumulator.
+            acc = self._accumulator.setdefault(
+                id(parameter), np.zeros_like(parameter.data))
+        acc += grad ** 2
+        # In-place for the same Hogwild reason as SGD.step_dense.
+        np.subtract(parameter.data, self.lr * grad / (np.sqrt(acc) + self.eps),
+                    out=parameter.data)
 
     def step_rows(self, parameter: Parameter, rows: np.ndarray,
                   row_grads: np.ndarray) -> None:
@@ -149,8 +155,11 @@ class Adagrad(Optimizer):
             raise ValueError("sparse row updates require weight_decay=0")
         acc = self._accumulator.get(id(parameter))
         if acc is None:
-            acc = np.zeros_like(parameter.data)
-            self._accumulator[id(parameter)] = acc
+            # setdefault is atomic under the GIL: when two shard threads hit
+            # a parameter's first update together, both end up sharing one
+            # accumulator instead of each keeping a private zeroed copy.
+            acc = self._accumulator.setdefault(
+                id(parameter), np.zeros_like(parameter.data))
         acc[rows] += row_grads ** 2
         parameter.data[rows] = (parameter.data[rows]
                                 - self.lr * row_grads / (np.sqrt(acc[rows]) + self.eps))
@@ -238,15 +247,18 @@ class RiemannianSGD(Optimizer):
             if x.ndim == 1:
                 updated = riemannian_update_rows(x[None, :], grad[None, :],
                                                  lr=self.lr,
-                                                 calibrate=self.calibrate)
-                parameter.data = updated[0]
+                                                 calibrate=self.calibrate)[0]
             else:
-                parameter.data = riemannian_update_rows(
+                updated = riemannian_update_rows(
                     x, grad, lr=self.lr, calibrate=self.calibrate)
+            # In-place for the same Hogwild reason as the Euclidean branch.
+            np.copyto(parameter.data, updated)
         else:
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
-            parameter.data = parameter.data - self.euclidean_lr * grad
+            # In-place for the same Hogwild reason as SGD.step_dense.
+            np.subtract(parameter.data, self.euclidean_lr * grad,
+                        out=parameter.data)
 
     def step_rows(self, parameter: Parameter, rows: np.ndarray,
                   row_grads: np.ndarray) -> None:

@@ -39,6 +39,12 @@ Multi-negative batches: ``n_negatives > 1`` draws ``(B, N)`` negative
 blocks per batch and ``negative_reduction`` picks the per-example
 aggregation (``"sum"`` over all negatives or ``"hardest"`` negative only)
 in both engines.
+
+The epoch loop itself lives in the unified training runtime
+(:class:`~repro.training.loop.TrainingLoop`): ``_fit`` builds the network
+and delegates, which also provides ``executor="sharded"`` Hogwild parallel
+epochs over disjoint user shards (fused engine only) and the resumable
+``fit_more`` surface used by the round-based trainer.
 """
 
 from __future__ import annotations
@@ -53,13 +59,19 @@ from repro.core.base import BaseRecommender
 from repro.core.fused import negatives_matrix, scatter_rows
 from repro.data.batching import TripletBatch, TripletBatcher
 from repro.data.interactions import InteractionMatrix
-from repro.utils.logging import enable_info, get_logger
+from repro.training.loop import (
+    RuntimeTrainedModel,
+    TrainingLoop,
+    validate_executor,
+)
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState
 from repro.utils.validation import check_in_range, check_positive_int
 
 logger = get_logger("baselines")
 
 
-class EmbeddingRecommender(BaseRecommender):
+class EmbeddingRecommender(RuntimeTrainedModel, BaseRecommender):
     """Base class for baselines trained with stochastic triplet batches.
 
     Parameters
@@ -77,6 +89,15 @@ class EmbeddingRecommender(BaseRecommender):
         ``"autograd"`` (reverse-mode reference) or ``"fused"`` (closed-form
         analytic gradients; only on baselines that implement
         :meth:`_fused_step`).  See the module docstring.
+    executor:
+        ``"serial"`` (default) or ``"sharded"`` epoch execution in the
+        training runtime; ``"sharded"`` runs lock-free Hogwild sub-epochs
+        over ``n_shards`` disjoint user shards (fused engine only, see
+        :mod:`repro.training.loop`).  ``n_shards=1`` sharded is
+        bit-identical to serial.
+    n_shards:
+        Number of disjoint user shards under ``executor="sharded"``;
+        ignored by the serial executor.
     n_negatives:
         Negatives sampled per positive; > 1 trains on ``(B, N)`` blocks.
     negative_reduction:
@@ -89,7 +110,8 @@ class EmbeddingRecommender(BaseRecommender):
     def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.1,
                  optimizer: str = "adagrad", user_sampling: str = "uniform",
-                 engine: str = "autograd", n_negatives: int = 1,
+                 engine: str = "autograd", executor: str = "serial",
+                 n_shards: int = 1, n_negatives: int = 1,
                  negative_reduction: str = "sum",
                  random_state: Optional[int] = 0, verbose: bool = False) -> None:
         super().__init__()
@@ -108,6 +130,9 @@ class EmbeddingRecommender(BaseRecommender):
                 f"{type(self).__name__} has no fused training engine; "
                 "use engine='autograd'")
         self.engine = engine
+        validate_executor(executor, n_shards, engine)
+        self.executor = executor
+        self.n_shards = n_shards
         self.n_negatives = check_positive_int(n_negatives, "n_negatives")
         if negative_reduction not in ("sum", "hardest"):
             raise ValueError("negative_reduction must be 'sum' or 'hardest'")
@@ -252,28 +277,37 @@ class EmbeddingRecommender(BaseRecommender):
         # row-restricted :meth:`_post_step` exactly equivalent to the
         # autograd engine's full-table application.
         self._post_step()
-        batcher = TripletBatcher(
+        self.loss_history_ = []
+        self.runtime_ = TrainingLoop(
+            self, interactions,
+            executor=self.executor,
+            n_shards=self.n_shards,
+            verbose=self.verbose,
+            logger=logger,
+        )
+        self.runtime_.run(self.n_epochs)
+
+    # ------------------------------------------------------------------ #
+    # TrainableModel protocol (consumed by the training runtime)
+    # ------------------------------------------------------------------ #
+    def make_batcher(self, interactions: InteractionMatrix, *,
+                     user_subset: Optional[np.ndarray] = None,
+                     random_state: RandomState = None) -> TripletBatcher:
+        return TripletBatcher(
             interactions,
             batch_size=self.batch_size,
             n_negatives=self.n_negatives,
             user_sampling=self.user_sampling,
-            random_state=self.random_state,
+            user_subset=user_subset,
+            random_state=(self.random_state if random_state is None
+                          else random_state),
         )
-        optimizer = self._make_optimizer()
-        self.loss_history_ = []
-        if self.verbose:
-            enable_info(logger)
-        for epoch in range(self.n_epochs):
-            self._on_epoch_start(epoch, interactions)
-            epoch_loss, n_batches = 0.0, 0
-            for batch in batcher.epoch():
-                epoch_loss += self._train_step(batch, optimizer)
-                n_batches += 1
-            mean_loss = epoch_loss / max(n_batches, 1)
-            self.loss_history_.append(mean_loss)
-            if self.verbose:
-                logger.info("%s epoch %d/%d loss %.4f",
-                            self.name, epoch + 1, self.n_epochs, mean_loss)
+
+    def make_optimizer(self) -> Optimizer:
+        return self._make_optimizer()
+
+    def train_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
+        return self._train_step(batch, optimizer)
 
     def _train_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
         """One gradient step on a triplet batch; dispatches on ``engine``."""
@@ -310,9 +344,10 @@ class EmbeddingRecommender(BaseRecommender):
 
     #: Scalar hyperparameters persisted alongside the learned parameters so
     #: that a reloaded baseline resumes training with identical behaviour
-    #: (training engine, optimizer family and step size, negative sampling).
-    _META_FIELDS = ("engine", "optimizer", "learning_rate",
-                    "n_negatives", "negative_reduction")
+    #: (training engine, epoch executor, optimizer family and step size,
+    #: negative sampling).
+    _META_FIELDS = ("engine", "executor", "n_shards", "optimizer",
+                    "learning_rate", "n_negatives", "negative_reduction")
     _META_PREFIX = "_meta."
 
     def get_parameters(self) -> Dict[str, np.ndarray]:
@@ -348,6 +383,13 @@ class EmbeddingRecommender(BaseRecommender):
                     f"checkpoint was trained with engine='fused' but "
                     f"{type(self).__name__} has no fused training engine")
             restored["engine"] = engine
+        if "executor" in meta:
+            restored["executor"] = str(meta["executor"].item())
+        if "n_shards" in meta:
+            restored["n_shards"] = int(meta["n_shards"].item())
+        validate_executor(restored.get("executor", self.executor),
+                          restored.get("n_shards", self.n_shards),
+                          restored.get("engine", self.engine))
         if "optimizer" in meta:
             optimizer = str(meta["optimizer"].item())
             if optimizer not in ("sgd", "adagrad"):

@@ -35,11 +35,13 @@ class BPR(EmbeddingRecommender):
     def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.1,
                  weight_decay: float = 1e-4, engine: str = "fused",
+                 executor: str = "serial", n_shards: int = 1,
                  n_negatives: int = 1, negative_reduction: str = "sum",
                  random_state=0, verbose: bool = False) -> None:
         super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
                          batch_size=batch_size, learning_rate=learning_rate,
-                         optimizer="adagrad", engine=engine, n_negatives=n_negatives,
+                         optimizer="adagrad", engine=engine, executor=executor,
+                         n_shards=n_shards, n_negatives=n_negatives,
                          negative_reduction=negative_reduction,
                          random_state=random_state, verbose=verbose)
         self.weight_decay = float(weight_decay)

@@ -51,12 +51,14 @@ class SML(EmbeddingRecommender):
                  batch_size: int = 256, learning_rate: float = 0.3,
                  init_margin: float = 0.5, max_margin: float = 1.0,
                  item_weight: float = 0.5, margin_weight: float = 0.1,
-                 engine: str = "fused", n_negatives: int = 1,
+                 engine: str = "fused", executor: str = "serial",
+                 n_shards: int = 1, n_negatives: int = 1,
                  negative_reduction: str = "sum",
                  random_state=0, verbose: bool = False) -> None:
         super().__init__(embedding_dim=embedding_dim, n_epochs=n_epochs,
                          batch_size=batch_size, learning_rate=learning_rate,
-                         optimizer="sgd", engine=engine, n_negatives=n_negatives,
+                         optimizer="sgd", engine=engine, executor=executor,
+                         n_shards=n_shards, n_negatives=n_negatives,
                          negative_reduction=negative_reduction,
                          random_state=random_state, verbose=verbose)
         if init_margin <= 0 or max_margin < init_margin:

@@ -15,6 +15,11 @@ Each training step runs on one of two engines (``config.engine``): the
 default ``"fused"`` closed-form path of :mod:`repro.core.fused` — analytic
 gradients plus sparse row-wise optimizer updates — or the ``"autograd"``
 reverse-mode reference; they agree to ~1e-10 per step.
+
+The epoch loop itself lives in the unified training runtime
+(:class:`~repro.training.loop.TrainingLoop`); ``_fit`` builds the network
+and delegates, which is also what provides ``executor="sharded"`` parallel
+epochs and the resumable ``fit_more`` surface.
 """
 
 from __future__ import annotations
@@ -45,8 +50,9 @@ from repro.core.similarity import (
 )
 from repro.data.batching import TripletBatcher
 from repro.data.interactions import InteractionMatrix
-from repro.utils.logging import enable_info, get_logger
-from repro.utils.rng import ensure_rng
+from repro.training.loop import RuntimeTrainedModel, TrainingLoop
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, ensure_rng
 
 logger = get_logger("core.multifacet")
 
@@ -86,7 +92,7 @@ class _MultiFacetNetwork(Module):
         self.facet_logits = Parameter(np.zeros((n_users, n_facets)))
 
 
-class MultiFacetRecommender(BaseRecommender):
+class MultiFacetRecommender(RuntimeTrainedModel, BaseRecommender):
     """Common machinery of MAR and MARS (not exported directly)."""
 
     def __init__(self, config: Optional[MARConfig] = None, **overrides) -> None:
@@ -142,31 +148,46 @@ class MultiFacetRecommender(BaseRecommender):
         else:
             self.margins_ = np.full(interactions.n_users, config.margin)
 
-        batcher = TripletBatcher(
+        self.loss_history_ = []
+        self.runtime_ = TrainingLoop(
+            self, interactions,
+            executor=config.executor,
+            n_shards=config.n_shards,
+            verbose=config.verbose,
+            logger=logger,
+        )
+        self.runtime_.run(config.n_epochs)
+
+    # ------------------------------------------------------------------ #
+    # TrainableModel protocol (consumed by the training runtime)
+    # ------------------------------------------------------------------ #
+    @property
+    def random_state(self) -> RandomState:
+        return self.config.random_state
+
+    def make_batcher(self, interactions: InteractionMatrix, *,
+                     user_subset: Optional[np.ndarray] = None,
+                     random_state: RandomState = None) -> TripletBatcher:
+        config = self.config
+        return TripletBatcher(
             interactions,
             batch_size=config.batch_size,
             n_negatives=config.n_negatives,
             user_sampling=config.user_sampling,
             beta=config.beta,
-            random_state=config.random_state,
+            user_subset=user_subset,
+            random_state=(config.random_state if random_state is None
+                          else random_state),
         )
-        optimizer = self._make_optimizer(self.network)
-        self.loss_history_ = []
-        if config.verbose:
-            enable_info(logger)
 
-        for epoch in range(config.n_epochs):
-            epoch_loss = 0.0
-            n_batches = 0
-            for batch in batcher.epoch():
-                loss = self._train_step(batch, optimizer)
-                epoch_loss += loss
-                n_batches += 1
-            mean_loss = epoch_loss / max(n_batches, 1)
-            self.loss_history_.append(mean_loss)
-            if config.verbose:
-                logger.info("%s epoch %d/%d loss %.4f",
-                            self.name, epoch + 1, config.n_epochs, mean_loss)
+    def make_optimizer(self) -> Optimizer:
+        return self._make_optimizer(self._require_network())
+
+    def train_step(self, batch, optimizer: Optimizer) -> float:
+        return self._train_step(batch, optimizer)
+
+    def _on_epoch_start(self, epoch: int, interactions: InteractionMatrix) -> None:
+        """Hook before each epoch (MAR/MARS need no per-epoch refresh)."""
 
     def _train_step(self, batch, optimizer: Optimizer) -> float:
         """One gradient step on a triplet batch; returns the batch loss.

@@ -66,6 +66,18 @@ class MARConfig:
         floating-point rounding (~1e-10), so seeded training runs produce
         identical loss curves; the fused engine is several times faster per
         step.
+    executor:
+        Epoch execution strategy of the training runtime
+        (:class:`~repro.training.loop.TrainingLoop`).  ``"serial"``
+        (default) runs the classic single-threaded loop; ``"sharded"``
+        partitions users into ``n_shards`` disjoint shards and runs their
+        sub-epochs concurrently with lock-free Hogwild updates (fused
+        engine only).  ``n_shards=1`` sharded is bit-identical to serial;
+        ``n_shards>1`` matches serial loss curves statistically, not
+        bitwise.
+    n_shards:
+        Number of disjoint user shards under ``executor="sharded"``;
+        ignored by the serial executor.
     """
 
     n_facets: int = 3
@@ -85,6 +97,8 @@ class MARConfig:
     n_negatives: int = 1
     negative_reduction: str = "sum"
     engine: str = "fused"
+    executor: str = "serial"
+    n_shards: int = 1
     random_state: Optional[int] = 0
     verbose: bool = False
 
@@ -107,6 +121,12 @@ class MARConfig:
             raise ValueError("negative_reduction must be 'sum' or 'hardest'")
         if self.engine not in ("fused", "autograd"):
             raise ValueError("engine must be 'fused' or 'autograd'")
+        # Imported here: repro.core must be importable before the training
+        # package finishes loading (and vice versa), so the shared executor
+        # rule set is resolved at validation time.
+        from repro.training.loop import validate_executor
+
+        validate_executor(self.executor, self.n_shards, self.engine)
 
 
 @dataclass

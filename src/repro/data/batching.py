@@ -60,11 +60,23 @@ class TripletBatcher:
     user_sampling:
         ``"frequency"`` for Eq. 10 (default, with ``beta``), ``"uniform"`` to
         sample uniformly among observed interactions.
+    user_subset:
+        Optional array of user ids restricting the batcher to one disjoint
+        shard of the user population: users are drawn only from the subset
+        (conditional form of the configured ``user_sampling`` distribution),
+        and an epoch covers ≈ the subset's interactions instead of the whole
+        matrix, so the shard epochs of the sharded training executor sum to
+        one serial epoch.  ``None`` (default) keeps the full population.
+    random_state:
+        Seed or :class:`numpy.random.Generator` driving every draw of this
+        batcher; sharded training hands each shard's batcher an independent
+        spawned stream (:func:`repro.utils.rng.spawn_generators`).
     """
 
     def __init__(self, interactions: InteractionMatrix, batch_size: int = 256,
                  n_negatives: int = 1, user_sampling: str = "frequency",
-                 beta: float = 0.8, random_state: RandomState = None) -> None:
+                 beta: float = 0.8, user_subset: Optional[np.ndarray] = None,
+                 random_state: RandomState = None) -> None:
         self.interactions = interactions
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.n_negatives = check_positive_int(n_negatives, "n_negatives")
@@ -72,17 +84,38 @@ class TripletBatcher:
             raise ValueError("user_sampling must be 'frequency' or 'uniform'")
         self.user_sampling = user_sampling
 
+        degrees = interactions.user_degrees()
+        active = np.flatnonzero(degrees > 0)
+        if user_subset is not None:
+            subset = np.unique(np.asarray(user_subset, dtype=np.int64))
+            if subset.size == 0:
+                raise ValueError("user_subset must not be empty")
+            if subset[0] < 0 or subset[-1] >= interactions.n_users:
+                raise ValueError(
+                    f"user_subset ids must be in [0, {interactions.n_users}), "
+                    f"got range [{subset[0]}, {subset[-1]}]")
+            active = np.intersect1d(active, subset, assume_unique=True)
+            self.user_subset: Optional[np.ndarray] = subset
+        else:
+            self.user_subset = None
+        self._active_users = active
+        if self._active_users.size == 0:
+            raise ValueError("no users with interactions"
+                             + (" in user_subset" if user_subset is not None else ""))
+        # Interactions an epoch should cover: the subset's share when
+        # sharded, every observed interaction otherwise.
+        self._epoch_interactions = (
+            int(degrees[self._active_users].sum()) if user_subset is not None
+            else interactions.n_interactions)
+
         self._rng = ensure_rng(random_state)
         self._negative_sampler = UniformNegativeSampler(interactions, random_state=self._rng)
         self._user_sampler: Optional[FrequencyBiasedUserSampler] = None
         if user_sampling == "frequency":
             self._user_sampler = FrequencyBiasedUserSampler(
-                interactions, beta=beta, random_state=self._rng
+                interactions, beta=beta, random_state=self._rng,
+                user_subset=self._active_users if user_subset is not None else None,
             )
-        degrees = interactions.user_degrees()
-        self._active_users = np.flatnonzero(degrees > 0)
-        if self._active_users.size == 0:
-            raise ValueError("no users with interactions")
         # CSR-style positive lists — the interaction matrix's own indptr /
         # indices arrays — so positive sampling is a single vectorised
         # random-offset gather instead of a Python loop over per-user arrays.
@@ -98,9 +131,10 @@ class TripletBatcher:
         Each batch carries ``batch_size`` positives regardless of
         ``n_negatives`` (extra negatives widen the block instead of
         repeating pairs), so the epoch length depends only on the number of
-        observed interactions.
+        observed interactions — those of ``user_subset`` when the batcher is
+        restricted to a shard, all of them otherwise.
         """
-        return max(1, int(np.ceil(self.interactions.n_interactions / self.batch_size)))
+        return max(1, int(np.ceil(self._epoch_interactions / self.batch_size)))
 
     def _sample_users(self, size: int) -> np.ndarray:
         if self._user_sampler is not None:

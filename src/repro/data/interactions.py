@@ -137,6 +137,24 @@ class InteractionMatrix:
             self._csc_cache = self._matrix.tocsc()
         return self._csc_cache
 
+    def encoded_positive_keys(self) -> np.ndarray:
+        """Sorted ``user * n_items + item`` keys of every interaction (cached).
+
+        One ``searchsorted`` over this array answers a batched
+        "is this (user, item) pair observed?" query; the negative samplers
+        use it for vectorised rejection sampling.  Cached on the matrix (do
+        not mutate) so every sampler built on it — one per shard under
+        sharded training — shares a single ``O(nnz)`` index instead of each
+        re-sorting its own copy.
+        """
+        if not hasattr(self, "_positive_keys_cache"):
+            user_ids = np.repeat(np.arange(self.n_users, dtype=np.int64),
+                                 np.diff(self._matrix.indptr))
+            self._positive_keys_cache = np.sort(
+                user_ids * self.n_items + self._matrix.indices.astype(np.int64)
+            )
+        return self._positive_keys_cache
+
     def user_degrees(self) -> np.ndarray:
         """Number of interactions per user, shape ``(n_users,)``."""
         return np.diff(self._matrix.indptr).astype(np.int64)

@@ -24,19 +24,27 @@ class UniformNegativeSampler:
         self.interactions = interactions
         self._rng = ensure_rng(random_state)
         self.max_rejections = check_positive_int(max_rejections, "max_rejections")
-        self._positive_sets = [
-            set(interactions.items_of_user(user).tolist())
-            for user in range(interactions.n_users)
-        ]
+        # Per-user positive sets back the single-user path and the
+        # dense-user fallback only, so they are built lazily: the batched
+        # training path never touches them, and sharded training builds one
+        # sampler per shard, where the O(n_users) Python loop would
+        # otherwise be paid once per shard.
+        self._positive_sets_cache: Optional[list] = None
         # Sorted encoded (user, item) keys: membership of a whole candidate
         # batch is one searchsorted instead of a scipy fancy-index lookup,
-        # which keeps the training-loop sampling off the profile.
-        matrix = interactions.csr()
-        user_ids = np.repeat(np.arange(interactions.n_users, dtype=np.int64),
-                             np.diff(matrix.indptr))
-        self._pair_keys = np.sort(
-            user_ids * interactions.n_items + matrix.indices.astype(np.int64)
-        )
+        # which keeps the training-loop sampling off the profile.  The index
+        # is cached on (and shared through) the interaction matrix, so the
+        # per-shard samplers of sharded training all point at one copy.
+        self._pair_keys = interactions.encoded_positive_keys()
+
+    @property
+    def _positive_sets(self) -> list:
+        if self._positive_sets_cache is None:
+            self._positive_sets_cache = [
+                set(self.interactions.items_of_user(user).tolist())
+                for user in range(self.interactions.n_users)
+            ]
+        return self._positive_sets_cache
 
     def _is_positive(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Vectorised membership test for ``(user, item)`` pairs."""
@@ -156,11 +164,19 @@ class FrequencyBiasedUserSampler:
     """
 
     def __init__(self, interactions: InteractionMatrix, beta: float = 0.8,
-                 random_state: RandomState = None) -> None:
+                 random_state: RandomState = None,
+                 user_subset: Optional[np.ndarray] = None) -> None:
         self.beta = check_in_range(beta, "beta", 0.0, 10.0)
         self._rng = ensure_rng(random_state)
         frequencies = interactions.user_degrees().astype(np.float64)
         weights = np.where(frequencies > 0, frequencies ** self.beta, 0.0)
+        if user_subset is not None:
+            # Restrict Eq. 10 to a user shard: weights outside the subset are
+            # zeroed and the remaining mass renormalised, so the conditional
+            # distribution over the shard matches the unrestricted sampler.
+            mask = np.zeros(interactions.n_users, dtype=bool)
+            mask[np.asarray(user_subset, dtype=np.int64)] = True
+            weights = np.where(mask, weights, 0.0)
         total = weights.sum()
         if total <= 0:
             raise ValueError("interaction matrix has no interactions to sample from")

@@ -70,6 +70,13 @@ class ModelZoo:
         experiment preset reproduces the same tables either way.  Models
         without a fused kernel (NMF, NeuMF, LRML, the heuristics) ignore
         the knob.
+    executor, n_shards:
+        Epoch executor of the training runtime for the same models —
+        ``"serial"`` (default) or ``"sharded"`` Hogwild parallel epochs
+        over ``n_shards`` disjoint user shards (see
+        :mod:`repro.training.loop`).  Sharding requires the fused engine
+        and trades bitwise seeded reproducibility for wall-clock speed on
+        multi-core machines, so experiment presets default to serial.
     """
 
     #: Order used in Table II of the paper (baselines first, ours last).
@@ -77,10 +84,13 @@ class ModelZoo:
                      "LRML", "SML", "MAR", "MARS"]
 
     def __init__(self, scale: str = "quick", random_state: int = 0,
-                 engine: str = "fused") -> None:
+                 engine: str = "fused", executor: str = "serial",
+                 n_shards: int = 1) -> None:
         self.scale = experiment_scale(scale)
         self.random_state = random_state
         self.engine = engine
+        self.executor = executor
+        self.n_shards = n_shards
 
     # ------------------------------------------------------------------ #
     def available_models(self) -> List[str]:
@@ -96,7 +106,8 @@ class ModelZoo:
             "BPR": lambda: BPR(embedding_dim=scale.embedding_dim,
                                n_epochs=scale.n_epochs_mf,
                                batch_size=scale.batch_size,
-                               engine=self.engine, random_state=seed),
+                               engine=self.engine, random_state=seed,
+                               **self._executor_kwargs()),
             "NMF": lambda: NMF(n_factors=scale.embedding_dim,
                                n_iterations=max(scale.n_epochs_mf * 2, 40),
                                random_state=seed),
@@ -106,22 +117,26 @@ class ModelZoo:
             "CML": lambda: CML(embedding_dim=scale.embedding_dim,
                                n_epochs=scale.n_epochs_metric,
                                batch_size=scale.batch_size,
-                               engine=self.engine, random_state=seed),
+                               engine=self.engine, random_state=seed,
+                               **self._executor_kwargs()),
             "MetricF": lambda: MetricF(embedding_dim=scale.embedding_dim,
                                        n_epochs=scale.n_epochs_metric,
                                        batch_size=scale.batch_size,
-                                       engine=self.engine, random_state=seed),
+                                       engine=self.engine, random_state=seed,
+                                       **self._executor_kwargs()),
             "TransCF": lambda: TransCF(embedding_dim=scale.embedding_dim,
                                        n_epochs=scale.n_epochs_metric,
                                        batch_size=scale.batch_size,
-                                       engine=self.engine, random_state=seed),
+                                       engine=self.engine, random_state=seed,
+                                       **self._executor_kwargs()),
             "LRML": lambda: LRML(embedding_dim=scale.embedding_dim,
                                  n_epochs=scale.n_epochs_metric,
                                  batch_size=scale.batch_size, random_state=seed),
             "SML": lambda: SML(embedding_dim=scale.embedding_dim,
                                n_epochs=scale.n_epochs_metric,
                                batch_size=scale.batch_size,
-                               engine=self.engine, random_state=seed),
+                               engine=self.engine, random_state=seed,
+                               **self._executor_kwargs()),
             "MAR": lambda: MAR(**self._multifacet_kwargs(0.5, overrides)),
             "MARS": lambda: MARS(**self._multifacet_kwargs(4.0, overrides)),
         }
@@ -130,6 +145,10 @@ class ModelZoo:
         if overrides and name not in ("MAR", "MARS"):
             raise ValueError(f"overrides are only supported for MAR/MARS, got {overrides}")
         return builders[name]()
+
+    def _executor_kwargs(self) -> Dict:
+        """Training-runtime executor settings shared by every runtime model."""
+        return {"executor": self.executor, "n_shards": self.n_shards}
 
     def _multifacet_kwargs(self, learning_rate: float, overrides: Dict) -> Dict:
         """Default MAR/MARS keyword arguments at this scale, with overrides applied."""
@@ -141,6 +160,7 @@ class ModelZoo:
             "learning_rate": learning_rate,
             "engine": self.engine,
             "random_state": self.random_state,
+            **self._executor_kwargs(),
         }
         kwargs.update(overrides)
         return kwargs

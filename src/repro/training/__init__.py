@@ -1,10 +1,25 @@
-"""Training harness: validation-driven trainer, callbacks and grid search."""
+"""Training harness: unified runtime, validation-driven trainer, callbacks
+and grid search."""
 
+from repro.training.loop import (
+    EpochReport,
+    RuntimeTrainedModel,
+    TrainableModel,
+    TrainingLoop,
+    partition_users,
+    validate_executor,
+)
 from repro.training.trainer import Trainer, TrainingReport
 from repro.training.callbacks import Callback, EarlyStopping, History
 from repro.training.grid_search import GridSearch, GridSearchResult
 
 __all__ = [
+    "EpochReport",
+    "RuntimeTrainedModel",
+    "TrainableModel",
+    "TrainingLoop",
+    "partition_users",
+    "validate_executor",
     "Trainer",
     "TrainingReport",
     "Callback",

@@ -1,0 +1,375 @@
+"""Unified training runtime shared by every triplet-trained model.
+
+Historically :class:`~repro.core._multifacet.MultiFacetRecommender` and
+:class:`~repro.baselines._embedding_base.EmbeddingRecommender` each owned a
+private copy of the same epoch loop — batcher construction, the epoch/batch
+iteration, loss accumulation, verbose logging and ``loss_history_``.  This
+module hoists that loop into one place, :class:`TrainingLoop`, behind the
+small :class:`TrainableModel` protocol (``make_batcher``, ``make_optimizer``,
+``train_step`` plus the ``_on_epoch_start`` epoch hook), and adds the layer
+the duplicated loops could never host: a pluggable *executor*.
+
+Executors
+---------
+``executor="serial"`` (default)
+    One batcher, one thread, batches consumed in order.  Loop-for-loop
+    bit-identical to the pre-runtime hand-rolled loops: the batcher is
+    built with the same arguments, draws from the same stream, and the
+    steps are applied in the same order (certified in
+    ``tests/test_training_runtime.py`` against reference reimplementations
+    of the old loops).  Note the *kernels* under the loop may still evolve
+    between releases — the same PR that introduced the runtime also changed
+    :func:`~repro.core.fused.scatter_rows`' summation order by ~1e-15 per
+    element — so seeded outputs are pinned within a release, not across
+    releases.
+
+``executor="sharded"``
+    Hogwild-style lock-free parallel epochs.  The active users are
+    partitioned into ``n_shards`` disjoint, degree-balanced shards
+    (:func:`partition_users`); each shard gets its own
+    :class:`~repro.data.batching.TripletBatcher` restricted to its users
+    (``user_subset``) with an independent spawned RNG stream
+    (:func:`repro.utils.rng.spawn_generators`, built on
+    ``np.random.SeedSequence.spawn``), and every epoch runs the shard
+    sub-epochs concurrently on a ``ThreadPoolExecutor``.  No locks are
+    taken around parameter updates.
+
+Why lock-free updates are safe here (the Hogwild argument):
+
+* user-side state (user embedding rows, facet-weight logit rows, the
+  per-user Adagrad accumulator rows) is only ever written by the shard that
+  owns the user, because shards are disjoint and every fused kernel applies
+  row-restricted updates (``optimizer.step_rows``) to exactly the batch's
+  user rows;
+* item rows are shared, so two shards can race on an item row the way the
+  original Hogwild scheme races on shared coordinates — updates are sparse
+  row writes, collisions are rare at catalogue scale, and a lost or torn
+  item update perturbs a trajectory that SGD noise perturbs far more;
+* the multifacet models additionally share small *dense* parameters (the
+  ``(K, D, D)`` projection stacks), which every shard updates in place on
+  every step — constant elementwise contention rather than rare row
+  collisions, tolerated because each update is tiny relative to the
+  tensor; this is the main source of the statistical (not bitwise)
+  equivalence of ``n_shards > 1`` runs;
+* the heavy lifting of a fused step is NumPy/BLAS code that releases the
+  GIL, which is what lets threads actually overlap.
+
+The determinism contract follows from the construction: ``n_shards=1``
+builds the one batcher exactly like the serial executor (root stream, no
+``user_subset``) and is therefore bit-identical to it, while ``n_shards>1``
+is only statistically equivalent — loss curves agree to a few percent and
+evaluation metrics to noise level, but thread interleaving makes individual
+runs non-reproducible.  Sharded execution therefore requires the fused
+engine; the autograd engine's dense ``.grad`` buffers and full-table
+optimizer steps would race destructively rather than Hogwild-tolerably.
+
+The loop is *resumable*: ``run(n)`` may be called repeatedly and continues
+the same batcher streams and optimizer state, which is what lets
+:class:`~repro.training.trainer.Trainer` warm-start validation rounds
+instead of retraining from scratch every round.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.autograd.optim import Optimizer
+from repro.data.batching import TripletBatch, TripletBatcher
+from repro.data.interactions import InteractionMatrix
+from repro.utils.logging import get_logger, scoped_info
+from repro.utils.rng import RandomState, spawn_generators
+from repro.utils.validation import check_positive_int
+
+#: Executor names accepted by :class:`TrainingLoop` (and the ``executor``
+#: knobs on :class:`~repro.core.config.MARConfig` and
+#: :class:`~repro.baselines._embedding_base.EmbeddingRecommender`).
+EXECUTORS = ("serial", "sharded")
+
+
+def validate_executor(executor: str, n_shards: int,
+                      engine: Optional[str] = None) -> None:
+    """Validate an executor configuration (the one shared rule set).
+
+    Used by :class:`TrainingLoop`, the model configs and the checkpoint
+    restore path, so the executor whitelist and the sharding/engine
+    compatibility rule live in exactly one place.  ``engine=None`` skips
+    the engine compatibility check (for callers that have no engine knob).
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    check_positive_int(n_shards, "n_shards")
+    if engine is not None and executor == "sharded" and n_shards > 1 \
+            and engine != "fused":
+        # The autograd engine accumulates into shared dense .grad buffers
+        # and steps whole tables, which races destructively across shard
+        # threads; only fused row-sparse updates satisfy the Hogwild
+        # safety argument.
+        raise ValueError("executor='sharded' with n_shards > 1 requires "
+                         "engine='fused'")
+
+
+@runtime_checkable
+class TrainableModel(Protocol):
+    """What a model must expose to train under :class:`TrainingLoop`.
+
+    Both model families implement this by delegating to the hooks they
+    already had (``_train_step``, ``_make_optimizer``, ``_on_epoch_start``);
+    the protocol only fixes the names the runtime calls.
+    """
+
+    #: Human-readable name used in verbose epoch logs.
+    name: str
+    #: Per-epoch mean losses; the runtime appends one entry per epoch.
+    loss_history_: List[float]
+    #: Seed the sharded executor spawns per-shard streams from.
+    random_state: RandomState
+
+    def make_batcher(self, interactions: InteractionMatrix, *,
+                     user_subset: Optional[np.ndarray] = None,
+                     random_state: RandomState = None) -> TripletBatcher:
+        """Batcher over ``interactions`` with the model's sampling settings.
+
+        ``random_state=None`` means the model's own configured seed (the
+        serial executor's choice); the sharded executor passes an explicit
+        spawned generator per shard.
+        """
+        ...
+
+    def make_optimizer(self) -> Optimizer:
+        """Fresh optimizer over the model's (already built) parameters."""
+        ...
+
+    def train_step(self, batch: TripletBatch, optimizer: Optimizer) -> float:
+        """One gradient step on a triplet batch; returns the batch loss."""
+        ...
+
+    def _on_epoch_start(self, epoch: int, interactions: InteractionMatrix) -> None:
+        """Hook before each epoch (e.g. refresh cached neighbourhoods)."""
+        ...
+
+
+@dataclass
+class EpochReport:
+    """Outcome of one epoch under the runtime."""
+
+    #: Zero-based global epoch index (monotonic across resumed runs).
+    epoch: int
+    #: Batch-mean loss over every shard's batches.
+    mean_loss: float
+    #: Total batches consumed this epoch (summed over shards).
+    n_batches: int
+    #: Wall-clock seconds the epoch took.
+    duration: float
+    #: Per-shard batch-mean losses (``None`` under a single batcher).
+    shard_losses: Optional[List[float]] = None
+
+
+def partition_users(interactions: InteractionMatrix,
+                    n_shards: int) -> List[np.ndarray]:
+    """Split the active users into disjoint, degree-balanced shards.
+
+    Users with at least one interaction are sorted by interaction count
+    (descending, ties by id for determinism) and dealt round-robin, so every
+    shard carries roughly the same number of training interactions — the
+    quantity that sets a shard's epoch length.  The shards are pairwise
+    disjoint and their union is exactly the active-user set, which is the
+    property the Hogwild safety argument rests on.
+    """
+    check_positive_int(n_shards, "n_shards")
+    degrees = interactions.user_degrees()
+    active = np.flatnonzero(degrees > 0)
+    if active.size < n_shards:
+        raise ValueError(
+            f"cannot split {active.size} active users into {n_shards} shards")
+    order = active[np.argsort(-degrees[active], kind="stable")]
+    return [np.sort(order[shard::n_shards]) for shard in range(n_shards)]
+
+
+class TrainingLoop:
+    """The shared epoch/batch loop with pluggable executors.
+
+    Parameters
+    ----------
+    model:
+        A :class:`TrainableModel` whose parameters are already built (the
+        model's ``_fit`` constructs its network *before* handing over).
+    interactions:
+        Training interaction matrix.
+    executor:
+        ``"serial"`` or ``"sharded"`` (see the module docstring).
+    n_shards:
+        Number of disjoint user shards under the sharded executor; ignored
+        by the serial one.  ``n_shards=1`` is bit-identical to serial.
+    verbose:
+        Log one INFO line per epoch.  The level change is scoped to
+        :meth:`run` (restored on exit), so a verbose fit does not leave the
+        logger chatty for later models.
+    logger:
+        Logger the epoch lines go to; defaults to ``repro.training.loop``.
+        Models pass their own module logger so log namespaces stay stable.
+
+    Notes
+    -----
+    The loop owns the batcher(s) and the optimizer and keeps them across
+    :meth:`run` calls, so repeated calls *resume* training — same sample
+    streams, same optimizer state — rather than restart it.  ``reports``
+    accumulates one :class:`EpochReport` per epoch ever run.  Resumability
+    has a memory cost: the optimizer state (for Adagrad a full
+    table-shaped accumulator) and the per-shard samplers stay referenced
+    by the fitted model; call :meth:`release` when a model will only be
+    served.
+    """
+
+    def __init__(self, model: TrainableModel, interactions: InteractionMatrix,
+                 *, executor: str = "serial", n_shards: int = 1,
+                 verbose: bool = False, logger=None) -> None:
+        validate_executor(executor, n_shards)
+        self.model = model
+        self.interactions = interactions
+        self.executor = executor
+        self.n_shards = n_shards if executor == "sharded" else 1
+        self.verbose = verbose
+        self._logger = logger if logger is not None else get_logger("training.loop")
+        self.reports: List[EpochReport] = []
+        self.epoch_ = 0
+        self.shards_: Optional[List[np.ndarray]] = None
+        self._optimizer: Optional[Optimizer] = None
+        self._batchers: Optional[List[TripletBatcher]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def optimizer(self) -> Optimizer:
+        """The loop's optimizer (created on first :meth:`run`)."""
+        self._ensure_state()
+        return self._optimizer
+
+    def release(self) -> None:
+        """Drop the batchers and optimizer to free their memory.
+
+        A resumable loop pins the training interactions, one negative
+        sampler per shard and the optimizer state for the fitted model's
+        lifetime; serving-only deployments that will never call
+        :meth:`run` / ``fit_more`` again can release it.  A released loop
+        refuses further :meth:`run` calls rather than silently restarting
+        the sample streams.
+        """
+        self._released = True
+        self._optimizer = None
+        self._batchers = None
+
+    def _ensure_state(self) -> None:
+        if getattr(self, "_released", False):
+            raise RuntimeError(
+                "this training loop was released; fit the model again to "
+                "continue training")
+        if self._optimizer is not None:
+            return
+        self._optimizer = self.model.make_optimizer()
+        if self.n_shards > 1:
+            self.shards_ = partition_users(self.interactions, self.n_shards)
+            streams = spawn_generators(self.model.random_state, self.n_shards)
+            self._batchers = [
+                self.model.make_batcher(self.interactions, user_subset=shard,
+                                        random_state=stream)
+                for shard, stream in zip(self.shards_, streams)
+            ]
+        else:
+            # Serial — and sharded with a single shard, which is required to
+            # be bit-identical to serial: one batcher over the full user
+            # population on the model's root stream, no subset restriction.
+            self._batchers = [self.model.make_batcher(self.interactions)]
+
+    # ------------------------------------------------------------------ #
+    def run(self, n_epochs: int) -> List[EpochReport]:
+        """Train for ``n_epochs`` more epochs; returns their reports.
+
+        Appends one batch-mean loss per epoch to ``model.loss_history_``
+        (the contract every pre-runtime loop honoured) and logs one INFO
+        line per epoch when ``verbose``.
+        """
+        check_positive_int(n_epochs, "n_epochs")
+        self._ensure_state()
+        target = self.epoch_ + n_epochs
+        new_reports: List[EpochReport] = []
+        scope = scoped_info(self._logger) if self.verbose else nullcontext()
+        with scope:
+            for _ in range(n_epochs):
+                report = self._run_epoch(self.epoch_)
+                self.epoch_ += 1
+                self.reports.append(report)
+                new_reports.append(report)
+                self.model.loss_history_.append(report.mean_loss)
+                if self.verbose:
+                    self._logger.info("%s epoch %d/%d loss %.4f",
+                                      self.model.name, report.epoch + 1,
+                                      target, report.mean_loss)
+        return new_reports
+
+    def _run_epoch(self, epoch: int) -> EpochReport:
+        self.model._on_epoch_start(epoch, self.interactions)
+        start = time.perf_counter()
+        if len(self._batchers) == 1:
+            shard_totals = [self._shard_epoch(self._batchers[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=len(self._batchers)) as pool:
+                futures = [pool.submit(self._shard_epoch, batcher)
+                           for batcher in self._batchers]
+                shard_totals = [future.result() for future in futures]
+        duration = time.perf_counter() - start
+        n_batches = sum(count for _, count in shard_totals)
+        total_loss = sum(loss for loss, _ in shard_totals)
+        shard_losses = None
+        if len(shard_totals) > 1:
+            shard_losses = [loss / max(count, 1) for loss, count in shard_totals]
+        return EpochReport(
+            epoch=epoch,
+            mean_loss=total_loss / max(n_batches, 1),
+            n_batches=n_batches,
+            duration=duration,
+            shard_losses=shard_losses,
+        )
+
+    def _shard_epoch(self, batcher: TripletBatcher):
+        """One shard's sub-epoch; returns ``(loss_sum, n_batches)``."""
+        total, count = 0.0, 0
+        for batch in batcher.epoch():
+            total += self.model.train_step(batch, self._optimizer)
+            count += 1
+        return total, count
+
+
+class RuntimeTrainedModel:
+    """Mixin for models whose ``_fit`` delegates to :class:`TrainingLoop`.
+
+    Provides the resumable-training surface: after :meth:`fit` the loop is
+    kept on ``runtime_``, and :meth:`fit_more` continues it — same batcher
+    streams, same optimizer state — which is what
+    :class:`~repro.training.trainer.Trainer` warm-starts rounds with.
+    Serving-only deployments can call ``model.runtime_.release()`` after
+    fitting to drop the loop's batchers and optimizer state.
+    """
+
+    #: The loop of the latest ``fit`` call (``None`` before fitting, and on
+    #: models restored from a checkpoint without retraining).
+    runtime_: Optional[TrainingLoop] = None
+
+    def fit_more(self, n_epochs: int):
+        """Resume training for ``n_epochs`` additional epochs.
+
+        Continuing a seeded serial run for ``k`` epochs produces exactly the
+        state a fresh fit with ``n_epochs + k`` epochs would have reached:
+        the loop keeps its batcher streams and optimizer state, so nothing
+        restarts.
+        """
+        if self.runtime_ is None:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before fit_more "
+                "(a loaded checkpoint carries no resumable training state)")
+        self.runtime_.run(n_epochs)
+        return self

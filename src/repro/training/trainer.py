@@ -9,7 +9,6 @@ parameters are restored at the end.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -53,18 +52,32 @@ class Trainer:
         Total budget = ``n_rounds × epochs_per_round`` epochs.
     monitor:
         Metric used to select the best round.
+    retrain_from_scratch:
+        By default each round *warm-starts* from the previous one through
+        the training runtime's resumable state (``model.fit_more``), so the
+        total budget really is ``n_rounds × epochs_per_round`` epochs — and
+        for seeded serial models the per-round states are identical to the
+        from-scratch schedule's, since resuming continues the same batcher
+        and optimizer streams.  ``True`` restores the old behaviour of
+        building a fresh model each round and retraining it for
+        ``epochs_per_round × (round + 1)`` epochs from scratch (a quadratic
+        ``n_rounds (n_rounds + 1) / 2 × epochs_per_round`` total), which is
+        also the automatic fallback for models without a resumable runtime
+        (e.g. NMF's ALS loop or the heuristic baselines).
     """
 
     def __init__(self, model_factory: Callable[[], BaseRecommender],
                  dataset: ImplicitFeedbackDataset, n_rounds: int = 5,
                  epochs_per_round: int = 10, monitor: str = "ndcg@10",
                  n_negatives: int = 100, random_state: int = 0,
-                 callbacks: Optional[Sequence[Callback]] = None) -> None:
+                 callbacks: Optional[Sequence[Callback]] = None,
+                 retrain_from_scratch: bool = False) -> None:
         self.model_factory = model_factory
         self.dataset = dataset
         self.n_rounds = check_positive_int(n_rounds, "n_rounds")
         self.epochs_per_round = check_positive_int(epochs_per_round, "epochs_per_round")
         self.monitor = monitor
+        self.retrain_from_scratch = retrain_from_scratch
         self.callbacks: List[Callback] = list(callbacks or [])
         self._history = History()
         self.callbacks.append(self._history)
@@ -74,6 +87,12 @@ class Trainer:
         )
 
     # ------------------------------------------------------------------ #
+    def _resumable(self, model: BaseRecommender) -> bool:
+        """Whether ``model`` can warm-start the next round via ``fit_more``."""
+        return (not self.retrain_from_scratch
+                and getattr(model, "runtime_", None) is not None
+                and hasattr(model, "fit_more"))
+
     def train(self) -> TrainingReport:
         """Run the round loop and return the report with the best model."""
         best_metrics: Optional[Dict[str, float]] = None
@@ -83,10 +102,13 @@ class Trainer:
 
         model: Optional[BaseRecommender] = None
         for round_index in range(self.n_rounds):
-            model = self.model_factory()
-            total_epochs = self.epochs_per_round * (round_index + 1)
-            self._set_epochs(model, total_epochs)
-            model.fit(self.dataset)
+            if round_index > 0 and self._resumable(model):
+                model.fit_more(self.epochs_per_round)
+            else:
+                model = self.model_factory()
+                total_epochs = self.epochs_per_round * (round_index + 1)
+                self._set_epochs(model, total_epochs)
+                model.fit(self.dataset)
             metrics = self.evaluator.evaluate(model).metrics
 
             if best_metrics is None or metrics[self.monitor] > best_metrics[self.monitor]:
@@ -107,6 +129,15 @@ class Trainer:
             except (NotImplementedError, KeyError, ValueError):
                 logger.warning("could not restore best parameters; "
                                "returning the last trained model")
+            else:
+                if best_round != round_index and getattr(model, "runtime_", None):
+                    # The restored parameters no longer match the loop's
+                    # optimizer accumulators and sample-stream positions, so
+                    # resuming would train the best round's weights with a
+                    # later round's state; drop the resumable surface
+                    # (fit_more then fails loudly) instead.
+                    model.runtime_.release()
+                    model.runtime_ = None
         return TrainingReport(
             model=model,
             best_round=best_round,

@@ -1,6 +1,6 @@
 """Shared utilities: validation, RNG handling, logging, timing and IO."""
 
-from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.rng import ensure_rng, spawn_generators, spawn_rng
 from repro.utils.validation import (
     check_positive_int,
     check_non_negative,
@@ -14,6 +14,7 @@ from repro.utils.timer import Timer
 
 __all__ = [
     "ensure_rng",
+    "spawn_generators",
     "spawn_rng",
     "check_positive_int",
     "check_non_negative",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import sys
 
@@ -60,3 +61,20 @@ def enable_info(logger: logging.Logger) -> None:
     _configure_root()
     if logger.getEffectiveLevel() > logging.INFO:
         logger.setLevel(logging.INFO)
+
+
+@contextlib.contextmanager
+def scoped_info(logger: logging.Logger):
+    """Context manager form of :func:`enable_info` that restores on exit.
+
+    The training runtime uses this for ``verbose=True`` runs: the logger
+    emits INFO records for the duration of the loop, then gets back the
+    explicit level it had before (usually ``NOTSET``), so one verbose fit
+    does not leave every later model on the same logger chatty.
+    """
+    previous = logger.level
+    enable_info(logger)
+    try:
+        yield logger
+    finally:
+        logger.setLevel(previous)

@@ -40,6 +40,29 @@ def ensure_rng(random_state: RandomState = None) -> np.random.Generator:
     )
 
 
+def spawn_generators(random_state: RandomState, n_children: int) -> list:
+    """Spawn ``n_children`` independent generators from any seed form.
+
+    Built on :meth:`numpy.random.SeedSequence.spawn`, the canonical way to
+    derive parallel streams: children are statistically independent of each
+    other *and* of the stream the parent seed produces, and the whole family
+    is reproducible from one integer seed.  Used by the sharded training
+    executor to give every user shard its own batcher stream.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh OS entropy), an ``int`` seed, or an existing
+        :class:`~numpy.random.Generator` (spawned through its own seed
+        sequence, advancing its spawn counter).
+    """
+    if n_children < 0:
+        raise ValueError("n_children must be non-negative")
+    # Generator.spawn draws the children from the generator's own seed
+    # sequence, so every accepted seed form funnels through one code path.
+    return list(ensure_rng(random_state).spawn(n_children))
+
+
 def spawn_rng(rng: np.random.Generator, n_children: int) -> list:
     """Spawn ``n_children`` independent child generators from ``rng``.
 

@@ -70,7 +70,7 @@ class TestTrainer:
         assert report.stopped_early
         assert len(report.history) < 4
 
-    def test_trainer_sets_epoch_budget_on_config_models(self, dataset):
+    def test_trainer_warm_starts_rounds_with_linear_budget(self, dataset):
         captured = []
 
         def factory():
@@ -81,8 +81,103 @@ class TestTrainer:
 
         Trainer(model_factory=factory, dataset=dataset, n_rounds=2,
                 epochs_per_round=3, n_negatives=20).train()
+        # Warm start: one model, resumed each round — the total budget is
+        # n_rounds × epochs_per_round epochs, not the quadratic schedule.
+        assert len(captured) == 1
+        assert captured[0].config.n_epochs == 3
+        assert len(captured[0].loss_history_) == 6
+
+    def test_trainer_retrain_from_scratch_escape_hatch(self, dataset):
+        captured = []
+
+        def factory():
+            model = MARS(n_facets=2, embedding_dim=8, n_epochs=1, batch_size=64,
+                         random_state=0)
+            captured.append(model)
+            return model
+
+        Trainer(model_factory=factory, dataset=dataset, n_rounds=2,
+                epochs_per_round=3, n_negatives=20,
+                retrain_from_scratch=True).train()
+        # Old behaviour: a fresh model per round, round r trained from
+        # scratch for epochs_per_round × (r + 1) epochs.
+        assert len(captured) == 2
         assert captured[0].config.n_epochs == 3
         assert captured[1].config.n_epochs == 6
+
+    def test_trainer_warm_start_matches_retrain_from_scratch(self, dataset):
+        def factory():
+            return CML(embedding_dim=8, n_epochs=2, batch_size=64,
+                       random_state=0)
+
+        warm = Trainer(model_factory=factory, dataset=dataset, n_rounds=3,
+                       epochs_per_round=2, n_negatives=30).train()
+        scratch = Trainer(model_factory=factory, dataset=dataset, n_rounds=3,
+                          epochs_per_round=2, n_negatives=30,
+                          retrain_from_scratch=True).train()
+        # Resuming continues the seeded batcher and optimizer streams, so
+        # each warm-started round reaches exactly the state the quadratic
+        # from-scratch schedule retrains its way back to.
+        np.testing.assert_array_equal(warm.model.loss_history_,
+                                      scratch.model.loss_history_)
+        assert warm.best_round == scratch.best_round
+        for key, value in scratch.best_metrics.items():
+            assert warm.best_metrics[key] == value
+        warm_params = warm.model.get_parameters()
+        for key, value in scratch.model.get_parameters().items():
+            np.testing.assert_array_equal(warm_params[key], value)
+
+    def test_trainer_drops_resume_surface_when_best_round_is_not_last(self, dataset):
+        class _ScriptedEvaluator:
+            def __init__(self, values):
+                self.values = list(values)
+
+            def evaluate(self, model):
+                result = type("Result", (), {})()
+                result.metrics = {"ndcg@10": self.values.pop(0)}
+                return result
+
+        def factory():
+            return CML(embedding_dim=8, n_epochs=1, batch_size=64, random_state=0)
+
+        # Best round comes first: the restored parameters no longer match
+        # the runtime's optimizer/stream state, so fit_more must fail
+        # loudly instead of resuming from a mismatched state.
+        trainer = Trainer(model_factory=factory, dataset=dataset, n_rounds=3,
+                          epochs_per_round=1, n_negatives=20)
+        trainer.evaluator = _ScriptedEvaluator([0.9, 0.5, 0.4])
+        report = trainer.train()
+        assert report.best_round == 0
+        assert report.model.runtime_ is None
+        with pytest.raises(RuntimeError):
+            report.model.fit_more(1)
+
+        # Best round is the last one: parameters and runtime state agree,
+        # so the resumable surface stays usable.
+        trainer = Trainer(model_factory=factory, dataset=dataset, n_rounds=3,
+                          epochs_per_round=1, n_negatives=20)
+        trainer.evaluator = _ScriptedEvaluator([0.1, 0.2, 0.9])
+        report = trainer.train()
+        assert report.best_round == 2
+        assert report.model.runtime_ is not None
+        report.model.fit_more(1)
+        assert len(report.model.loss_history_) == 4
+
+    def test_trainer_falls_back_to_retrain_for_non_runtime_models(self, dataset):
+        from repro.baselines import NMF
+
+        captured = []
+
+        def factory():
+            model = NMF(n_factors=4, n_iterations=3, random_state=0)
+            captured.append(model)
+            return model
+
+        report = Trainer(model_factory=factory, dataset=dataset, n_rounds=2,
+                         epochs_per_round=2, n_negatives=20).train()
+        # NMF has no resumable runtime, so every round rebuilds it.
+        assert len(captured) == 2
+        assert report.model.is_fitted
 
 
 class TestGridSearch:

@@ -1,0 +1,403 @@
+"""Tests for the unified training runtime (:mod:`repro.training.loop`).
+
+Four layers of evidence that the runtime is a faithful replacement for the
+hand-rolled epoch loops it absorbed, and that the sharded executor honours
+the determinism contract:
+
+* **serial parity** — seeded MAR/MARS/CML training through the runtime is
+  *bit-identical* (loss curves and every parameter) to a reference
+  reimplementation of the pre-runtime ``_fit`` loops;
+* **shard determinism** — ``executor="sharded", n_shards=1`` is bit-identical
+  to serial, while ``n_shards=4`` matches serial loss curves and evaluation
+  metrics statistically on the delicious preset;
+* **shard disjointness** — :func:`~repro.training.loop.partition_users`
+  produces a disjoint cover of the active users, and a ``user_subset``
+  batcher only ever samples its own users;
+* **scatter equality** — the two segment-sum strategies inside
+  :func:`~repro.core.fused.scatter_rows` agree bitwise, so training runs
+  whose batches straddle the strategy threshold never change numerics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.optim import Optimizer
+from repro.baselines import CML
+from repro.core import MAR, MARS
+from repro.core._multifacet import _MultiFacetNetwork
+from repro.core.fused import _DENSE_SCATTER_MAX_ROWS, scatter_rows
+from repro.core.margins import adaptive_margins
+from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig, load_benchmark
+from repro.data.batching import TripletBatcher
+from repro.eval.protocol import LeaveOneOutEvaluator
+from repro.training import EpochReport, TrainingLoop, partition_users
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(n_users=60, n_items=80, interactions_per_user=12.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+@pytest.fixture(scope="module")
+def delicious():
+    return load_benchmark("delicious", random_state=0)
+
+
+def _assert_same_model(left, right):
+    np.testing.assert_array_equal(left.loss_history_, right.loss_history_)
+    right_params = right.get_parameters()
+    for key, value in left.get_parameters().items():
+        if key.startswith("_meta."):
+            # Persisted hyperparameters legitimately differ between the
+            # executor configurations under comparison; the parity claim is
+            # about the learned state.
+            continue
+        np.testing.assert_array_equal(value, right_params[key], err_msg=key)
+
+
+# --------------------------------------------------------------------- #
+# reference implementations of the pre-runtime loops (the parity oracle)
+# --------------------------------------------------------------------- #
+def _reference_multifacet_fit(model, interactions):
+    """The epoch loop MultiFacetRecommender._fit owned before the runtime."""
+    config = model.config
+    model._train_interactions = interactions
+    model.network = _MultiFacetNetwork(
+        n_users=interactions.n_users, n_items=interactions.n_items,
+        n_facets=config.n_facets, dim=config.embedding_dim,
+        spherical=model._spherical(),
+        projection_noise=config.projection_noise,
+        random_state=config.random_state,
+    )
+    model._apply_constraints(model.network)
+    if config.adaptive_margin:
+        model.margins_ = adaptive_margins(interactions,
+                                          min_margin=config.min_margin)
+    else:
+        model.margins_ = np.full(interactions.n_users, config.margin)
+    batcher = TripletBatcher(
+        interactions, batch_size=config.batch_size,
+        n_negatives=config.n_negatives, user_sampling=config.user_sampling,
+        beta=config.beta, random_state=config.random_state,
+    )
+    optimizer = model._make_optimizer(model.network)
+    model.loss_history_ = []
+    for _ in range(config.n_epochs):
+        epoch_loss, n_batches = 0.0, 0
+        for batch in batcher.epoch():
+            epoch_loss += model._train_step(batch, optimizer)
+            n_batches += 1
+        model.loss_history_.append(epoch_loss / max(n_batches, 1))
+    return model
+
+
+def _reference_embedding_fit(model, interactions):
+    """The epoch loop EmbeddingRecommender._fit owned before the runtime."""
+    model._train_interactions = interactions
+    model.network = model._build(interactions)
+    model._post_step()
+    batcher = TripletBatcher(
+        interactions, batch_size=model.batch_size,
+        n_negatives=model.n_negatives, user_sampling=model.user_sampling,
+        random_state=model.random_state,
+    )
+    optimizer = model._make_optimizer()
+    model.loss_history_ = []
+    for epoch in range(model.n_epochs):
+        model._on_epoch_start(epoch, interactions)
+        epoch_loss, n_batches = 0.0, 0
+        for batch in batcher.epoch():
+            epoch_loss += model._train_step(batch, optimizer)
+            n_batches += 1
+        model.loss_history_.append(epoch_loss / max(n_batches, 1))
+    return model
+
+
+class TestSerialParity:
+    """Runtime-trained models are bit-identical to the pre-runtime loops."""
+
+    @pytest.mark.parametrize("model_cls", [MAR, MARS])
+    @pytest.mark.parametrize("engine", ["fused", "autograd"])
+    def test_multifacet_matches_reference_loop(self, dataset, model_cls, engine):
+        kwargs = dict(n_facets=2, embedding_dim=8, n_epochs=3, batch_size=64,
+                      engine=engine, random_state=0)
+        reference = _reference_multifacet_fit(model_cls(**kwargs), dataset.train)
+        trained = model_cls(**kwargs).fit(dataset)
+        _assert_same_model(reference, trained)
+
+    @pytest.mark.parametrize("engine", ["fused", "autograd"])
+    def test_embedding_baseline_matches_reference_loop(self, dataset, engine):
+        kwargs = dict(embedding_dim=8, n_epochs=3, batch_size=64,
+                      engine=engine, random_state=0)
+        reference = _reference_embedding_fit(CML(**kwargs), dataset.train)
+        trained = CML(**kwargs).fit(dataset)
+        _assert_same_model(reference, trained)
+
+    def test_runtime_reports_and_resume(self, dataset):
+        model = MAR(n_facets=2, embedding_dim=8, n_epochs=3, batch_size=64,
+                    random_state=0).fit(dataset)
+        runtime = model.runtime_
+        assert runtime is not None and runtime.epoch_ == 3
+        assert [report.epoch for report in runtime.reports] == [0, 1, 2]
+        for report in runtime.reports:
+            assert isinstance(report, EpochReport)
+            assert report.n_batches >= 1
+            assert report.duration >= 0.0
+            assert report.shard_losses is None
+        assert [report.mean_loss for report in runtime.reports] == model.loss_history_
+
+        # fit_more continues the same streams: identical to a longer fresh fit.
+        model.fit_more(2)
+        assert len(model.loss_history_) == 5
+        longer = MAR(n_facets=2, embedding_dim=8, n_epochs=5, batch_size=64,
+                     random_state=0).fit(dataset)
+        _assert_same_model(model, longer)
+
+    def test_fit_more_requires_fitted_model(self, dataset):
+        with pytest.raises(RuntimeError):
+            MAR(n_facets=2, embedding_dim=8).fit_more(1)
+
+    def test_released_runtime_refuses_to_resume(self, dataset):
+        model = CML(embedding_dim=8, n_epochs=1, batch_size=64,
+                    random_state=0).fit(dataset)
+        model.runtime_.release()
+        # Scoring still works; only further training is off the table.
+        assert model.recommend(0, k=3).shape == (3,)
+        with pytest.raises(RuntimeError):
+            model.fit_more(1)
+
+    def test_save_load_round_trips_executor_metadata(self, dataset, tmp_path):
+        model = CML(embedding_dim=8, n_epochs=1, batch_size=64,
+                    executor="sharded", n_shards=4, random_state=0).fit(dataset)
+        path = model.save(tmp_path / "cml_sharded.npz")
+        restored = CML(embedding_dim=8, n_epochs=1, batch_size=64,
+                       random_state=0)
+        restored.fit(dataset)          # build the network, then overwrite
+        restored.load(path)
+        assert restored.executor == "sharded"
+        assert restored.n_shards == 4
+
+    def test_shard_batchers_share_negative_index(self, dataset):
+        interactions = dataset.train
+        model = CML(embedding_dim=8, n_epochs=1, batch_size=64,
+                    executor="sharded", n_shards=4, random_state=0).fit(dataset)
+        keys = interactions.encoded_positive_keys()
+        for batcher in model.runtime_._batchers:
+            assert batcher._negative_sampler._pair_keys is keys
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            MAR(n_facets=2, embedding_dim=8, executor="process-pool")
+        with pytest.raises(ValueError):
+            CML(embedding_dim=8, executor="process-pool")
+        with pytest.raises(ValueError):
+            MAR(n_facets=2, embedding_dim=8, n_shards=0)
+
+    def test_sharded_requires_fused_engine(self):
+        with pytest.raises(ValueError):
+            MAR(n_facets=2, embedding_dim=8, engine="autograd",
+                executor="sharded", n_shards=2)
+        with pytest.raises(ValueError):
+            CML(embedding_dim=8, engine="autograd",
+                executor="sharded", n_shards=2)
+        # n_shards=1 sharding degenerates to serial and stays allowed.
+        assert MAR(n_facets=2, embedding_dim=8, engine="autograd",
+                   executor="sharded", n_shards=1).config.n_shards == 1
+
+
+class TestShardedExecutor:
+    @pytest.mark.parametrize("model_cls,kwargs", [
+        (MAR, dict(n_facets=2, embedding_dim=8, n_epochs=3, batch_size=64)),
+        (MARS, dict(n_facets=2, embedding_dim=8, n_epochs=3, batch_size=64)),
+        (CML, dict(embedding_dim=8, n_epochs=3, batch_size=64)),
+    ])
+    def test_single_shard_is_bit_identical_to_serial(self, dataset, model_cls,
+                                                     kwargs):
+        serial = model_cls(random_state=0, **kwargs).fit(dataset)
+        sharded = model_cls(random_state=0, executor="sharded", n_shards=1,
+                            **kwargs).fit(dataset)
+        _assert_same_model(serial, sharded)
+
+    def test_sharded_epoch_covers_serial_batch_count(self, dataset):
+        serial = CML(embedding_dim=8, n_epochs=1, batch_size=64,
+                     random_state=0).fit(dataset)
+        sharded = CML(embedding_dim=8, n_epochs=1, batch_size=64,
+                      executor="sharded", n_shards=4, random_state=0).fit(dataset)
+        serial_batches = serial.runtime_.reports[0].n_batches
+        shard_report = sharded.runtime_.reports[0]
+        # Per-shard ceil rounding can only add batches, never drop work.
+        assert shard_report.n_batches >= serial_batches
+        assert shard_report.n_batches <= serial_batches + 4
+        assert len(shard_report.shard_losses) == 4
+
+    @pytest.mark.parametrize("model_cls,kwargs", [
+        (MARS, dict(n_facets=2, embedding_dim=16, n_epochs=8, batch_size=128)),
+        (CML, dict(embedding_dim=16, n_epochs=8, batch_size=128)),
+    ])
+    def test_four_shards_match_serial_statistically(self, delicious, model_cls,
+                                                    kwargs):
+        """Hogwild sharding must track the serial trajectory, not equal it.
+
+        Disjoint user shards only race on item rows, so epoch-mean losses
+        should agree to a few percent and paired evaluation metrics to well
+        under the model-to-model differences of Table II.
+        """
+        serial = model_cls(random_state=0, **kwargs).fit(delicious)
+        sharded = model_cls(random_state=0, executor="sharded", n_shards=4,
+                            **kwargs).fit(delicious)
+        serial_curve = np.asarray(serial.loss_history_)
+        sharded_curve = np.asarray(sharded.loss_history_)
+        np.testing.assert_allclose(sharded_curve, serial_curve, rtol=0.25)
+        # The second half of training (past the fast initial descent) should
+        # agree tightly.
+        np.testing.assert_allclose(sharded_curve[-4:], serial_curve[-4:],
+                                   rtol=0.15)
+
+        evaluator = LeaveOneOutEvaluator(delicious, n_negatives=50,
+                                         random_state=0)
+        serial_metrics = evaluator.evaluate(serial).metrics
+        sharded_metrics = evaluator.evaluate(sharded).metrics
+        for key in ("hr@10", "ndcg@10"):
+            assert abs(serial_metrics[key] - sharded_metrics[key]) < 0.1, (
+                key, serial_metrics[key], sharded_metrics[key])
+
+    def test_too_many_shards_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            CML(embedding_dim=8, n_epochs=1, batch_size=64, executor="sharded",
+                n_shards=10_000, random_state=0).fit(dataset)
+
+
+class TestPartitionUsers:
+    def test_disjoint_cover_of_active_users(self, dataset):
+        interactions = dataset.train
+        shards = partition_users(interactions, 4)
+        stacked = np.concatenate(shards)
+        assert stacked.size == np.unique(stacked).size  # pairwise disjoint
+        active = np.flatnonzero(interactions.user_degrees() > 0)
+        np.testing.assert_array_equal(np.sort(stacked), active)
+
+    def test_degree_balanced(self, dataset):
+        interactions = dataset.train
+        degrees = interactions.user_degrees()
+        shards = partition_users(interactions, 4)
+        loads = np.array([degrees[shard].sum() for shard in shards])
+        # Round-robin over degree-sorted users keeps loads within the
+        # heaviest single user of each other.
+        assert loads.max() - loads.min() <= degrees.max()
+
+    def test_deterministic(self, dataset):
+        first = partition_users(dataset.train, 3)
+        second = partition_users(dataset.train, 3)
+        for left, right in zip(first, second):
+            np.testing.assert_array_equal(left, right)
+
+    def test_more_shards_than_active_users_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            partition_users(dataset.train, 10_000)
+
+
+class TestBatcherUserSubset:
+    def test_batches_only_draw_subset_users(self, dataset):
+        interactions = dataset.train
+        shards = partition_users(interactions, 3)
+        for sampling in ("frequency", "uniform"):
+            for shard in shards:
+                batcher = TripletBatcher(interactions, batch_size=32,
+                                         user_sampling=sampling,
+                                         user_subset=shard, random_state=0)
+                members = set(shard.tolist())
+                for batch in batcher.epoch():
+                    assert set(batch.users.tolist()) <= members
+                    # The per-user negative guarantee still holds.
+                    for user, negative in zip(batch.users, batch.negatives):
+                        assert (int(user), int(negative)) not in interactions
+
+    def test_epoch_lengths_sum_to_about_serial(self, dataset):
+        interactions = dataset.train
+        full = TripletBatcher(interactions, batch_size=32, random_state=0)
+        shards = partition_users(interactions, 4)
+        shard_batches = sum(
+            TripletBatcher(interactions, batch_size=32, user_subset=shard,
+                           random_state=0).n_batches_per_epoch()
+            for shard in shards)
+        assert full.n_batches_per_epoch() <= shard_batches
+        assert shard_batches <= full.n_batches_per_epoch() + 4
+
+    def test_empty_and_out_of_range_subsets_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            TripletBatcher(dataset.train, user_subset=np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            TripletBatcher(dataset.train, user_subset=np.array([-1]))
+        with pytest.raises(ValueError):
+            TripletBatcher(dataset.train,
+                           user_subset=np.array([dataset.train.n_users]))
+
+    def test_subset_of_inactive_users_rejected(self, dataset):
+        degrees = dataset.train.user_degrees()
+        inactive = np.flatnonzero(degrees == 0)
+        if inactive.size == 0:
+            pytest.skip("synthetic dataset has no inactive users")
+        with pytest.raises(ValueError):
+            TripletBatcher(dataset.train, user_subset=inactive[:1])
+
+
+class TestScatterRowsStrategies:
+    """The dense span-space and compact unique-row strategies agree bitwise."""
+
+    def _both_strategies(self, indices, grads):
+        span_result = scatter_rows(indices, *grads)
+        # Shift the ids far past the dense threshold: same duplicate
+        # structure and input order, so the compact strategy must produce
+        # the same sums for the shifted rows.
+        shifted = indices + _DENSE_SCATTER_MAX_ROWS + 1
+        unique_result = scatter_rows(shifted, *grads)
+        return span_result, unique_result
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bitwise_equal_across_threshold(self, seed):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(1, 700))
+        span = int(rng.integers(1, 400))
+        indices = rng.integers(0, span, size=size).astype(np.int64)
+        grads = [rng.standard_normal((size, 32)) * 10.0 ** rng.integers(-6, 6),
+                 rng.standard_normal((size, 3)),
+                 rng.standard_normal(size)]
+        (rows_a, *sums_a), (rows_b, *sums_b) = self._both_strategies(indices, grads)
+        np.testing.assert_array_equal(rows_b - (_DENSE_SCATTER_MAX_ROWS + 1),
+                                      rows_a)
+        for left, right in zip(sums_a, sums_b):
+            np.testing.assert_array_equal(left, right)
+
+    @pytest.mark.parametrize("span", [7, 2048, 2049, 60_000])
+    def test_matches_add_at_reference(self, span):
+        rng = np.random.default_rng(span)
+        indices = rng.integers(0, span, size=500).astype(np.int64)
+        grad = rng.standard_normal((500, 16))
+        rows, summed = scatter_rows(indices, grad)
+        dense = np.zeros((span, 16))
+        np.add.at(dense, indices, grad)
+        np.testing.assert_array_equal(rows, np.unique(indices))
+        np.testing.assert_allclose(summed, dense[rows], rtol=1e-12, atol=1e-12)
+
+    def test_preserves_grad_trailing_shape(self):
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 10, size=40).astype(np.int64)
+        grad3d = rng.standard_normal((40, 4, 5))
+        rows, summed = scatter_rows(indices, grad3d)
+        assert summed.shape == (rows.size, 4, 5)
+        dense = np.zeros((10, 4, 5))
+        np.add.at(dense, indices, grad3d)
+        np.testing.assert_allclose(summed, dense[rows], rtol=1e-12, atol=1e-12)
+
+
+class TestRuntimeLogging:
+    def test_verbose_baseline_fit_restores_logger_level(self, dataset):
+        import logging
+
+        logger = logging.getLogger("repro.baselines")
+        assert logger.level == logging.NOTSET
+        CML(embedding_dim=8, n_epochs=1, batch_size=64, random_state=0,
+            verbose=True).fit(dataset)
+        assert logger.level == logging.NOTSET
+        assert logger.getEffectiveLevel() == logging.WARNING
