@@ -12,6 +12,10 @@ Public API overview
 * :mod:`repro.baselines` — BPR, NMF, NeuMF, CML, MetricF, TransCF, LRML, SML
   and simple non-learned baselines.
 * :mod:`repro.eval` — HR@K / nDCG@K and the sampled leave-one-out protocol.
+* :mod:`repro.serving` — the redesigned read path: frozen
+  :class:`~repro.serving.ServingArtifact` exports, the unified
+  :class:`~repro.serving.Query` API and the micro-batching, hot-swapping
+  :class:`~repro.serving.RecommenderService`.
 * :mod:`repro.training` — trainer, early stopping and grid search.
 * :mod:`repro.experiments` — runners that regenerate every table and figure.
 * :mod:`repro.analysis` — embedding visualisation and facet profiling.
@@ -35,6 +39,13 @@ from repro.data import (
     load_benchmark,
 )
 from repro.eval import LeaveOneOutEvaluator
+from repro.serving import (
+    ModelRegistry,
+    Query,
+    QueryResult,
+    RecommenderService,
+    ServingArtifact,
+)
 
 __version__ = "1.0.0"
 
@@ -51,4 +62,9 @@ __all__ = [
     "load_benchmark",
     "list_benchmarks",
     "LeaveOneOutEvaluator",
+    "Query",
+    "QueryResult",
+    "ServingArtifact",
+    "ModelRegistry",
+    "RecommenderService",
 ]

@@ -57,6 +57,7 @@ from repro.autograd import Module, Tensor
 from repro.autograd.optim import Adagrad, Optimizer, SGD
 from repro.core.base import BaseRecommender
 from repro.core.fused import negatives_matrix, scatter_rows
+from repro.serving.scorers import euclidean_scores
 from repro.data.batching import TripletBatch, TripletBatcher
 from repro.data.interactions import InteractionMatrix
 from repro.training.loop import (
@@ -246,11 +247,13 @@ class EmbeddingRecommender(RuntimeTrainedModel, BaseRecommender):
                                 item_matrix: np.ndarray) -> np.ndarray:
         """Shared batch scorer for the metric-learning baselines that rank by
         ``-‖u − v‖²`` between plain user/item embeddings (CML, MetricF, SML).
+        Delegates to the serving family kernel so an exported artifact scores
+        through the exact same code.
         """
         net = self.network
-        user_vecs = net.user_embeddings.weight.data[users][:, None, :]  # (U, 1, D)
-        item_vecs = net.item_embeddings.weight.data[item_matrix]        # (U, C, D)
-        return -np.sum((item_vecs - user_vecs) ** 2, axis=-1)
+        return euclidean_scores(net.user_embeddings.weight.data,
+                                net.item_embeddings.weight.data,
+                                users, item_matrix)
 
     def _post_step(self, user_rows: Optional[np.ndarray] = None,
                    item_rows: Optional[np.ndarray] = None) -> None:
@@ -329,18 +332,42 @@ class EmbeddingRecommender(RuntimeTrainedModel, BaseRecommender):
     # ------------------------------------------------------------------ #
     # inference / persistence
     # ------------------------------------------------------------------ #
-    def score_items(self, user: int, items: Sequence[int]) -> np.ndarray:
+    def _require_network(self) -> Module:
         if self.network is None:
             raise RuntimeError(f"{type(self).__name__} must be fitted before scoring")
+        return self.network
+
+    def score_items(self, user: int, items: Sequence[int]) -> np.ndarray:
+        self._require_network()
         return self._score_pairs_numpy(int(user), np.asarray(items, dtype=np.int64))
 
-    def score_items_batch(self, users: Sequence[int],
+    def _score_candidates(self, users: np.ndarray,
                           item_matrix: np.ndarray) -> np.ndarray:
-        if self.network is None:
-            raise RuntimeError(f"{type(self).__name__} must be fitted before scoring")
-        users = np.asarray(users, dtype=np.int64)
-        item_matrix = self._broadcast_candidates(users, item_matrix)
+        self._require_network()
         return self._score_matrix_numpy(users, item_matrix)
+
+    #: Serving family of this baseline's read path (see
+    #: :mod:`repro.serving.scorers`).  ``"euclidean"`` covers the plain
+    #: metric learners (CML, MetricF, SML); baselines with extra read-only
+    #: tensors override :meth:`_serving_payload` instead, and ``None`` falls
+    #: back to the generic precomputed export of the base class.
+    _serving_family: Optional[str] = None
+
+    def _serving_payload(self):
+        net = self._require_network()
+        family = type(self)._serving_family
+        if family is None:
+            return super()._serving_payload()
+        if family != "euclidean":
+            raise NotImplementedError(
+                f"{type(self).__name__} must override _serving_payload for "
+                f"family {family!r}")
+        tensors = {
+            "user_embeddings": net.user_embeddings.weight.data,
+            "item_embeddings": net.item_embeddings.weight.data,
+        }
+        return (family, tensors, net.user_embeddings.n_embeddings,
+                net.item_embeddings.n_embeddings)
 
     #: Scalar hyperparameters persisted alongside the learned parameters so
     #: that a reloaded baseline resumes training with identical behaviour

@@ -12,6 +12,7 @@ from repro.baselines._embedding_base import EmbeddingRecommender
 from repro.core.losses import bpr_loss_numpy
 from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
+from repro.serving.scorers import dot_bias_scores
 
 
 class _BPRNetwork(Module):
@@ -110,7 +111,16 @@ class BPR(EmbeddingRecommender):
 
     def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
         net: _BPRNetwork = self.network
-        user_vecs = net.user_embeddings.weight.data[users]          # (U, D)
-        item_vecs = net.item_embeddings.weight.data[item_matrix]    # (U, C, D)
-        dots = np.matmul(item_vecs, user_vecs[:, :, None])[..., 0]  # (U, C)
-        return dots + net.item_bias.data[item_matrix]
+        return dot_bias_scores(net.user_embeddings.weight.data,
+                               net.item_embeddings.weight.data,
+                               net.item_bias.data, users, item_matrix)
+
+    def _serving_payload(self):
+        net: _BPRNetwork = self._require_network()
+        tensors = {
+            "user_embeddings": net.user_embeddings.weight.data,
+            "item_embeddings": net.item_embeddings.weight.data,
+            "item_bias": net.item_bias.data,
+        }
+        return ("dot_bias", tensors, net.user_embeddings.n_embeddings,
+                net.item_embeddings.n_embeddings)

@@ -17,6 +17,7 @@ from repro.autograd import init
 from repro.baselines._embedding_base import EmbeddingRecommender
 from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
+from repro.serving.scorers import memory_scores
 
 
 class _LRMLNetwork(Module):
@@ -97,14 +98,18 @@ class LRML(EmbeddingRecommender):
 
     def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
         net: _LRMLNetwork = self.network
-        user_vecs = net.user_embeddings.weight.data[users][:, None, :]  # (U, 1, D)
-        item_vecs = net.item_embeddings.weight.data[item_matrix]        # (U, C, D)
+        return memory_scores(net.user_embeddings.weight.data,
+                             net.item_embeddings.weight.data,
+                             net.memory_keys.data, net.memory_slots.data,
+                             users, item_matrix)
 
-        joint = user_vecs * item_vecs
-        logits = joint @ net.memory_keys.data                           # (U, C, M)
-        logits = logits - logits.max(axis=-1, keepdims=True)
-        attention = np.exp(logits)
-        attention = attention / attention.sum(axis=-1, keepdims=True)
-        relation = attention @ net.memory_slots.data                    # (U, C, D)
-        translated = user_vecs + relation
-        return -np.sum((translated - item_vecs) ** 2, axis=-1)
+    def _serving_payload(self):
+        net: _LRMLNetwork = self._require_network()
+        tensors = {
+            "user_embeddings": net.user_embeddings.weight.data,
+            "item_embeddings": net.item_embeddings.weight.data,
+            "memory_keys": net.memory_keys.data,
+            "memory_slots": net.memory_slots.data,
+        }
+        return ("memory", tensors, net.user_embeddings.n_embeddings,
+                net.item_embeddings.n_embeddings)

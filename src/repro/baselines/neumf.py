@@ -14,6 +14,7 @@ from repro.autograd import functional as F
 from repro.baselines._embedding_base import EmbeddingRecommender
 from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
+from repro.serving.scorers import mlp_scores
 
 
 class _NeuMFNetwork(Module):
@@ -76,13 +77,31 @@ class NeuMF(EmbeddingRecommender):
             logits = net.predict_logits(users, items)
         return logits.data.copy()
 
-    def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
+    def _serving_tensors(self):
+        """The read-only arrays of the ``"mlp"`` serving family."""
         net: _NeuMFNetwork = self.network
-        n_users, n_candidates = item_matrix.shape
-        flat_users = np.repeat(users, n_candidates)
-        flat_items = item_matrix.reshape(-1)
-        from repro.autograd.tensor import no_grad
+        hidden, bottleneck = net.mlp.network.layers[0], net.mlp.network.layers[2]
+        return {
+            "gmf_user": net.gmf_user.weight.data,
+            "gmf_item": net.gmf_item.weight.data,
+            "mlp_user": net.mlp_user.weight.data,
+            "mlp_item": net.mlp_item.weight.data,
+            "hidden_weight": hidden.weight.data,
+            "hidden_bias": hidden.bias.data,
+            "bottleneck_weight": bottleneck.weight.data,
+            "bottleneck_bias": bottleneck.bias.data,
+            "output_weight": net.output.weight.data,
+            "output_bias": net.output.bias.data,
+        }
 
-        with no_grad():
-            logits = net.predict_logits(flat_users, flat_items)
-        return logits.data.reshape(n_users, n_candidates).copy()
+    def _score_matrix_numpy(self, users: np.ndarray, item_matrix: np.ndarray) -> np.ndarray:
+        # The pure-NumPy forward of the serving family replicates
+        # ``predict_logits`` op for op, so live batch scoring, the exported
+        # artifact and the autograd reference agree bitwise.
+        return mlp_scores(**self._serving_tensors(),
+                          users=users, item_matrix=item_matrix)
+
+    def _serving_payload(self):
+        net: _NeuMFNetwork = self._require_network()
+        return ("mlp", self._serving_tensors(),
+                net.gmf_user.n_embeddings, net.gmf_item.n_embeddings)

@@ -32,6 +32,11 @@ class Popularity(BaseRecommender):
         self._require_fitted()
         return self.item_scores_[np.asarray(items, dtype=np.int64)]
 
+    def _serving_payload(self):
+        interactions = self._require_fitted()
+        return ("popularity", {"item_scores": self.item_scores_},
+                interactions.n_users, self.item_scores_.size)
+
     def get_parameters(self) -> Dict[str, np.ndarray]:
         return {"item_scores": self.item_scores_}
 

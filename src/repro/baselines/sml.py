@@ -46,6 +46,7 @@ class SML(EmbeddingRecommender):
 
     name = "SML"
     _supports_fused = True
+    _serving_family = "euclidean"
 
     def __init__(self, embedding_dim: int = 32, n_epochs: int = 30,
                  batch_size: int = 256, learning_rate: float = 0.3,

@@ -24,6 +24,7 @@ from repro.baselines._embedding_base import EmbeddingRecommender
 from repro.core.fused import hinge_distance_push
 from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
+from repro.serving.scorers import translation_scores
 
 
 class _TransCFNetwork(Module):
@@ -142,8 +143,22 @@ class TransCF(EmbeddingRecommender):
         net: _TransCFNetwork = self.network
         if self._user_context.size == 0:
             self._on_epoch_start(0, self._require_fitted())
-        user_vecs = net.user_embeddings.weight.data[users][:, None, :]      # (U, 1, D)
-        item_vecs = net.item_embeddings.weight.data[item_matrix]            # (U, C, D)
-        relation = self._user_context[users][:, None, :] * self._item_context[item_matrix]
-        translated = user_vecs + relation
-        return -np.sum((translated - item_vecs) ** 2, axis=-1)
+        return translation_scores(net.user_embeddings.weight.data,
+                                  net.item_embeddings.weight.data,
+                                  self._user_context, self._item_context,
+                                  users, item_matrix)
+
+    def _serving_payload(self):
+        net: _TransCFNetwork = self._require_network()
+        if self._user_context.size == 0:
+            self._on_epoch_start(0, self._require_fitted())
+        tensors = {
+            "user_embeddings": net.user_embeddings.weight.data,
+            "item_embeddings": net.item_embeddings.weight.data,
+            # The neighbourhood contexts are epoch constants at serving
+            # time; freezing them reproduces the live scorer exactly.
+            "user_context": self._user_context,
+            "item_context": self._item_context,
+        }
+        return ("translation", tensors, net.user_embeddings.n_embeddings,
+                net.item_embeddings.n_embeddings)

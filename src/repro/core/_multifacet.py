@@ -38,9 +38,9 @@ from repro.core.fused import fused_forward_backward
 from repro.core.config import MARConfig
 from repro.core.margins import adaptive_margins
 from repro.core.similarity import (
-    cross_facet_scores_matrix_numpy,
     cross_facet_similarity,
     cross_facet_similarity_numpy,
+    facet_candidate_scores,
     facet_similarities,
     facet_similarities_numpy,
     normalize_facets_numpy,
@@ -55,19 +55,6 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import RandomState, ensure_rng
 
 logger = get_logger("core.multifacet")
-
-#: Cap on the number of scratch floats the batched scorer materialises at a
-#: time (the all-pairs ``(K, chunk, M)`` block or the gathered
-#: ``(K, chunk, C, D)`` item facets); keeps peak memory of
-#: :meth:`MultiFacetRecommender.score_items_batch` around a few hundred MB.
-_BATCH_SCORING_ELEMENT_BUDGET = 16_000_000
-
-#: Use the BLAS all-pairs fast path while the unique-candidate pool M is at
-#: most this many times the per-user candidate width C.  Beyond that (huge
-#: catalogues, narrow candidate lists) scoring every user against every
-#: unique item wastes ~M/C times the needed flops, so the gathered
-#: per-candidate path wins despite its larger memory-traffic constant.
-_ALL_PAIRS_CANDIDATE_RATIO = 8
 
 
 class _MultiFacetNetwork(Module):
@@ -336,22 +323,21 @@ class MultiFacetRecommender(RuntimeTrainedModel, BaseRecommender):
         weights = softmax_numpy(network.facet_logits.data[user])
         return cross_facet_similarity_numpy(scores, weights[None, :])
 
-    def score_items_batch(self, users, item_matrix) -> np.ndarray:
+    def _score_candidates(self, users, item_matrix) -> np.ndarray:
         """Vectorised cross-facet scoring of many users in one pass.
 
         Every distinct candidate item is projected into the ``K`` facet
         spaces exactly once (a ``(K, M, D)`` cache in the spirit of
         :meth:`facet_item_embeddings`), the whole user batch is projected
-        with a single ``einsum``, and the Θ-weighted cross-facet scores are
-        computed through the BLAS-backed all-pairs form of
-        :func:`~repro.core.similarity.cross_facet_scores_matrix_numpy`
-        before a single gather back onto the candidate matrix.  Scores agree
-        with :meth:`score_items` up to floating-point rounding (~1e-12),
-        which leaves rankings — and therefore evaluation metrics — unchanged.
+        with a single ``einsum``, and the Θ-weighted scores come from the
+        shared memory-bounded engine
+        :func:`~repro.core.similarity.facet_candidate_scores` — the same
+        function an exported serving artifact scores through, which is what
+        makes artifact-backed serving bitwise-identical.  Scores agree with
+        :meth:`score_items` up to floating-point rounding (~1e-12), which
+        leaves rankings — and therefore evaluation metrics — unchanged.
         """
         network = self._require_network()
-        users = np.asarray(users, dtype=np.int64)
-        item_matrix = self._broadcast_candidates(users, item_matrix)
         spherical = self._spherical()
 
         unique_items, inverse = np.unique(item_matrix, return_inverse=True)
@@ -370,45 +356,37 @@ class MultiFacetRecommender(RuntimeTrainedModel, BaseRecommender):
             item_facets = normalize_facets_numpy(item_facets)
             user_facets = normalize_facets_numpy(user_facets)
         weights = softmax_numpy(network.facet_logits.data[users], axis=-1)  # (U, K)
+        return facet_candidate_scores(user_facets, item_facets, inverse,
+                                      weights, spherical)
 
-        n_facets, n_unique, dim = item_facets.shape
-        width = item_matrix.shape[1]
-        scores = np.empty(item_matrix.shape, dtype=np.float64)
-        if n_unique <= _ALL_PAIRS_CANDIDATE_RATIO * width:
-            # Dense candidate union (evaluation over a small catalogue,
-            # recommend over all items): one BLAS matmul per facet against
-            # the unique-item cache, then a single (u, C) gather.  Chunk
-            # over users so the (K, chunk, M) block stays memory-bounded.
-            chunk = max(1, _BATCH_SCORING_ELEMENT_BUDGET // max(1, n_facets * n_unique))
-            for start in range(0, users.size, chunk):
-                stop = min(start + chunk, users.size)
-                weighted = cross_facet_scores_matrix_numpy(
-                    user_facets[:, start:stop], item_facets,
-                    weights[start:stop], spherical,
-                )                                                    # (u, M)
-                scores[start:stop] = np.take_along_axis(
-                    weighted, inverse[start:stop], axis=1
-                )
-        else:
-            # Sparse candidate union (narrow candidate lists over a huge
-            # catalogue): gather only each user's candidates so the flop
-            # count stays K·u·C·D instead of K·u·M·D.
-            chunk = max(1, _BATCH_SCORING_ELEMENT_BUDGET // max(
-                1, n_facets * width * dim
-            ))
-            for start in range(0, users.size, chunk):
-                stop = min(start + chunk, users.size)
-                chunk_items = item_facets[:, inverse[start:stop], :]  # (K, u, C, D)
-                chunk_users = user_facets[:, start:stop, None, :]     # (K, u, 1, D)
-                if spherical:
-                    facet_scores = np.sum(chunk_users * chunk_items, axis=-1)
-                else:
-                    diff = chunk_users - chunk_items
-                    facet_scores = -np.sum(diff * diff, axis=-1)      # (K, u, C)
-                scores[start:stop] = np.einsum(
-                    "kuc,uk->uc", facet_scores, weights[start:stop]
-                )
-        return scores
+    def _serving_payload(self):
+        """Export the pre-projected facet tables (family ``"multifacet"``).
+
+        Serving needs neither the universal embeddings nor Φ/Ψ — only the
+        projected (and, for MARS, normalised) facet tables and the softmaxed
+        Θ weights, so the per-query projection einsums disappear from the
+        read path.  Table rows are bitwise what :meth:`_score_candidates`
+        projects per batch (``np.einsum`` computes each output row
+        independently), so artifact scores match the live model exactly.
+        """
+        network = self._require_network()
+        spherical = self._spherical()
+        user_facets = project_facets_numpy(network.user_embeddings.weight.data,
+                                           network.user_projections.data)
+        item_facets = project_facets_numpy(network.item_embeddings.weight.data,
+                                           network.item_projections.data)
+        if spherical:
+            user_facets = normalize_facets_numpy(user_facets)
+            item_facets = normalize_facets_numpy(item_facets)
+        tensors = {
+            "user_facets": user_facets,
+            "item_facets": item_facets,
+            "facet_weights": softmax_numpy(network.facet_logits.data, axis=-1),
+            "spherical": np.asarray(spherical),
+        }
+        return ("multifacet", tensors,
+                network.user_embeddings.n_embeddings,
+                network.item_embeddings.n_embeddings)
 
     def facet_weights(self, user: Optional[int] = None) -> np.ndarray:
         """Learned softmax facet weights Θ, for one user or all users."""

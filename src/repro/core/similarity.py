@@ -134,6 +134,20 @@ def cross_facet_similarity_numpy(facet_scores: np.ndarray,
 # --------------------------------------------------------------------------- #
 # batched inference (NumPy) path
 # --------------------------------------------------------------------------- #
+#: Cap on the number of scratch floats the batched scorer materialises at a
+#: time (the all-pairs ``(K, chunk, M)`` block or the gathered
+#: ``(K, chunk, C, D)`` item facets); keeps peak memory of
+#: :func:`facet_candidate_scores` around a few hundred MB.
+BATCH_SCORING_ELEMENT_BUDGET = 16_000_000
+
+#: Use the BLAS all-pairs fast path while the unique-candidate pool M is at
+#: most this many times the per-user candidate width C.  Beyond that (huge
+#: catalogues, narrow candidate lists) scoring every user against every
+#: unique item wastes ~M/C times the needed flops, so the gathered
+#: per-candidate path wins despite its larger memory-traffic constant.
+ALL_PAIRS_CANDIDATE_RATIO = 8
+
+
 def normalize_facets_numpy(facets: np.ndarray) -> np.ndarray:
     """Unit-normalise facet embeddings along the last axis.
 
@@ -180,3 +194,75 @@ def cross_facet_scores_matrix_numpy(user_facets: np.ndarray, item_facets: np.nda
         item_sq = np.sum(item_facets * item_facets, axis=-1)[:, None, :]
         sims = 2.0 * dots - user_sq - item_sq
     return np.einsum("kum,uk->um", sims, facet_weights)
+
+
+def facet_candidate_scores(user_facets: np.ndarray, item_facets: np.ndarray,
+                           inverse: np.ndarray, facet_weights: np.ndarray,
+                           spherical: bool) -> np.ndarray:
+    """Θ-weighted cross-facet scores of a user batch on a candidate matrix.
+
+    The memory-bounded candidate-scoring engine shared by the live
+    :meth:`MultiFacetRecommender.score_items_batch` path and the exported
+    serving artifacts (:mod:`repro.serving.scorers`) — sharing it is what
+    keeps artifact-backed serving bitwise-identical to the live model.
+
+    Parameters
+    ----------
+    user_facets:
+        Facet embeddings of the user batch, shape ``(K, U, D)``
+        (pre-normalised with :func:`normalize_facets_numpy` in spherical
+        mode).
+    item_facets:
+        Facet embeddings of the *unique* candidate pool, shape ``(K, M, D)``
+        (same normalisation contract).
+    inverse:
+        ``(U, C)`` map from candidate-matrix positions into the unique pool
+        (the ``return_inverse`` of ``np.unique`` over the candidate matrix).
+    facet_weights:
+        Softmax-normalised weights Θ_u of the batch, shape ``(U, K)``.
+    spherical:
+        Cosine similarity when true, negative squared Euclidean otherwise.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(U, C)``
+    """
+    n_facets, n_unique, dim = item_facets.shape
+    n_users = user_facets.shape[1]
+    width = inverse.shape[1]
+    scores = np.empty(inverse.shape, dtype=np.float64)
+    if n_unique <= ALL_PAIRS_CANDIDATE_RATIO * width:
+        # Dense candidate union (evaluation over a small catalogue,
+        # recommend over all items): one BLAS matmul per facet against
+        # the unique-item cache, then a single (u, C) gather.  Chunk
+        # over users so the (K, chunk, M) block stays memory-bounded.
+        chunk = max(1, BATCH_SCORING_ELEMENT_BUDGET // max(1, n_facets * n_unique))
+        for start in range(0, n_users, chunk):
+            stop = min(start + chunk, n_users)
+            weighted = cross_facet_scores_matrix_numpy(
+                user_facets[:, start:stop], item_facets,
+                facet_weights[start:stop], spherical,
+            )                                                    # (u, M)
+            scores[start:stop] = np.take_along_axis(
+                weighted, inverse[start:stop], axis=1
+            )
+    else:
+        # Sparse candidate union (narrow candidate lists over a huge
+        # catalogue): gather only each user's candidates so the flop
+        # count stays K·u·C·D instead of K·u·M·D.
+        chunk = max(1, BATCH_SCORING_ELEMENT_BUDGET // max(
+            1, n_facets * width * dim
+        ))
+        for start in range(0, n_users, chunk):
+            stop = min(start + chunk, n_users)
+            chunk_items = item_facets[:, inverse[start:stop], :]  # (K, u, C, D)
+            chunk_users = user_facets[:, start:stop, None, :]     # (K, u, 1, D)
+            if spherical:
+                facet_scores = np.sum(chunk_users * chunk_items, axis=-1)
+            else:
+                diff = chunk_users - chunk_items
+                facet_scores = -np.sum(diff * diff, axis=-1)      # (K, u, C)
+            scores[start:stop] = np.einsum(
+                "kuc,uk->uc", facet_scores, facet_weights[start:stop]
+            )
+    return scores

@@ -125,22 +125,26 @@ class LeaveOneOutEvaluator:
         return self._candidates[int(user)].copy()
 
     # ------------------------------------------------------------------ #
-    def evaluate(self, model: BaseRecommender, batched: bool = True) -> EvaluationResult:
-        """Evaluate a fitted model and return aggregated metrics.
+    def evaluate(self, model, batched: bool = True) -> EvaluationResult:
+        """Evaluate a fitted model (or artifact-backed scorer).
 
         Parameters
         ----------
         model:
-            A fitted recommender.
+            A fitted :class:`~repro.core.base.BaseRecommender` — or any
+            scorer exposing the same ``score_items_batch`` /
+            ``score_items`` contract, notably an exported
+            :class:`~repro.serving.artifact.ServingArtifact`.  Artifacts
+            score bitwise like their live model, so evaluating one
+            reproduces the live metrics exactly (the serving parity gate).
         batched:
             When true (default) the candidate lists are stacked into a
             ``(U, 1 + n_negatives)`` matrix and scored through
-            :meth:`~repro.core.base.BaseRecommender.score_items_batch`;
-            when false each user is scored individually through
-            :meth:`~repro.core.base.BaseRecommender.score_items`.  Both
-            paths produce identical metrics.
+            ``score_items_batch``; when false each user is scored
+            individually through ``score_items``.  Both paths produce
+            identical metrics.
         """
-        if not model.is_fitted:
+        if not getattr(model, "is_fitted", True):
             raise RuntimeError("evaluate() requires a fitted model")
         if batched:
             return self._evaluate_batched(model)
@@ -151,7 +155,7 @@ class LeaveOneOutEvaluator:
         names.append("mrr")
         return names
 
-    def _evaluate_batched(self, model: BaseRecommender) -> EvaluationResult:
+    def _evaluate_batched(self, model) -> EvaluationResult:
         """Score all users in stacked batches and compute metrics from ranks.
 
         The held-out target sits at column 0 of every candidate row and never
@@ -199,7 +203,7 @@ class LeaveOneOutEvaluator:
         return EvaluationResult(metrics=aggregated, per_user=per_user,
                                 n_users=n_users)
 
-    def _evaluate_per_user(self, model: BaseRecommender) -> EvaluationResult:
+    def _evaluate_per_user(self, model) -> EvaluationResult:
         """Reference implementation: one ``score_items`` call per user."""
         per_user: Dict[str, List[float]] = {name: [] for name in self._metric_names()}
 
@@ -227,6 +231,6 @@ class LeaveOneOutEvaluator:
             n_users=len(self._candidates),
         )
 
-    def evaluate_many(self, models: Dict[str, BaseRecommender]) -> Dict[str, EvaluationResult]:
+    def evaluate_many(self, models: Dict[str, "BaseRecommender"]) -> Dict[str, EvaluationResult]:
         """Evaluate several fitted models on identical candidate lists."""
         return {name: self.evaluate(model) for name, model in models.items()}

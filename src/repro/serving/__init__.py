@@ -1,0 +1,75 @@
+"""repro.serving — the redesigned read path: artifacts, queries, a service.
+
+Training (PRs 2-4) and inference now scale independently.  The serving
+subsystem has three layers:
+
+1. **Artifacts** — :class:`ServingArtifact`, a frozen, ``save()``/``load()``-
+   able bundle of the read-only tensors a model family needs to score, plus
+   the train-set seen-items CSR so ``exclude_seen`` works without the live
+   model.  Every fitted :class:`~repro.core.base.BaseRecommender` exports
+   one via :meth:`~repro.core.base.BaseRecommender.export_serving`; a fresh
+   process needs only the artifact file to serve.
+2. **Query API** — one :class:`Query` value object (users, ``k``,
+   ``exclude_seen``, optional per-user candidates, optional item blocklist)
+   consumed by a single blockwise argpartition top-k kernel
+   (:func:`~repro.serving.kernel.run_query`) with fully vectorised CSR
+   seen-masking.  The live models' ``recommend`` / ``recommend_batch`` /
+   ``score_items_batch`` are thin shims over the same kernel, which is what
+   makes artifact-backed serving bitwise-identical to the live model.
+3. **Service** — :class:`RecommenderService`, a thread-safe front-end over a
+   :class:`ModelRegistry` of named, versioned artifacts with atomic
+   hot-swap, micro-batch coalescing of single-user requests (size- and
+   latency-bounded) and an LRU response cache invalidated on swap.
+
+Quick example
+-------------
+>>> artifact = model.export_serving()          # fitted MAR/MARS/baseline
+>>> artifact.save("mars.artifact.npz")         # ship to a serving host
+>>> served = ServingArtifact.load("mars.artifact.npz")
+>>> service = RecommenderService(served)
+>>> service.recommend(user=7, k=10)            # == model.recommend_batch([7], 10)[0]
+>>> service.publish("default", new_artifact)   # atomic hot-swap
+
+The heavyweight modules (artifact/scorers/service) are loaded lazily so
+that :mod:`repro.core.base` can import the dependency-free kernel and query
+types at module load without an import cycle.
+"""
+
+from repro.serving.kernel import (
+    RECOMMEND_ELEMENT_BUDGET,
+    broadcast_candidates,
+    encode_seen_keys,
+    mask_seen_rows,
+    run_query,
+    seen_candidate_mask,
+)
+from repro.serving.query import Query, QueryResult
+
+_LAZY = {
+    "ServingArtifact": "repro.serving.artifact",
+    "ModelRegistry": "repro.serving.service",
+    "RecommenderService": "repro.serving.service",
+    "DEFAULT_MODEL": "repro.serving.service",
+    "SCORER_FAMILIES": "repro.serving.scorers",
+    "get_family_scorer": "repro.serving.scorers",
+}
+
+__all__ = [
+    "Query",
+    "QueryResult",
+    "run_query",
+    "broadcast_candidates",
+    "encode_seen_keys",
+    "mask_seen_rows",
+    "seen_candidate_mask",
+    "RECOMMEND_ELEMENT_BUDGET",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from importlib import import_module
+
+        return getattr(import_module(_LAZY[name]), name)
+    raise AttributeError(f"module 'repro.serving' has no attribute {name!r}")

@@ -1,0 +1,202 @@
+"""Frozen, persistable serving bundles.
+
+A :class:`ServingArtifact` is the read-only half of a fitted recommender:
+the family-specific tensors needed to score (see
+:mod:`repro.serving.scorers`), plus the train-set seen-items CSR so
+``exclude_seen`` works without the live model, its batchers or its autograd
+network.  Artifacts are immutable (arrays are frozen, attributes locked),
+``save()``/``load()`` round-trip through a single pickle-free ``.npz`` file,
+and answer the same :class:`~repro.serving.query.Query` API as live models —
+bitwise-identically, because both delegate to the same kernel and the same
+family scoring functions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serving.kernel import broadcast_candidates, encode_seen_keys, run_query
+from repro.serving.query import Query, QueryResult
+from repro.serving.scorers import get_family_scorer
+from repro.utils.io import load_arrays, pack_scalar, save_arrays, unpack_scalar
+
+_TENSOR_PREFIX = "tensor."
+_META_PREFIX = "meta."
+
+
+class ServingArtifact:
+    """An immutable, self-contained scoring bundle for one fitted model.
+
+    Parameters
+    ----------
+    family:
+        Scoring-family key (must be registered in
+        :data:`repro.serving.scorers.SCORER_FAMILIES`).
+    tensors:
+        The family's read-only arrays.  Copied and frozen at construction.
+    n_users, n_items:
+        The id ranges the artifact can score.
+    seen:
+        Optional ``(indptr, indices)`` CSR of train-set seen items (enables
+        ``exclude_seen``).  Column indices must be sorted within each row —
+        the canonical CSR layout — so the membership test can binary-search.
+    model_name:
+        Human-readable provenance label (e.g. ``"MARS"``).
+    """
+
+    __slots__ = ("family", "tensors", "n_users", "n_items", "model_name",
+                 "_seen", "_seen_keys", "_scorer", "_frozen")
+
+    def __init__(self, family: str, tensors: Mapping[str, np.ndarray],
+                 n_users: int, n_items: int,
+                 seen: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+                 model_name: str = "") -> None:
+        scorer = get_family_scorer(family)
+        object.__setattr__(self, "family", str(family))
+        object.__setattr__(self, "tensors", MappingProxyType(
+            {name: _freeze(array) for name, array in tensors.items()}))
+        object.__setattr__(self, "n_users", int(n_users))
+        object.__setattr__(self, "n_items", int(n_items))
+        object.__setattr__(self, "model_name", str(model_name))
+        seen_keys = None
+        if seen is not None:
+            indptr = _freeze(np.asarray(seen[0], dtype=np.int64))
+            indices = _freeze(np.asarray(seen[1], dtype=np.int64))
+            if indptr.size != self.n_users + 1:
+                raise ValueError(
+                    f"seen indptr has {indptr.size} entries, expected "
+                    f"n_users + 1 = {self.n_users + 1}")
+            seen = (indptr, indices)
+            # Build the candidate-membership key index once; every
+            # exclude_seen candidate query binary-searches it.
+            seen_keys = _freeze(encode_seen_keys(self.n_items, indptr, indices))
+        object.__setattr__(self, "_seen", seen)
+        object.__setattr__(self, "_seen_keys", seen_keys)
+        object.__setattr__(self, "_scorer", scorer)
+        object.__setattr__(self, "_frozen", True)
+
+    # ------------------------------------------------------------------ #
+    # immutability
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            f"ServingArtifact is frozen; cannot set {name!r} — build a new "
+            "artifact and publish it to the registry instead")
+
+    def __delattr__(self, name):
+        raise AttributeError("ServingArtifact is frozen")
+
+    # ------------------------------------------------------------------ #
+    # scoring / ranking
+    # ------------------------------------------------------------------ #
+    @property
+    def has_seen(self) -> bool:
+        """Whether the train-set CSR is bundled (``exclude_seen`` support)."""
+        return self._seen is not None
+
+    def _score_candidates(self, users: np.ndarray,
+                          item_matrix: np.ndarray) -> np.ndarray:
+        return self._scorer(self.tensors, users, item_matrix)
+
+    def score_items_batch(self, users: Sequence[int],
+                          item_matrix: np.ndarray) -> np.ndarray:
+        """Scores for a user batch against per-user candidate lists.
+
+        Same contract as
+        :meth:`~repro.core.base.BaseRecommender.score_items_batch`, which is
+        what lets :class:`~repro.eval.protocol.LeaveOneOutEvaluator` consume
+        an artifact in place of the live model.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        return self._score_candidates(users,
+                                      broadcast_candidates(users, item_matrix))
+
+    def score_items(self, user: int, items: Sequence[int]) -> np.ndarray:
+        """Scores of ``items`` for a single ``user``."""
+        items = np.asarray(items, dtype=np.int64)
+        return self.score_items_batch([user], items[None, :])[0]
+
+    def query(self, query: Query) -> QueryResult:
+        """Execute a :class:`Query` against this artifact."""
+        return run_query(query, self._score_candidates, self.n_items,
+                         seen=self._seen, seen_keys=self._seen_keys)
+
+    def recommend_batch(self, users: Sequence[int], k: int = 10,
+                        exclude_seen: bool = True) -> np.ndarray:
+        """Top-``k`` item ids for a batch of users, shape ``(U, k)``.
+
+        Bitwise-identical to the exporting model's ``recommend_batch`` for
+        the same user batch (shared kernel, shared family scorer).
+        """
+        return self.query(Query(users=users, k=k,
+                                exclude_seen=exclude_seen)).items
+
+    def recommend(self, user: int, k: int = 10,
+                  exclude_seen: bool = True) -> np.ndarray:
+        """Top-``k`` item ids for one user, best first."""
+        return self.recommend_batch([user], k=k, exclude_seen=exclude_seen)[0]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the artifact to one compressed, pickle-free ``.npz``."""
+        arrays: Dict[str, np.ndarray] = {
+            _META_PREFIX + "family": pack_scalar(self.family),
+            _META_PREFIX + "model_name": pack_scalar(self.model_name),
+            _META_PREFIX + "n_users": pack_scalar(self.n_users),
+            _META_PREFIX + "n_items": pack_scalar(self.n_items),
+            _META_PREFIX + "has_seen": pack_scalar(self.has_seen),
+        }
+        for name, tensor in self.tensors.items():
+            arrays[_TENSOR_PREFIX + name] = tensor
+        if self._seen is not None:
+            arrays["seen_indptr"], arrays["seen_indices"] = self._seen
+        return save_arrays(path, arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ServingArtifact":
+        """Restore an artifact written by :meth:`save`."""
+        arrays = load_arrays(path)
+        try:
+            family = unpack_scalar(arrays[_META_PREFIX + "family"])
+            n_users = unpack_scalar(arrays[_META_PREFIX + "n_users"])
+            n_items = unpack_scalar(arrays[_META_PREFIX + "n_items"])
+            has_seen = unpack_scalar(arrays[_META_PREFIX + "has_seen"])
+        except KeyError as error:
+            raise KeyError(
+                f"{path} is not a serving artifact (missing {error})") from None
+        model_name = unpack_scalar(arrays.get(_META_PREFIX + "model_name",
+                                              np.asarray("")))
+        tensors = {name[len(_TENSOR_PREFIX):]: array
+                   for name, array in arrays.items()
+                   if name.startswith(_TENSOR_PREFIX)}
+        seen = ((arrays["seen_indptr"], arrays["seen_indices"])
+                if has_seen else None)
+        return cls(family=family, tensors=tensors, n_users=n_users,
+                   n_items=n_items, seen=seen, model_name=model_name)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def nbytes(self) -> int:
+        """Total tensor payload in bytes (excluding the seen CSR)."""
+        return int(sum(tensor.nbytes for tensor in self.tensors.values()))
+
+    def __repr__(self) -> str:
+        seen = "with seen CSR" if self.has_seen else "no seen CSR"
+        return (f"ServingArtifact(family={self.family!r}, "
+                f"model={self.model_name!r}, users={self.n_users}, "
+                f"items={self.n_items}, {seen}, "
+                f"{self.nbytes() / 1e6:.1f} MB)")
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """Copy an array and make the copy read-only."""
+    frozen = np.array(array, copy=True)
+    frozen.flags.writeable = False
+    return frozen

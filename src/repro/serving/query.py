@@ -1,0 +1,90 @@
+"""The unified read-path request/response types.
+
+A :class:`Query` describes one batched top-N (or plain scoring) request
+against a recommender — live model or exported :class:`ServingArtifact` —
+and a :class:`QueryResult` carries the ranked items and their scores.  Both
+are plain, immutable value objects with no dependency on the model layer,
+so they can travel between processes (e.g. a service front-end and its
+workers) without dragging training code along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Query:
+    """One read-path request: rank (or score) items for a batch of users.
+
+    Parameters
+    ----------
+    users:
+        User ids, shape ``(U,)`` (any integer sequence; normalised to int64).
+    k:
+        Number of recommendations per user.  ``k <= 0`` yields an empty
+        ``(U, 0)`` result; ``k=None`` switches to *score mode* — the scores
+        of every candidate are returned unranked (requires ``candidates``).
+    exclude_seen:
+        Mask items each user interacted with in training (requires the
+        seen-items CSR — the training interactions on a live model, the
+        bundled CSR on a :class:`ServingArtifact`).
+    candidates:
+        Optional per-user candidate lists, shape ``(U, C)`` (row ``i`` holds
+        the candidates of ``users[i]``) or ``(C,)`` for a shared list.
+        ``None`` ranks against the full catalogue.
+    exclude_items:
+        Optional item ids masked for *every* user in the query (e.g. a
+        blocklist or out-of-stock filter).
+    """
+
+    users: np.ndarray
+    k: Optional[int] = 10
+    exclude_seen: bool = True
+    candidates: Optional[np.ndarray] = None
+    exclude_items: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        users = np.atleast_1d(np.asarray(self.users, dtype=np.int64))
+        if users.ndim != 1:
+            raise ValueError(f"users must be 1-D, got shape {users.shape}")
+        object.__setattr__(self, "users", users)
+        if self.k is not None:
+            object.__setattr__(self, "k", int(self.k))
+        if self.candidates is not None:
+            object.__setattr__(
+                self, "candidates", np.asarray(self.candidates, dtype=np.int64))
+        elif self.k is None:
+            raise ValueError("score-mode queries (k=None) require candidates")
+        if self.exclude_items is not None:
+            exclude = np.atleast_1d(np.asarray(self.exclude_items, dtype=np.int64))
+            object.__setattr__(self, "exclude_items", exclude)
+
+    @property
+    def n_users(self) -> int:
+        return int(self.users.size)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The answer to a :class:`Query`.
+
+    ``items[i]`` are the top-``k`` item ids of ``users[i]`` (best first) and
+    ``scores[i]`` their scores.  For a score-mode query (``k=None``)
+    ``items`` is the broadcast ``(U, C)`` candidate matrix and ``scores``
+    the candidate scores in the same order.
+    """
+
+    items: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def n_users(self) -> int:
+        return int(self.items.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.items.shape[1])

@@ -1,0 +1,347 @@
+"""The serving front-end: model registry, micro-batching, response cache.
+
+:class:`ModelRegistry` holds named, versioned
+:class:`~repro.serving.artifact.ServingArtifact` bundles with atomic
+hot-swap — publishing a new artifact under an existing name bumps its
+version; in-flight queries finish on the artifact they resolved, new
+queries see the new one.
+
+:class:`RecommenderService` is the request-facing layer.  Batched calls
+(:meth:`RecommenderService.recommend_batch`, :meth:`RecommenderService.query`)
+go straight to the kernel.  Single-user :meth:`RecommenderService.recommend`
+calls are *coalesced*: the first caller becomes the micro-batch leader and
+waits until either ``max_batch_size`` compatible requests have queued or
+``max_wait_ms`` has elapsed, then scores the whole batch with one kernel
+pass and distributes the rows — turning a thundering herd of per-user
+requests into a handful of vectorised scorer calls.  A bounded LRU cache
+keyed by ``(model, version, user, k, exclude_seen)`` short-circuits repeat
+requests and is invalidated by version bump on hot-swap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serving.artifact import ServingArtifact
+from repro.serving.query import Query, QueryResult
+
+DEFAULT_MODEL = "default"
+
+
+class ModelRegistry:
+    """Named, versioned artifacts with atomic publish (hot-swap)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries: Dict[str, Tuple[ServingArtifact, int]] = {}
+
+    def publish(self, name: str, artifact: ServingArtifact) -> int:
+        """Install ``artifact`` under ``name``; returns the new version.
+
+        Atomic: readers either see the previous ``(artifact, version)`` pair
+        or the new one, never a mixture.
+        """
+        if not isinstance(artifact, ServingArtifact):
+            raise TypeError(
+                f"registry accepts ServingArtifact bundles, got "
+                f"{type(artifact).__name__}; call model.export_serving() first")
+        with self._lock:
+            version = self._entries.get(name, (None, 0))[1] + 1
+            self._entries[name] = (artifact, version)
+            return version
+
+    def get(self, name: Optional[str] = None) -> Tuple[ServingArtifact, int, str]:
+        """Resolve ``(artifact, version, name)``; ``name=None`` works when
+        exactly one model is registered."""
+        with self._lock:
+            if name is None:
+                if len(self._entries) != 1:
+                    raise KeyError(
+                        f"registry holds {len(self._entries)} models "
+                        f"({sorted(self._entries)}); specify one by name")
+                name = next(iter(self._entries))
+            try:
+                artifact, version = self._entries[name]
+            except KeyError:
+                raise KeyError(
+                    f"no model named {name!r} is published; available: "
+                    f"{sorted(self._entries)}") from None
+            return artifact, version, name
+
+    def version(self, name: str) -> int:
+        with self._lock:
+            return self._entries[name][1]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _LRUCache:
+    """Thread-safe bounded LRU for per-user top-k responses."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+    def get(self, key) -> Optional[np.ndarray]:
+        if self.capacity <= 0:
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key, value: np.ndarray) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def purge_model(self, name: str) -> None:
+        with self._lock:
+            for key in [key for key in self._entries if key[0] == name]:
+                del self._entries[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _Request:
+    """One pending single-user recommendation awaiting a micro-batch."""
+
+    __slots__ = ("group", "artifact", "user", "done", "result", "error")
+
+    def __init__(self, group: tuple, artifact: ServingArtifact, user: int) -> None:
+        self.group = group          # (name, version, k, exclude_seen)
+        self.artifact = artifact    # resolved at request time: in-flight
+        self.user = user            # requests finish on the swap-out artifact
+        self.done = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
+class RecommenderService:
+    """Micro-batching, caching front-end over a :class:`ModelRegistry`.
+
+    Parameters
+    ----------
+    models:
+        Either a single :class:`ServingArtifact` (published as
+        ``"default"``), a ``{name: artifact}`` mapping, or ``None`` to start
+        empty and :meth:`publish` later.
+    registry:
+        Use an existing registry instead of building one (mutually
+        exclusive with ``models``).
+    max_batch_size:
+        Coalesce at most this many single-user requests per micro-batch.
+    max_wait_ms:
+        How long a micro-batch leader waits for co-arriving requests before
+        flushing.  ``0`` flushes immediately (still batching whatever is
+        already queued), which is the right setting for single-threaded
+        callers.
+    cache_size:
+        Capacity of the per-user top-k LRU cache (``0`` disables it).
+    """
+
+    def __init__(self,
+                 models: Union[ServingArtifact, Mapping[str, ServingArtifact],
+                               None] = None,
+                 *, registry: Optional[ModelRegistry] = None,
+                 max_batch_size: int = 64, max_wait_ms: float = 2.0,
+                 cache_size: int = 4096) -> None:
+        if registry is not None and models is not None:
+            raise ValueError("pass either models or a registry, not both")
+        self.registry = registry if registry is not None else ModelRegistry()
+        if isinstance(models, ServingArtifact):
+            self.registry.publish(DEFAULT_MODEL, models)
+        elif models is not None:
+            for name, artifact in models.items():
+                self.registry.publish(name, artifact)
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait = float(max_wait_ms) / 1e3
+        self._cache = _LRUCache(cache_size)
+        self._cond = threading.Condition()
+        self._pending: List[_Request] = []
+        self._leader_active = False
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "requests": 0,          # single-user recommend() calls
+            "batch_requests": 0,    # recommend_batch()/query() calls
+            "micro_batches": 0,     # kernel passes executed for coalesced calls
+            "coalesced": 0,         # single-user requests served by those passes
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # registry surface
+    # ------------------------------------------------------------------ #
+    def publish(self, name: str, artifact: ServingArtifact) -> int:
+        """Hot-swap ``name`` to ``artifact``; invalidates its cached rows."""
+        version = self.registry.publish(name, artifact)
+        self._cache.purge_model(name)
+        return version
+
+    # ------------------------------------------------------------------ #
+    # read path
+    # ------------------------------------------------------------------ #
+    def recommend_batch(self, users: Sequence[int], k: int = 10,
+                        exclude_seen: bool = True,
+                        model: Optional[str] = None) -> np.ndarray:
+        """Top-``k`` for a caller-assembled user batch (no coalescing)."""
+        artifact, _, _ = self.registry.get(model)
+        self._bump("batch_requests")
+        return artifact.recommend_batch(users, k=k, exclude_seen=exclude_seen)
+
+    def query(self, query: Query, model: Optional[str] = None) -> QueryResult:
+        """Execute a full :class:`Query` against a published artifact."""
+        artifact, _, _ = self.registry.get(model)
+        self._bump("batch_requests")
+        return artifact.query(query)
+
+    def recommend(self, user: int, k: int = 10, exclude_seen: bool = True,
+                  model: Optional[str] = None) -> np.ndarray:
+        """Top-``k`` for one user — cached, and coalesced into micro-batches.
+
+        Concurrent callers of compatible requests (same model version, same
+        ``k``/``exclude_seen``) share one vectorised kernel pass; the result
+        is bitwise what :meth:`recommend_batch` returns for the coalesced
+        user batch.
+        """
+        artifact, version, name = self.registry.get(model)
+        self._bump("requests")
+        key = (name, version, int(user), int(k), bool(exclude_seen))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._bump("cache_hits")
+            return cached.copy()
+        self._bump("cache_misses")
+
+        request = _Request(group=(name, version, int(k), bool(exclude_seen)),
+                           artifact=artifact, user=int(user))
+        with self._cond:
+            self._pending.append(request)
+            self._cond.notify_all()  # wake a leader waiting for batch fill
+            leader = not self._leader_active
+            if leader:
+                self._leader_active = True
+        if leader:
+            self._lead_micro_batch()
+        # The leader fulfils every request it drained (including its own).
+        # Followers poll so that a request orphaned by a crashed leader
+        # re-elects itself instead of blocking forever.
+        while not request.done.wait(timeout=0.05):
+            with self._cond:
+                takeover = (not request.done.is_set()
+                            and not self._leader_active
+                            and bool(self._pending))
+                if takeover:
+                    self._leader_active = True
+            if takeover:
+                self._lead_micro_batch()
+        if request.error is not None:
+            raise request.error
+        return request.result.copy()
+
+    # ------------------------------------------------------------------ #
+    # micro-batching internals
+    # ------------------------------------------------------------------ #
+    def _lead_micro_batch(self) -> None:
+        # Loop (not recurse) over micro-batches until the queue is drained.
+        # Leadership release happens atomically with the empty-queue check,
+        # so a request either lands in some leader's batch or finds
+        # `_leader_active` false and elects itself.  If the leader dies, the
+        # except releases leadership, fails every request it had drained but
+        # not fulfilled (they are in no queue, so nobody else could serve
+        # them), and still-queued followers take over through the poll loop
+        # in :meth:`recommend` — no caller can hang.
+        batch: List[_Request] = []
+        try:
+            while True:
+                deadline = time.monotonic() + self.max_wait
+                with self._cond:
+                    while len(self._pending) < self.max_batch_size:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._pending:
+                            break
+                        self._cond.wait(remaining)
+                    batch = self._pending[:self.max_batch_size]
+                    del self._pending[:self.max_batch_size]
+                    if not batch:
+                        self._leader_active = False
+                        return
+                self._execute(batch)
+                with self._cond:
+                    if not self._pending:
+                        self._leader_active = False
+                        return
+        except BaseException as error:
+            with self._cond:
+                self._leader_active = False
+            for request in batch:
+                if not request.done.is_set():
+                    request.error = error
+                    request.done.set()
+            raise
+
+    def _execute(self, batch: List[_Request]) -> None:
+        if not batch:
+            return
+        groups: "OrderedDict[tuple, List[_Request]]" = OrderedDict()
+        for request in batch:
+            groups.setdefault(request.group, []).append(request)
+        for (name, version, k, exclude_seen), requests in groups.items():
+            try:
+                users = np.array([request.user for request in requests],
+                                 dtype=np.int64)
+                rows = requests[0].artifact.recommend_batch(
+                    users, k=k, exclude_seen=exclude_seen)
+            except BaseException as error:  # propagate to every waiter
+                for request in requests:
+                    request.error = error
+                    request.done.set()
+                continue
+            self._bump("micro_batches")
+            self._bump("coalesced", len(requests))
+            for request, row in zip(requests, rows):
+                self._cache.put((name, version, request.user, k,
+                                 exclude_seen), row)
+                request.result = row
+                request.done.set()
+
+    # ------------------------------------------------------------------ #
+    # stats
+    # ------------------------------------------------------------------ #
+    def _bump(self, key: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._stats[key] += amount
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counters: requests, micro_batches, coalesced, cache hits/misses."""
+        with self._stats_lock:
+            return dict(self._stats)

@@ -30,6 +30,35 @@ def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
         return {key: data[key].copy() for key in data.files}
 
 
+def pack_scalar(value) -> np.ndarray:
+    """Encode a python scalar (str/bool/int/float) as a 0-d pickle-free array.
+
+    Lets scalar metadata ride inside the ``.npz`` bundles written by
+    :func:`save_arrays` (which load with ``allow_pickle=False``); decode
+    with :func:`unpack_scalar`.
+    """
+    if isinstance(value, str):
+        return np.asarray(value)
+    if isinstance(value, (bool, np.bool_)):
+        return np.asarray(bool(value))
+    if isinstance(value, (int, np.integer)):
+        return np.asarray(int(value), dtype=np.int64)
+    if isinstance(value, (float, np.floating)):
+        return np.asarray(float(value), dtype=np.float64)
+    raise TypeError(f"cannot pack scalar of type {type(value).__name__}")
+
+
+def unpack_scalar(array: np.ndarray):
+    """Decode a scalar previously encoded with :func:`pack_scalar`."""
+    array = np.asarray(array)
+    if array.shape != ():
+        raise ValueError(f"expected a 0-d scalar array, got shape {array.shape}")
+    value = array.item()
+    if isinstance(value, bytes):  # round-trip through a byte-string dtype
+        return value.decode("utf-8")
+    return value
+
+
 def save_json(path: PathLike, payload: Mapping) -> Path:
     """Write a JSON document, creating parent directories as needed."""
     path = Path(path)

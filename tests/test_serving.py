@@ -1,0 +1,550 @@
+"""Regression tests for the serving subsystem (artifacts, Query API, service).
+
+The contracts under test:
+
+* the ``recommend``/``recommend_batch``/``score_items_batch`` shims over the
+  shared kernel preserve their historical outputs (including the vectorised
+  CSR seen-masking and the ``k <= 0`` fix);
+* for every model family, an exported :class:`ServingArtifact` answers
+  queries **bitwise** like the live model — including after a
+  ``save()``/``load()`` round-trip and in a fresh process holding only the
+  artifact file;
+* :class:`LeaveOneOutEvaluator` reproduces the live metrics through the
+  artifact scorer;
+* :class:`RecommenderService` micro-batching, caching and registry hot-swap
+  return exactly what ``recommend_batch`` would.
+"""
+
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    MAR,
+    MARS,
+    ModelRegistry,
+    Query,
+    QueryResult,
+    RecommenderService,
+    ServingArtifact,
+)
+from repro.baselines.bpr import BPR
+from repro.baselines.cml import CML
+from repro.baselines.itemknn import ItemKNN
+from repro.baselines.lrml import LRML
+from repro.baselines.metricf import MetricF
+from repro.baselines.neumf import NeuMF
+from repro.baselines.nmf import NMF
+from repro.baselines.popularity import Popularity
+from repro.baselines.sml import SML
+from repro.baselines.transcf import TransCF
+from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.eval import LeaveOneOutEvaluator
+from repro.serving.kernel import (
+    encode_seen_keys,
+    mask_seen_rows,
+    run_query,
+    seen_candidate_mask,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(n_users=60, n_items=90, interactions_per_user=9.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+_MODEL_FACTORIES = {
+    "MAR": lambda: MAR(n_facets=2, embedding_dim=10, n_epochs=2,
+                       batch_size=64, random_state=0),
+    "MARS": lambda: MARS(n_facets=2, embedding_dim=10, n_epochs=2,
+                         batch_size=64, random_state=0),
+    "BPR": lambda: BPR(embedding_dim=8, n_epochs=2, random_state=0),
+    "CML": lambda: CML(embedding_dim=8, n_epochs=2, random_state=0),
+    "MetricF": lambda: MetricF(embedding_dim=8, n_epochs=2, random_state=0),
+    "SML": lambda: SML(embedding_dim=8, n_epochs=2, random_state=0),
+    "TransCF": lambda: TransCF(embedding_dim=8, n_epochs=2, random_state=0),
+    "LRML": lambda: LRML(embedding_dim=8, n_epochs=2, random_state=0),
+    "NeuMF": lambda: NeuMF(embedding_dim=8, n_epochs=2, random_state=0),
+    "Popularity": Popularity,
+    "ItemKNN": lambda: ItemKNN(k_neighbours=10),
+    "NMF": lambda: NMF(n_factors=4, n_iterations=10),
+}
+
+_EXPECTED_FAMILIES = {
+    "MAR": "multifacet", "MARS": "multifacet", "BPR": "dot_bias",
+    "CML": "euclidean", "MetricF": "euclidean", "SML": "euclidean",
+    "TransCF": "translation", "LRML": "memory", "NeuMF": "mlp",
+    "Popularity": "popularity", "ItemKNN": "precomputed", "NMF": "precomputed",
+}
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    return {name: factory().fit(dataset)
+            for name, factory in _MODEL_FACTORIES.items()}
+
+
+@pytest.fixture(scope="module")
+def fitted_mars(fitted):
+    return fitted["MARS"]
+
+
+# --------------------------------------------------------------------------- #
+# Query construction
+# --------------------------------------------------------------------------- #
+class TestQuery:
+    def test_users_normalised_to_int64(self):
+        query = Query(users=[3, 1, 2])
+        assert query.users.dtype == np.int64
+        np.testing.assert_array_equal(query.users, [3, 1, 2])
+        assert query.n_users == 3
+
+    def test_scalar_user_promoted(self):
+        assert Query(users=5).users.shape == (1,)
+
+    def test_score_mode_requires_candidates(self):
+        with pytest.raises(ValueError, match="candidates"):
+            Query(users=[0], k=None)
+
+    def test_two_dimensional_users_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Query(users=np.zeros((2, 2), dtype=np.int64))
+
+    def test_frozen(self):
+        query = Query(users=[0])
+        with pytest.raises(AttributeError):
+            query.k = 3
+
+
+# --------------------------------------------------------------------------- #
+# kernel masking (the vectorised CSR scatter / membership test)
+# --------------------------------------------------------------------------- #
+class TestKernelMasking:
+    def test_mask_seen_rows_matches_per_user_loop(self, dataset):
+        train = dataset.train
+        csr = train.csr()
+        rng = np.random.default_rng(0)
+        users = rng.choice(train.n_users, size=25, replace=False)
+        scores = rng.normal(size=(users.size, train.n_items))
+
+        expected = scores.copy()
+        for row, user in enumerate(users):
+            expected[row, train.items_of_user(int(user))] = -np.inf
+
+        masked = scores.copy()
+        mask_seen_rows(masked, users, csr.indptr, csr.indices)
+        np.testing.assert_array_equal(masked, expected)
+
+    def test_seen_candidate_mask_matches_membership(self, dataset):
+        train = dataset.train
+        csr = train.csr()
+        rng = np.random.default_rng(1)
+        users = rng.choice(train.n_users, size=20, replace=False)
+        candidates = rng.integers(0, train.n_items, size=(20, 15))
+
+        keys = encode_seen_keys(train.n_items, csr.indptr, csr.indices)
+        np.testing.assert_array_equal(keys, train.encoded_positive_keys())
+        mask = seen_candidate_mask(users, candidates, train.n_items, keys)
+        for row, user in enumerate(users):
+            seen = set(train.items_of_user(int(user)).tolist())
+            expected = np.array([item in seen for item in candidates[row]])
+            np.testing.assert_array_equal(mask[row], expected)
+
+    def test_users_without_interactions_mask_nothing(self):
+        indptr = np.array([0, 0, 2])
+        indices = np.array([1, 3])
+        scores = np.zeros((2, 5))
+        mask_seen_rows(scores, np.array([0, 1]), indptr, indices)
+        assert np.isfinite(scores[0]).all()
+        assert np.isinf(scores[1, [1, 3]]).all()
+
+
+# --------------------------------------------------------------------------- #
+# the redesigned shims
+# --------------------------------------------------------------------------- #
+class TestShims:
+    @pytest.mark.parametrize("k", [0, -2])
+    def test_non_positive_k_returns_empty(self, fitted_mars, k):
+        users = np.arange(6)
+        batched = fitted_mars.recommend_batch(users, k=k)
+        assert batched.shape == (6, 0)
+        assert batched.dtype == np.int64
+        single = fitted_mars.recommend(0, k=k)
+        assert single.shape == (0,)
+
+    def test_exclude_items_blocklist(self, fitted_mars):
+        blocked = np.array([0, 1, 2, 3])
+        result = fitted_mars.query(
+            Query(users=np.arange(8), k=10, exclude_seen=False,
+                  exclude_items=blocked))
+        assert not set(result.items.ravel()) & set(blocked.tolist())
+
+    def test_blocklist_tolerates_out_of_catalogue_ids(self, fitted_mars):
+        # A retired item id must not crash full-catalogue ranking (and must
+        # not wrap around to mask a live item).
+        clean = fitted_mars.query(Query(users=[0], k=5, exclude_seen=False))
+        result = fitted_mars.query(
+            Query(users=[0], k=5, exclude_seen=False,
+                  exclude_items=[10_000, -1]))
+        np.testing.assert_array_equal(result.items, clean.items)
+
+    def test_candidate_query_ranks_within_candidates(self, fitted_mars):
+        candidates = np.array([[5, 6, 7, 8, 9], [10, 11, 12, 13, 14]])
+        result = fitted_mars.query(
+            Query(users=[0, 1], candidates=candidates, k=3,
+                  exclude_seen=False))
+        scores = fitted_mars.score_items_batch([0, 1], candidates)
+        for row in range(2):
+            order = np.argsort(-scores[row], kind="stable")[:3]
+            np.testing.assert_array_equal(result.items[row],
+                                          candidates[row, order])
+
+    def test_score_mode_query_matches_score_items_batch(self, fitted_mars):
+        candidates = np.array([[5, 6, 7], [8, 9, 10]])
+        result = fitted_mars.query(
+            Query(users=[2, 3], candidates=candidates, k=None,
+                  exclude_seen=False))
+        np.testing.assert_array_equal(
+            result.scores, fitted_mars.score_items_batch([2, 3], candidates))
+        np.testing.assert_array_equal(result.items, candidates)
+
+    def test_candidate_query_exclude_seen(self, fitted_mars, dataset):
+        train = dataset.train
+        user = 4
+        seen_items = train.items_of_user(user)
+        assert seen_items.size >= 2
+        unseen = np.setdiff1d(np.arange(train.n_items), seen_items)[:4]
+        candidates = np.concatenate([seen_items[:2], unseen])[None, :]
+        result = fitted_mars.query(
+            Query(users=[user], candidates=candidates, k=4, exclude_seen=True))
+        # k equals the number of unseen candidates, so the masked seen items
+        # must never surface.
+        assert set(result.items[0].tolist()) == set(unseen.tolist())
+
+    def test_exclude_seen_without_interactions_raises(self, dataset):
+        model = MARS(n_facets=2, embedding_dim=10)
+        with pytest.raises(RuntimeError, match="fitted"):
+            model.recommend_batch([0], k=3)
+
+    def test_recommend_batch_masking_matches_reference_loop(self, fitted_mars,
+                                                            dataset):
+        # The vectorised CSR scatter must reproduce the historical per-user
+        # masking loop exactly.
+        train = dataset.train
+        users = np.arange(20)
+        scores = np.asarray(
+            fitted_mars.score_items_batch(users, np.arange(train.n_items)),
+            dtype=np.float64).copy()
+        for row, user in enumerate(users):
+            scores[row, train.items_of_user(int(user))] = -np.inf
+        k = 6
+        part = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+        part_scores = np.take_along_axis(scores, part, axis=1)
+        order = np.argsort(-part_scores, axis=1, kind="stable")
+        expected = np.take_along_axis(part, order, axis=1)
+        np.testing.assert_array_equal(
+            fitted_mars.recommend_batch(users, k=k), expected)
+
+
+# --------------------------------------------------------------------------- #
+# artifact export / parity
+# --------------------------------------------------------------------------- #
+class TestArtifactParity:
+    @pytest.mark.parametrize("name", sorted(_MODEL_FACTORIES))
+    def test_bitwise_parity_with_live_model(self, fitted, name, tmp_path):
+        model = fitted[name]
+        users = np.arange(model._require_fitted().n_users)
+        artifact = model.export_serving()
+        assert artifact.family == _EXPECTED_FAMILIES[name]
+        assert artifact.model_name == model.name
+
+        for exclude_seen in (True, False):
+            live = model.recommend_batch(users, k=7, exclude_seen=exclude_seen)
+            served = artifact.recommend_batch(users, k=7,
+                                              exclude_seen=exclude_seen)
+            np.testing.assert_array_equal(served, live)
+
+        # ... and after a save/load round-trip.
+        restored = ServingArtifact.load(artifact.save(tmp_path / f"{name}.npz"))
+        np.testing.assert_array_equal(restored.recommend_batch(users, k=7),
+                                      model.recommend_batch(users, k=7))
+
+    @pytest.mark.parametrize("name", sorted(_MODEL_FACTORIES))
+    def test_evaluator_reproduces_live_metrics(self, fitted, name, dataset):
+        model = fitted[name]
+        evaluator = LeaveOneOutEvaluator(dataset, n_negatives=40,
+                                         random_state=0)
+        live = evaluator.evaluate(model)
+        served = evaluator.evaluate(model.export_serving())
+        assert live.metrics == served.metrics
+        for metric in live.per_user:
+            np.testing.assert_array_equal(live.per_user[metric],
+                                          served.per_user[metric])
+
+    def test_per_user_scoring_matches_batch(self, fitted_mars):
+        artifact = fitted_mars.export_serving()
+        items = np.arange(15)
+        np.testing.assert_array_equal(
+            artifact.score_items(3, items),
+            artifact.score_items_batch([3], items[None, :])[0])
+
+    def test_fresh_process_serves_from_artifact_file_alone(self, fitted_mars,
+                                                           tmp_path):
+        """A new interpreter with only the artifact file reproduces top-k."""
+        path = fitted_mars.export_serving().save(tmp_path / "mars.npz")
+        users = np.arange(10)
+        expected = fitted_mars.recommend_batch(users, k=5)
+        script = (
+            "import sys, numpy as np\n"
+            f"sys.path.insert(0, {str(Path(__file__).parent.parent / 'src')!r})\n"
+            "from repro.serving.artifact import ServingArtifact\n"
+            f"artifact = ServingArtifact.load({str(path)!r})\n"
+            "top = artifact.recommend_batch(np.arange(10), k=5)\n"
+            "np.save(sys.argv[1], top)\n"
+        )
+        out = tmp_path / "fresh_topk.npy"
+        subprocess.run([sys.executable, "-c", script, str(out)], check=True)
+        np.testing.assert_array_equal(np.load(out), expected)
+
+    def test_artifact_is_frozen(self, fitted_mars):
+        artifact = fitted_mars.export_serving()
+        with pytest.raises(AttributeError, match="frozen"):
+            artifact.family = "other"
+        with pytest.raises(ValueError):
+            artifact.tensors["facet_weights"][0, 0] = 1.0
+        with pytest.raises(TypeError):
+            artifact.tensors["extra"] = np.zeros(3)
+
+    def test_export_does_not_alias_live_tensors(self, dataset):
+        model = CML(embedding_dim=8, n_epochs=1, random_state=0).fit(dataset)
+        artifact = model.export_serving()
+        before = artifact.recommend_batch([0, 1], k=5)
+        model.network.user_embeddings.weight.data[:] = 0.0
+        np.testing.assert_array_equal(artifact.recommend_batch([0, 1], k=5),
+                                      before)
+
+    def test_artifact_without_seen_rejects_exclude_seen(self, fitted_mars,
+                                                        tmp_path):
+        # A checkpoint-restored model has no training interactions: its
+        # artifact must still rank with exclude_seen=False and fail loudly
+        # otherwise.
+        path = fitted_mars.save(tmp_path / "mars_params.npz")
+        restored = MARS(n_facets=2, embedding_dim=10).load(path)
+        artifact = restored.export_serving()
+        assert not artifact.has_seen
+        with pytest.raises(RuntimeError, match="exclude_seen"):
+            artifact.recommend_batch([0], k=3)
+        np.testing.assert_array_equal(
+            artifact.recommend_batch([0, 5], k=4, exclude_seen=False),
+            fitted_mars.recommend_batch([0, 5], k=4, exclude_seen=False))
+
+    def test_unfitted_model_cannot_export(self):
+        with pytest.raises(RuntimeError):
+            MARS(n_facets=2, embedding_dim=8).export_serving()
+        with pytest.raises(RuntimeError):
+            BPR(embedding_dim=8).export_serving()
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="unknown serving family"):
+            ServingArtifact(family="nope", tensors={}, n_users=1, n_items=1)
+
+    def test_load_rejects_plain_parameter_files(self, fitted_mars, tmp_path):
+        path = fitted_mars.save(tmp_path / "params.npz")
+        with pytest.raises(KeyError, match="not a serving artifact"):
+            ServingArtifact.load(path)
+
+
+# --------------------------------------------------------------------------- #
+# registry + service
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_publish_bumps_version(self, fitted):
+        registry = ModelRegistry()
+        artifact = fitted["CML"].export_serving()
+        assert registry.publish("cml", artifact) == 1
+        assert registry.publish("cml", artifact) == 2
+        assert registry.version("cml") == 2
+        assert "cml" in registry and len(registry) == 1
+
+    def test_get_resolves_single_unnamed(self, fitted):
+        registry = ModelRegistry()
+        registry.publish("only", fitted["CML"].export_serving())
+        artifact, version, name = registry.get()
+        assert (version, name) == (1, "only")
+
+    def test_get_requires_name_with_many_models(self, fitted):
+        registry = ModelRegistry()
+        registry.publish("a", fitted["CML"].export_serving())
+        registry.publish("b", fitted["BPR"].export_serving())
+        with pytest.raises(KeyError, match="specify one by name"):
+            registry.get()
+        with pytest.raises(KeyError, match="no model named"):
+            registry.get("c")
+
+    def test_rejects_non_artifacts(self, fitted):
+        with pytest.raises(TypeError, match="export_serving"):
+            ModelRegistry().publish("m", fitted["CML"])
+
+
+class TestService:
+    @pytest.mark.parametrize("name", sorted(_MODEL_FACTORIES))
+    def test_single_requests_match_recommend_batch(self, fitted, name,
+                                                   tmp_path):
+        """Service top-k ≡ live ``recommend_batch`` bitwise for every model
+        family — served from a save/load round-tripped artifact, and again
+        after a registry hot-swap."""
+        model = fitted[name]
+        restored = ServingArtifact.load(
+            model.export_serving().save(tmp_path / f"{name}.npz"))
+        service = RecommenderService(restored, max_wait_ms=0.0)
+        users = np.arange(model._require_fitted().n_users)
+        expected = model.recommend_batch(users, k=6)
+        rows = np.stack([service.recommend(int(user), k=6) for user in users])
+        np.testing.assert_array_equal(rows, expected)
+
+        # Hot-swap to another model's artifact: the swap must take effect
+        # immediately (no stale cache rows) and stay bitwise-exact.
+        other = fitted["MARS" if name != "MARS" else "CML"]
+        service.publish("default", other.export_serving())
+        swapped = np.stack([service.recommend(int(user), k=6)
+                            for user in users])
+        np.testing.assert_array_equal(swapped,
+                                      other.recommend_batch(users, k=6))
+
+    def test_batch_path_matches_live(self, fitted):
+        model = fitted["MARS"]
+        service = RecommenderService(model.export_serving())
+        users = np.arange(30)
+        np.testing.assert_array_equal(service.recommend_batch(users, k=5),
+                                      model.recommend_batch(users, k=5))
+
+    def test_cache_hits_and_result_isolation(self, fitted):
+        service = RecommenderService(fitted["MARS"].export_serving(),
+                                     max_wait_ms=0.0)
+        first = service.recommend(3, k=5)
+        first[:] = -1  # caller-side mutation must not poison the cache
+        second = service.recommend(3, k=5)
+        assert service.stats["cache_hits"] == 1
+        np.testing.assert_array_equal(
+            second, fitted["MARS"].recommend_batch([3], k=5)[0])
+
+    def test_hot_swap_serves_new_artifact_and_invalidates_cache(self, fitted):
+        service = RecommenderService(fitted["MARS"].export_serving(),
+                                     max_wait_ms=0.0)
+        before = service.recommend(2, k=5)
+        np.testing.assert_array_equal(
+            before, fitted["MARS"].recommend_batch([2], k=5)[0])
+        service.publish("default", fitted["CML"].export_serving())
+        after = service.recommend(2, k=5)
+        np.testing.assert_array_equal(
+            after, fitted["CML"].recommend_batch([2], k=5)[0])
+        # The post-swap request may not be served from the pre-swap cache.
+        assert service.stats["cache_hits"] == 0
+
+    def test_named_models(self, fitted):
+        service = RecommenderService({
+            "mars": fitted["MARS"].export_serving(),
+            "cml": fitted["CML"].export_serving(),
+        }, max_wait_ms=0.0)
+        np.testing.assert_array_equal(
+            service.recommend(1, k=4, model="cml"),
+            fitted["CML"].recommend_batch([1], k=4)[0])
+        with pytest.raises(KeyError):
+            service.recommend(1, k=4)  # ambiguous without a name
+
+    def test_concurrent_requests_coalesce_into_one_micro_batch(self, fitted):
+        model = fitted["MARS"]
+        expected = model.recommend_batch(np.arange(8), k=5)
+        # A generous wait means the leader blocks until all 8 compatible
+        # requests have queued (max_batch_size reached), then one kernel
+        # pass serves everyone.
+        service = RecommenderService(model.export_serving(),
+                                     max_batch_size=8, max_wait_ms=5000.0)
+        results = {}
+
+        def worker(user):
+            results[user] = service.recommend(user, k=5)
+
+        threads = [threading.Thread(target=worker, args=(user,))
+                   for user in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for user in range(8):
+            np.testing.assert_array_equal(results[user], expected[user])
+        assert service.stats["micro_batches"] == 1
+        assert service.stats["coalesced"] == 8
+
+    def test_overflow_batches_drain_without_a_new_leader(self, fitted):
+        # max_batch_size=1 forces every coalesced request into its own
+        # micro-batch; the first leader must loop over the overflow instead
+        # of stranding the other threads' requests.
+        model = fitted["MARS"]
+        expected = model.recommend_batch(np.arange(6), k=4)
+        service = RecommenderService(model.export_serving(),
+                                     max_batch_size=1, max_wait_ms=50.0)
+        results = {}
+
+        def worker(user):
+            results[user] = service.recommend(user, k=4)
+
+        threads = [threading.Thread(target=worker, args=(user,))
+                   for user in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for user in range(6):
+            np.testing.assert_array_equal(results[user], expected[user])
+        assert service.stats["micro_batches"] == 6
+
+    def test_error_propagates_to_caller(self, fitted):
+        service = RecommenderService(fitted["MARS"].export_serving(),
+                                     max_wait_ms=0.0)
+        with pytest.raises(IndexError):
+            service.recommend(10_000, k=5)  # out-of-range user id
+        # ... and the service keeps serving afterwards.
+        np.testing.assert_array_equal(
+            service.recommend(0, k=5),
+            fitted["MARS"].recommend_batch([0], k=5)[0])
+
+    def test_invalid_construction(self, fitted):
+        artifact = fitted["MARS"].export_serving()
+        with pytest.raises(ValueError, match="not both"):
+            RecommenderService(artifact, registry=ModelRegistry())
+        with pytest.raises(ValueError):
+            RecommenderService(artifact, max_batch_size=0)
+        with pytest.raises(ValueError):
+            RecommenderService(artifact, max_wait_ms=-1.0)
+
+
+# --------------------------------------------------------------------------- #
+# run_query odds and ends
+# --------------------------------------------------------------------------- #
+class TestRunQuery:
+    def test_scorer_shape_mismatch_rejected(self):
+        def bad_scorer(users, item_matrix):
+            return np.zeros((users.size, item_matrix.shape[1] + 1))
+
+        with pytest.raises(ValueError, match="scorer returned shape"):
+            run_query(Query(users=[0], candidates=[[1, 2]], k=1,
+                            exclude_seen=False), bad_scorer, n_items=5)
+
+    def test_exclude_seen_without_csr_raises(self):
+        def scorer(users, item_matrix):
+            return np.zeros(item_matrix.shape)
+
+        with pytest.raises(RuntimeError, match="exclude_seen"):
+            run_query(Query(users=[0], k=2), scorer, n_items=5, seen=None)
+
+    def test_result_properties(self, fitted_mars):
+        result = fitted_mars.query(Query(users=[0, 1], k=4))
+        assert isinstance(result, QueryResult)
+        assert (result.n_users, result.k) == (2, 4)
