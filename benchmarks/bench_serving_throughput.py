@@ -24,6 +24,8 @@ from repro.core import MARS
 from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
 from repro.serving.service import RecommenderService
 
+from recording import record_benchmark
+
 #: Number of single-user queries timed on the loop/service paths (the
 #: batched path ranks every user; queries/s stays comparable because the
 #: per-query work is identical).
@@ -91,6 +93,7 @@ def test_serving_throughput(benchmark, capsys):
     benchmark.pedantic(lambda: mars.recommend_batch(users, k=10),
                        rounds=3, iterations=1)
 
+    recorded = {}
     with capsys.disabled():
         print()
         print(f"catalogue: {dataset.train.n_users} users x "
@@ -100,11 +103,17 @@ def test_serving_throughput(benchmark, capsys):
         print(header)
         for name, model in models.items():
             stats = _throughputs(model, users, repeats=2)
+            recorded[name] = stats
             print(f"{name:8s} {stats['loop_qps']:>10,.0f} "
                   f"{stats['batched_qps']:>12,.0f} "
                   f"{stats['service_qps']:>12,.0f} "
                   f"{stats['batch_speedup']:>7.1f}x "
                   f"{stats['service_speedup']:>9.1f}x")
+
+    record_benchmark(
+        "serving_throughput", recorded,
+        preset=(f"synthetic {dataset.train.n_users}x{dataset.train.n_items}, "
+                "top-10, exclude_seen"))
 
 
 @pytest.mark.slow

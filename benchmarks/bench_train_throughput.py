@@ -27,6 +27,8 @@ from repro.data.batching import TripletBatch
 from repro.data.interactions import InteractionMatrix
 from repro.experiments.configs import experiment_scale
 
+from recording import record_benchmark
+
 
 def _interleaved_fit_times(make_model, dataset, rounds=4):
     """Best-of fit wall times per engine, interleaved so load skews both."""
@@ -60,6 +62,7 @@ def test_train_throughput(benchmark, capsys):
 
     lines = []
     speedups = {}
+    recorded = {}
     for scale_name in ("quick", "full"):
         scale = experiment_scale(scale_name)
         for model_cls, learning_rate in ((MAR, 0.5), (MARS, 4.0)):
@@ -71,6 +74,11 @@ def test_train_throughput(benchmark, capsys):
             speedup = times["autograd"] / times["fused"]
             speedups[(model_cls.name, scale_name)] = speedup
             label = f"{model_cls.name}/{scale_name}"
+            recorded[label] = {
+                "fused_triplets_per_s": triplets / times["fused"],
+                "autograd_triplets_per_s": triplets / times["autograd"],
+                "fused_speedup": speedup,
+            }
             lines.append(f"{label:<11}  fused   : "
                          f"{triplets / times['fused']:>10,.0f} triplets/s")
             lines.append(f"{label:<11}  autograd: "
@@ -81,6 +89,8 @@ def test_train_throughput(benchmark, capsys):
                                        models["autograd"].loss_history_,
                                        rtol=1e-9, atol=1e-9)
 
+    record_benchmark("train_throughput", recorded,
+                     preset=f"delicious, {n_epochs} epochs, quick+full scales")
     with capsys.disabled():
         print()
         for line in lines:

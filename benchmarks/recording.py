@@ -1,0 +1,68 @@
+"""Persist benchmark results as ``BENCH_<name>.json`` at the repo root.
+
+The ROADMAP re-anchor note asks every benchmark run to leave a comparable
+record behind, so PR-over-PR throughput regressions are diffable from the
+repository itself instead of from buried pytest logs.  Each file holds::
+
+    {
+      "name": "train_throughput",
+      "preset": "delicious/full",
+      "timestamp": 1754550000.0,        # passed in, or REPRO_BENCH_TIMESTAMP
+      "cpus": 8,                        # usable CPUs when the run happened
+      "results": {"MARS/full": {"fused_tps": 1234.0, ...}, ...}
+    }
+
+Writing is merge-by-name: re-running a benchmark overwrites its own file
+only, and the ``results`` mapping replaces the previous run wholesale (a
+partial run should not splice stale rows into fresh ones).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+#: Repo root — recording lives in ``benchmarks/``, files land next to
+#: ``ROADMAP.md`` so they ride along in version control.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def usable_cpus() -> int:
+    """CPUs the benchmark process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def record_benchmark(name, results, *, preset, timestamp=None, root=None):
+    """Write ``BENCH_<name>.json``; returns the path written.
+
+    Parameters
+    ----------
+    name:
+        Benchmark identifier; becomes the filename suffix.
+    results:
+        JSON-serialisable mapping of row label -> metrics for this run.
+    preset:
+        Human-readable description of the workload configuration.
+    timestamp:
+        POSIX timestamp of the run.  Defaults to ``REPRO_BENCH_TIMESTAMP``
+        when set (so a CI driver can stamp every file of one run
+        identically), otherwise the current time.
+    root:
+        Output directory override (tests); defaults to the repo root.
+    """
+    if timestamp is None:
+        env = os.environ.get("REPRO_BENCH_TIMESTAMP", "").strip()
+        timestamp = float(env) if env else time.time()
+    payload = {
+        "name": name,
+        "preset": preset,
+        "timestamp": float(timestamp),
+        "cpus": usable_cpus(),
+        "results": results,
+    }
+    path = Path(root or _REPO_ROOT) / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

@@ -1,5 +1,9 @@
 """Case-study analysis: embedding visualisation (Figure 7) and facet/user
-profiling (Tables V and VI)."""
+profiling (Tables V and VI).
+
+The :mod:`repro.analysis.static` subpackage is unrelated to the paper's
+case study: it is the repo's AST invariant checker (``repro-lint``),
+imported on demand rather than re-exported here."""
 
 from repro.analysis.visualization import (
     cluster_separation,

@@ -1,0 +1,42 @@
+"""Repo-specific AST invariant checker (``repro-lint``).
+
+The pipeline's correctness certificates — bitwise serial parity of the
+training runtime, pickle-free serving artifacts, Hogwild shard safety —
+rest on coding conventions.  This package enforces them statically on
+every test run; see :mod:`repro.analysis.static.rules` for the contracts
+each rule id guards and :mod:`repro.analysis.static.framework` for the
+rule/suppression machinery.
+"""
+
+from repro.analysis.static.framework import (
+    EXCLUDED_DIRS,
+    Rule,
+    RuleVisitor,
+    Violation,
+    all_rules,
+    check_file,
+    check_paths,
+    check_source,
+    get_rule,
+    iter_python_files,
+    register_rule,
+    suppressed_rules,
+)
+
+# Importing the rules module registers every shipped rule.
+from repro.analysis.static import rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "EXCLUDED_DIRS",
+    "Rule",
+    "RuleVisitor",
+    "Violation",
+    "all_rules",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "get_rule",
+    "iter_python_files",
+    "register_rule",
+    "suppressed_rules",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.analysis.static`` — see :mod:`repro.analysis.static.cli`."""
+
+from repro.analysis.static.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Command line front end: ``repro-lint`` / ``python -m repro.analysis.static``.
+
+Exit status is 0 when every linted file is clean and 1 when any violation
+survives suppression — suitable as a CI gate.  Typical invocations::
+
+    repro-lint src tests                 # lint the library and the tests
+    repro-lint --list-rules              # show rule ids and contracts
+    repro-lint --rules RNG-DISCIPLINE src  # run a single rule
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.static.framework import all_rules, check_paths, get_rule
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST invariant checker for the repro repository.")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (directories are walked "
+             "recursively, skipping __pycache__/fixtures/hidden dirs)")
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all rules)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+
+    if not options.paths:
+        parser.error("no paths given (or use --list-rules)")
+
+    if options.rules is None:
+        rules = all_rules()
+    else:
+        try:
+            rules = [get_rule(rule_id.strip())
+                     for rule_id in options.rules.split(",") if rule_id.strip()]
+        except KeyError as error:
+            parser.error(str(error))
+    if not rules:
+        parser.error("--rules selected no rules")
+
+    try:
+        violations = check_paths(options.paths, rules)
+    except FileNotFoundError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"repro-lint: {len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

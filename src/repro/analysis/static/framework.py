@@ -1,0 +1,274 @@
+"""The lint framework behind :mod:`repro.analysis.static`.
+
+A *rule* is an AST pass scoped to part of the repository: it declares a
+stable upper-case identifier (``RNG-DISCIPLINE``), says which files it
+applies to (:meth:`Rule.applies_to`), and reports :class:`Violation`
+records with exact ``file:line:col`` positions.  The framework owns
+everything rules should not re-implement:
+
+* the rule registry (:func:`register_rule`, :func:`all_rules`,
+  :func:`get_rule`);
+* file discovery (:func:`iter_python_files` walks directories, skips
+  ``__pycache__``/``fixtures``/hidden directories, and always accepts an
+  explicitly named file — which is how the deliberately-violating fixture
+  corpus under ``tests/fixtures/staticcheck/`` is lintable by the checker's
+  own tests without failing the repo-wide self-check);
+* per-line suppression: a violation is dropped when its line carries a
+  ``# repro: ignore[RULE-ID]`` comment naming the rule (or a bare
+  ``# repro: ignore``, which waives every rule on that line);
+* the entry points :func:`check_source` / :func:`check_file` /
+  :func:`check_paths` used by the CLI and by ``tests/test_staticcheck.py``
+  (the tier-1 self-check gate that lints ``src`` and ``tests`` on every
+  ordinary pytest run).
+
+Scoping works on *path shape*, not on import state: rules match repository
+relative suffixes such as ``repro/core/fused.py`` or path segments such as
+``tests``.  Because matching is purely structural, a fixture tree that
+mirrors the package layout (``tests/fixtures/staticcheck/bad/repro/core/
+fused.py``) exercises exactly the scoping the real tree gets.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+#: Directory names never descended into when a *directory* is linted.
+#: ``fixtures`` keeps the deliberately-violating corpus of
+#: ``tests/fixtures/staticcheck`` out of the repo-wide self-check; explicit
+#: file arguments bypass the exclusion so the corpus stays testable.
+EXCLUDED_DIRS = frozenset({
+    "__pycache__", "fixtures", "build", "dist", "node_modules",
+})
+
+#: ``# repro: ignore`` or ``# repro: ignore[RULE-A,RULE-B]``.
+_SUPPRESSION = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Z0-9\-, ]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at an exact source position."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE-ID message`` (the CLI output shape)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class Rule:
+    """Base class for repository lint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`description`, optionally narrow
+    :meth:`applies_to`, and implement :meth:`check`.  Register with
+    :func:`register_rule` so the CLI and the self-check pick the rule up.
+    """
+
+    #: Stable upper-case identifier used in reports and suppressions.
+    rule_id: str = ""
+    #: One-line summary shown by ``repro-lint --list-rules``.
+    description: str = ""
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether this rule lints ``path`` (default: every file)."""
+        return True
+
+    def check(self, tree: ast.AST, path: Path) -> List[Violation]:
+        """Return every violation of this rule in ``tree``."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by the concrete rules
+    # ------------------------------------------------------------------ #
+    def violation(self, node: ast.AST, path: Path, message: str) -> Violation:
+        return Violation(rule_id=self.rule_id, path=str(path),
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0) + 1,
+                         message=message)
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """AST visitor base that accumulates violations for one rule.
+
+    Concrete rules subclass this, call :meth:`report` from their ``visit_*``
+    methods, and let :meth:`Rule.check` drive it via :meth:`run`.
+    """
+
+    def __init__(self, rule: Rule, path: Path) -> None:
+        self.rule = rule
+        self.path = path
+        self.violations: List[Violation] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.violations.append(self.rule.violation(node, self.path, message))
+
+    def run(self, tree: ast.AST) -> List[Violation]:
+        self.visit(tree)
+        return self.violations
+
+
+# --------------------------------------------------------------------------- #
+# rule registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls):
+    """Class decorator adding a rule (by its ``rule_id``) to the registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must define a non-empty rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id (deterministic reports)."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: "
+                       f"{sorted(_REGISTRY)}") from None
+
+
+# --------------------------------------------------------------------------- #
+# path scoping helpers
+# --------------------------------------------------------------------------- #
+def path_has_segment(path: Path, segment: str) -> bool:
+    """Whether any path component equals ``segment`` (e.g. ``"tests"``)."""
+    return segment in path.parts
+
+
+def path_endswith(path: Path, suffix: str) -> bool:
+    """Whether the posix form of ``path`` ends with ``suffix``.
+
+    Matching is anchored at a path-component boundary, so
+    ``repro/utils/io.py`` matches ``src/repro/utils/io.py`` but not
+    ``src/repro/utils/async_io.py``.
+    """
+    posix = path.as_posix()
+    return posix == suffix or posix.endswith("/" + suffix)
+
+
+def in_library(path: Path) -> bool:
+    """Whether ``path`` lies inside the installable ``repro`` package."""
+    return path_has_segment(path, "repro")
+
+
+# --------------------------------------------------------------------------- #
+# suppressions
+# --------------------------------------------------------------------------- #
+def suppressed_rules(source: str) -> Dict[int, Optional[frozenset]]:
+    """Per-line suppression table of ``source``.
+
+    Maps 1-based line numbers to the frozenset of rule ids waived on that
+    line, or ``None`` for a bare ``# repro: ignore`` (waives every rule).
+    """
+    table: Dict[int, Optional[frozenset]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None
+        else:
+            table[lineno] = frozenset(
+                part.strip() for part in rules.split(",") if part.strip())
+    return table
+
+
+def _is_suppressed(violation: Violation,
+                   table: Dict[int, Optional[frozenset]]) -> bool:
+    if violation.line not in table:
+        return False
+    waived = table[violation.line]
+    return waived is None or violation.rule_id in waived
+
+
+# --------------------------------------------------------------------------- #
+# checking
+# --------------------------------------------------------------------------- #
+def check_source(source: str, path: PathLike,
+                 rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    """Lint ``source`` as if it lived at ``path``; returns violations.
+
+    A file that does not parse yields a single ``PARSE-ERROR`` pseudo
+    violation rather than aborting the run — a syntax error should fail the
+    lint gate, not crash it.
+    """
+    path = Path(path)
+    if rules is None:
+        rules = all_rules()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [Violation(rule_id="PARSE-ERROR", path=str(path),
+                          line=error.lineno or 1, col=(error.offset or 0) + 1,
+                          message=f"file does not parse: {error.msg}")]
+    table = suppressed_rules(source)
+    violations: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        violations.extend(rule.check(tree, path))
+    violations = [v for v in violations if not _is_suppressed(v, table)]
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations
+
+
+def check_file(path: PathLike,
+               rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    """Lint one file on disk."""
+    path = Path(path)
+    return check_source(path.read_text(encoding="utf-8"), path, rules)
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint.
+
+    Directories are walked recursively with :data:`EXCLUDED_DIRS` (and
+    hidden directories) pruned; explicitly named files are always yielded,
+    excluded or not.  Missing paths raise ``FileNotFoundError`` so a typo'd
+    CI invocation cannot silently lint nothing.
+    """
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_file():
+            yield entry
+        elif entry.is_dir():
+            yield from sorted(
+                candidate for candidate in entry.rglob("*.py")
+                if not _under_excluded_dir(candidate, entry))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+
+
+def _under_excluded_dir(candidate: Path, root: Path) -> bool:
+    relative = candidate.relative_to(root).parts[:-1]
+    return any(part in EXCLUDED_DIRS or part.startswith(".")
+               for part in relative)
+
+
+def check_paths(paths: Iterable[PathLike],
+                rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    """Lint every python file under ``paths``; the library entry point."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(check_file(path, rules))
+    return violations

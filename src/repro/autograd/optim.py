@@ -199,7 +199,10 @@ class Adam(Optimizer):
             self._v[id(parameter)] = v
             m_hat = m / (1 - self.beta1 ** self._t)
             v_hat = v / (1 - self.beta2 ** self._t)
-            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # In-place so the table the model (and any concurrent reader)
+            # holds is the one that gets updated; rebinding ``.data`` would
+            # swap the buffer out from under them (HOGWILD-SAFETY).
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
 class RiemannianSGD(Optimizer):

@@ -87,6 +87,17 @@ updates.  Sharding pays off when per-epoch compute dominates — catalogue
 scale tables, several CPU cores, big batches; at toy scale (or on a single
 core) thread overhead eats the gain and serial remains the right default.
 
+Two checkers certify this contract on every ordinary test run (see
+``repro.analysis.static`` and the "Enforced invariants" section of
+``ROADMAP.md``): the static ``HOGWILD-SAFETY`` rule proves the update
+*shape* — fused-step/optimizer code never rebinds a parameter table and
+never falls back to a whole-table dense pass — while the runtime
+:class:`~repro.training.loop.HogwildWriteAuditor` (``audit=True`` /
+``REPRO_AUDIT=1``) proves the row *traffic* — shards write pairwise
+disjoint user rows.  ``DTYPE-DISCIPLINE`` additionally pins every
+allocation in this module to an explicit dtype, the precondition for the
+planned float32 kernel backend.
+
 Forward recap for a batch of B triplets ``(u, v_p, v_q)`` with K facets of
 dimension D:
 
@@ -181,7 +192,7 @@ def _segment_sum(keys: np.ndarray, grad: np.ndarray, n_segments: int) -> np.ndar
     if cols == 1:
         dense = np.bincount(keys, weights=flat[:, 0], minlength=n_segments)
         return dense.reshape((n_segments,) + grad.shape[1:])
-    slot_keys = keys[:, None] * cols + np.arange(cols)
+    slot_keys = keys[:, None] * cols + np.arange(cols, dtype=np.int64)
     dense = np.bincount(slot_keys.ravel(), weights=flat.ravel(),
                         minlength=n_segments * cols)
     return dense.reshape((n_segments,) + grad.shape[1:])

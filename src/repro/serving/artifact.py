@@ -9,6 +9,14 @@ network.  Artifacts are immutable (arrays are frozen, attributes locked),
 and answer the same :class:`~repro.serving.query.Query` API as live models —
 bitwise-identically, because both delegate to the same kernel and the same
 family scoring functions.
+
+The pickle-free claim is *enforced*, not aspirational: the
+``PICKLE-FREE-IO`` rule of :mod:`repro.analysis.static` lints ``serving/``
+and ``utils/io.py`` on every test run — no ``import pickle``, no
+``np.load`` without ``allow_pickle=False`` — so artifact files stay safe
+to load from untrusted storage.  ``DTYPE-DISCIPLINE`` likewise pins the
+hot scorer/kernel allocations to explicit dtypes (see the "Enforced
+invariants" section of ``ROADMAP.md``).
 """
 
 from __future__ import annotations

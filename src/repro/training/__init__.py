@@ -3,6 +3,8 @@ and grid search."""
 
 from repro.training.loop import (
     EpochReport,
+    HogwildAuditError,
+    HogwildWriteAuditor,
     RuntimeTrainedModel,
     TrainableModel,
     TrainingLoop,
@@ -15,6 +17,8 @@ from repro.training.grid_search import GridSearch, GridSearchResult
 
 __all__ = [
     "EpochReport",
+    "HogwildAuditError",
+    "HogwildWriteAuditor",
     "RuntimeTrainedModel",
     "TrainableModel",
     "TrainingLoop",

@@ -71,11 +71,13 @@ instead of retraining from scratch every round.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, runtime_checkable
+from typing import Dict, List, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -168,6 +170,9 @@ class EpochReport:
     duration: float
     #: Per-shard batch-mean losses (``None`` under a single batcher).
     shard_losses: Optional[List[float]] = None
+    #: Per-table write-audit summary (``None`` unless the loop runs with
+    #: ``audit=True`` / ``REPRO_AUDIT=1``); see :class:`HogwildWriteAuditor`.
+    audit: Optional[Dict[str, dict]] = None
 
 
 def partition_users(interactions: InteractionMatrix,
@@ -189,6 +194,161 @@ def partition_users(interactions: InteractionMatrix,
             f"cannot split {active.size} active users into {n_shards} shards")
     order = active[np.argsort(-degrees[active], kind="stable")]
     return [np.sort(order[shard::n_shards]) for shard in range(n_shards)]
+
+
+class HogwildAuditError(AssertionError):
+    """A shard wrote a user-partitioned parameter row owned by another shard.
+
+    Raised at epoch end by :class:`HogwildWriteAuditor` — the runtime
+    counterpart of the static ``HOGWILD-SAFETY`` rule.  The static rule can
+    prove updates are *in place*; only observing the actual row traffic can
+    prove they are *shard-disjoint*, which is the other half of the Hogwild
+    safety argument in the module docstring.
+    """
+
+
+class HogwildWriteAuditor:
+    """Records which rows each shard writes per parameter table.
+
+    Enabled via ``TrainingLoop(..., audit=True)`` (or ``REPRO_AUDIT=1``).
+    The loop wraps its optimizer in :class:`_AuditingOptimizer`, binds each
+    shard's worker thread to its shard index at sub-epoch start (a pool
+    thread can run two shards sequentially, so raw thread identity is not
+    the right key), and at epoch end calls :meth:`finish_epoch`, which
+
+    * classifies each table as *user-partitioned* (first axis length equals
+      ``n_users``) or *shared* (item tables, dense projection stacks);
+    * asserts that the per-shard written row-sets of every user-partitioned
+      table are pairwise disjoint, raising :class:`HogwildAuditError`
+      otherwise — user rows are exactly what the sharded executor promises
+      never to race on;
+    * reports (but tolerates) cross-shard collisions on shared tables and
+      counts whole-table :meth:`Optimizer.step_dense` updates, which are
+      expected for the small dense parameters;
+    * returns the per-table summary that lands on ``EpochReport.audit``.
+
+    When ``n_users == n_items`` an item table is indistinguishable from a
+    user table by shape and would be audited strictly; no shipped preset
+    has square interaction matrices, and the strict direction only
+    over-reports, never under-reports.
+    """
+
+    def __init__(self, optimizer: Optimizer, n_shards: int, n_users: int,
+                 table_names: Optional[Dict[int, str]] = None) -> None:
+        self.n_shards = n_shards
+        self.n_users = n_users
+        self._names = dict(table_names or {})
+        self._parameters = {id(p): p for p in optimizer.parameters}
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        # table id -> shard index -> set of written row indices
+        self._rows: Dict[int, List[set]] = {}
+        # table id -> shard index -> dense update count
+        self._dense: Dict[int, List[int]] = {}
+
+    # -- thread binding ------------------------------------------------- #
+    def bind_shard(self, shard_index: int) -> None:
+        """Attribute subsequent writes on this thread to ``shard_index``."""
+        self._local.shard = shard_index
+
+    @property
+    def _shard(self) -> int:
+        return getattr(self._local, "shard", 0)
+
+    # -- recording (called from shard threads via _AuditingOptimizer) --- #
+    def _slots(self, table: Dict[int, list], parameter, empty) -> list:
+        key = id(parameter)
+        slots = table.get(key)
+        if slots is None:
+            with self._lock:
+                slots = table.setdefault(
+                    key, [empty() for _ in range(self.n_shards)])
+        return slots
+
+    def record_rows(self, parameter, rows: np.ndarray) -> None:
+        slots = self._slots(self._rows, parameter, set)
+        slots[self._shard].update(np.asarray(rows).ravel().tolist())
+
+    def record_dense(self, parameter) -> None:
+        slots = self._slots(self._dense, parameter, int)
+        # int slots are per-shard, so the unlocked increment is race-free.
+        slots[self._shard] += 1
+
+    # -- epoch-end verdict ---------------------------------------------- #
+    def _name(self, key: int) -> str:
+        parameter = self._parameters.get(key)
+        shape = getattr(getattr(parameter, "data", None), "shape", ())
+        return self._names.get(key, f"param{key % 10000}{list(shape)}")
+
+    def _is_user_table(self, key: int) -> bool:
+        parameter = self._parameters.get(key)
+        data = getattr(parameter, "data", None)
+        return data is not None and data.ndim >= 1 \
+            and data.shape[0] == self.n_users
+
+    def finish_epoch(self) -> Dict[str, dict]:
+        """Summarise and reset the epoch's writes; raise on unsafe races."""
+        summary: Dict[str, dict] = {}
+        errors: List[str] = []
+        keys = set(self._rows) | set(self._dense)
+        for key in sorted(keys, key=self._name):
+            name = self._name(key)
+            shard_sets = self._rows.get(key, [])
+            written = set().union(*shard_sets) if shard_sets else set()
+            collisions = 0
+            for i in range(len(shard_sets)):
+                for j in range(i + 1, len(shard_sets)):
+                    collisions += len(shard_sets[i] & shard_sets[j])
+            kind = "user" if self._is_user_table(key) else "shared"
+            if kind == "user" and collisions:
+                errors.append(f"{name}: {collisions} cross-shard row "
+                              "collision(s)")
+            summary[name] = {
+                "kind": kind,
+                "rows_written": len(written),
+                "cross_shard_collisions": collisions,
+                "dense_updates": sum(self._dense.get(key, [])),
+            }
+        self._rows.clear()
+        self._dense.clear()
+        if errors:
+            raise HogwildAuditError(
+                "shards wrote overlapping rows of user-partitioned tables "
+                "(the sharded executor's disjointness contract): "
+                + "; ".join(errors))
+        return summary
+
+
+class _AuditingOptimizer:
+    """Transparent optimizer proxy that reports row writes to an auditor.
+
+    Only the two out-of-band entry points are intercepted — they are the
+    sole write path of the fused engine, the only engine the sharded
+    executor admits.  Everything else (``lr``, ``parameters``, ``step``,
+    ``zero_grad``, optimizer state) is delegated untouched, so training
+    numerics are bit-identical with auditing on.
+    """
+
+    def __init__(self, optimizer: Optimizer, auditor: HogwildWriteAuditor) -> None:
+        self._optimizer = optimizer
+        self._auditor = auditor
+
+    def __getattr__(self, name):
+        return getattr(self._optimizer, name)
+
+    def step_rows(self, parameter, rows, row_grads) -> None:
+        self._auditor.record_rows(parameter, rows)
+        self._optimizer.step_rows(parameter, rows, row_grads)
+
+    def step_dense(self, parameter, grad) -> None:
+        self._auditor.record_dense(parameter)
+        self._optimizer.step_dense(parameter, grad)
+
+
+def _audit_from_env() -> bool:
+    """The ``REPRO_AUDIT`` escape hatch: audit any run without code changes."""
+    return os.environ.get("REPRO_AUDIT", "").strip().lower() \
+        in {"1", "true", "yes", "on"}
 
 
 class TrainingLoop:
@@ -213,6 +373,15 @@ class TrainingLoop:
     logger:
         Logger the epoch lines go to; defaults to ``repro.training.loop``.
         Models pass their own module logger so log namespaces stay stable.
+    audit:
+        Enable the :class:`HogwildWriteAuditor`: record per-shard written
+        row-sets per parameter table, assert shard-disjointness of
+        user-partitioned tables at every epoch end (raising
+        :class:`HogwildAuditError` on a violation) and surface the
+        per-table counts on ``EpochReport.audit``.  ``None`` (the default)
+        defers to the ``REPRO_AUDIT`` environment variable, so any run can
+        be audited without touching code.  Auditing does not change
+        training numerics — the proxy only observes the update calls.
 
     Notes
     -----
@@ -228,19 +397,22 @@ class TrainingLoop:
 
     def __init__(self, model: TrainableModel, interactions: InteractionMatrix,
                  *, executor: str = "serial", n_shards: int = 1,
-                 verbose: bool = False, logger=None) -> None:
+                 verbose: bool = False, logger=None,
+                 audit: Optional[bool] = None) -> None:
         validate_executor(executor, n_shards)
         self.model = model
         self.interactions = interactions
         self.executor = executor
         self.n_shards = n_shards if executor == "sharded" else 1
         self.verbose = verbose
+        self.audit = _audit_from_env() if audit is None else bool(audit)
         self._logger = logger if logger is not None else get_logger("training.loop")
         self.reports: List[EpochReport] = []
         self.epoch_ = 0
         self.shards_: Optional[List[np.ndarray]] = None
         self._optimizer: Optional[Optimizer] = None
         self._batchers: Optional[List[TripletBatcher]] = None
+        self._auditor: Optional[HogwildWriteAuditor] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -262,6 +434,7 @@ class TrainingLoop:
         self._released = True
         self._optimizer = None
         self._batchers = None
+        self._auditor = None
 
     def _ensure_state(self) -> None:
         if getattr(self, "_released", False):
@@ -271,6 +444,16 @@ class TrainingLoop:
         if self._optimizer is not None:
             return
         self._optimizer = self.model.make_optimizer()
+        if self.audit:
+            names: Dict[int, str] = {}
+            network = getattr(self.model, "network", None)
+            if network is not None and hasattr(network, "named_parameters"):
+                names = {id(parameter): name
+                         for name, parameter in network.named_parameters()}
+            self._auditor = HogwildWriteAuditor(
+                self._optimizer, self.n_shards, self.interactions.n_users,
+                table_names=names)
+            self._optimizer = _AuditingOptimizer(self._optimizer, self._auditor)
         if self.n_shards > 1:
             self.shards_ = partition_users(self.interactions, self.n_shards)
             streams = spawn_generators(self.model.random_state, self.n_shards)
@@ -315,13 +498,14 @@ class TrainingLoop:
         self.model._on_epoch_start(epoch, self.interactions)
         start = time.perf_counter()
         if len(self._batchers) == 1:
-            shard_totals = [self._shard_epoch(self._batchers[0])]
+            shard_totals = [self._shard_epoch(self._batchers[0], 0)]
         else:
             with ThreadPoolExecutor(max_workers=len(self._batchers)) as pool:
-                futures = [pool.submit(self._shard_epoch, batcher)
-                           for batcher in self._batchers]
+                futures = [pool.submit(self._shard_epoch, batcher, shard)
+                           for shard, batcher in enumerate(self._batchers)]
                 shard_totals = [future.result() for future in futures]
         duration = time.perf_counter() - start
+        audit = self._auditor.finish_epoch() if self._auditor is not None else None
         n_batches = sum(count for _, count in shard_totals)
         total_loss = sum(loss for loss, _ in shard_totals)
         shard_losses = None
@@ -333,10 +517,19 @@ class TrainingLoop:
             n_batches=n_batches,
             duration=duration,
             shard_losses=shard_losses,
+            audit=audit,
         )
 
-    def _shard_epoch(self, batcher: TripletBatcher):
-        """One shard's sub-epoch; returns ``(loss_sum, n_batches)``."""
+    def _shard_epoch(self, batcher: TripletBatcher, shard: int):
+        """One shard's sub-epoch; returns ``(loss_sum, n_batches)``.
+
+        The worker thread is (re)bound to its shard index up front: pool
+        threads are reused, so a thread that ran shard 0 last epoch may run
+        shard 2 this epoch, and the auditor must attribute writes to the
+        *shard*, not the thread.
+        """
+        if self._auditor is not None:
+            self._auditor.bind_shard(shard)
         total, count = 0.0, 0
         for batch in batcher.epoch():
             total += self.model.train_step(batch, self._optimizer)

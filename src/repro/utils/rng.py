@@ -64,13 +64,14 @@ def spawn_generators(random_state: RandomState, n_children: int) -> list:
 
 
 def spawn_rng(rng: np.random.Generator, n_children: int) -> list:
-    """Spawn ``n_children`` independent child generators from ``rng``.
+    """Deprecated alias of :func:`spawn_generators`.
 
-    Child generators are statistically independent of each other and of the
-    parent, which makes them safe to hand to parallel or repeated components
-    (e.g. one per experiment repetition).
+    Historically this drew integer seeds from the parent and re-seeded
+    fresh generators — a scheme with a (tiny) birthday-collision risk that
+    also advanced the parent's sample stream.  It now delegates to the
+    :meth:`~numpy.random.SeedSequence.spawn`-based :func:`spawn_generators`,
+    the single blessed spawning surface that ``RNG-DISCIPLINE`` points
+    library code at.  Note the children differ from the ones the historical
+    scheme produced for the same parent state.
     """
-    if n_children < 0:
-        raise ValueError("n_children must be non-negative")
-    seeds = rng.integers(0, 2**63 - 1, size=n_children)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return spawn_generators(rng, n_children)

@@ -1,0 +1,9 @@
+"""Fixture: dtype-less allocations in a hot-kernel module path."""
+
+import numpy as np
+
+
+def accumulate(n_rows, dim):
+    buffer = np.zeros((n_rows, dim))       # missing dtype=: line 7
+    offsets = np.arange(n_rows)            # missing dtype=: line 8
+    return buffer, offsets

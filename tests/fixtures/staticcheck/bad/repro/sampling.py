@@ -1,0 +1,13 @@
+"""Fixture: every RNG-DISCIPLINE violation shape in one library module."""
+
+import numpy as np
+
+
+def shuffle_interactions(items):
+    np.random.seed(0)          # global-state seeding: line 7
+    np.random.shuffle(items)   # global-state draw: line 8
+    return items
+
+
+def make_stream():
+    return np.random.default_rng(0)  # raw default_rng in library code: line 13

@@ -1,0 +1,14 @@
+"""Fixture: pickle-capable IO inside the serving package."""
+
+import pickle  # pickle import: line 3
+
+import numpy as np
+
+
+def load_artifact(path):
+    return np.load(path)  # np.load without allow_pickle=False: line 9
+
+
+def load_sidecar(path):
+    with open(path, "rb") as handle:
+        return pickle.load(handle)

@@ -1,0 +1,8 @@
+"""Fixture: Hogwild-unsafe mutation inside a fused training step."""
+
+
+def _fused_step(network, optimizer, grads, rows):
+    # Rebinding the table loses concurrent shard writes: line 6
+    network.user_embeddings.weight.data = (
+        network.user_embeddings.weight.data - 0.1 * grads)
+    optimizer.step()  # whole-table dense pass in a fused step: line 8

@@ -1,0 +1,11 @@
+"""Fixture: a timing gate without the slow marker (not collected by pytest:
+the filename deliberately avoids the ``test_*.py`` pattern)."""
+
+import time
+
+
+def test_speedup():
+    start = time.perf_counter()
+    do_work = sum(range(100))
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0 and do_work >= 0

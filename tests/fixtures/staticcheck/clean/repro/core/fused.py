@@ -1,0 +1,9 @@
+"""Fixture: hot-kernel allocations with explicit dtypes."""
+
+import numpy as np
+
+
+def accumulate(n_rows, dim):
+    buffer = np.zeros((n_rows, dim), dtype=np.float64)
+    offsets = np.arange(n_rows, dtype=np.int64)
+    return buffer, offsets

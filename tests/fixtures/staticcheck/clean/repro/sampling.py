@@ -1,0 +1,13 @@
+"""Fixture: RNG handled through the blessed repro.utils.rng surface."""
+
+from repro.utils.rng import ensure_rng, spawn_generators
+
+
+def shuffle_interactions(items, random_state=None):
+    rng = ensure_rng(random_state)
+    rng.shuffle(items)
+    return items
+
+
+def make_streams(random_state, n_children):
+    return spawn_generators(random_state, n_children)

@@ -1,0 +1,7 @@
+"""Fixture: pickle-free serving IO."""
+
+import numpy as np
+
+
+def load_artifact(path):
+    return np.load(path, allow_pickle=False)

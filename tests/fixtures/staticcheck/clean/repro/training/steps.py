@@ -1,0 +1,5 @@
+"""Fixture: Hogwild-safe in-place row updates in a fused training step."""
+
+
+def _fused_step(network, optimizer, grads, rows):
+    optimizer.step_rows(network.user_embeddings.weight, rows, grads)

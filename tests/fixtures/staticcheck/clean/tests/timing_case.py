@@ -1,0 +1,13 @@
+"""Fixture: the same timing gate, properly slow-marked."""
+
+import time
+
+import pytest
+
+
+@pytest.mark.slow
+def test_speedup():
+    start = time.perf_counter()
+    do_work = sum(range(100))
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0 and do_work >= 0

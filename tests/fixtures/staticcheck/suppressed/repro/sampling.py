@@ -1,0 +1,12 @@
+"""Fixture: violations waived by per-line suppression comments."""
+
+import numpy as np
+
+
+def legacy_shuffle(items):
+    np.random.shuffle(items)  # repro: ignore[RNG-DISCIPLINE]
+    return items
+
+
+def legacy_seed():
+    np.random.seed(0)  # repro: ignore

@@ -220,6 +220,7 @@ class TestBatchedEvaluator:
         for name in looped.per_user:
             np.testing.assert_array_equal(batched.per_user[name], looped.per_user[name])
 
+    @pytest.mark.slow
     def test_batched_evaluation_speedup(self):
         """Acceptance: ≥5× faster than the per-user loop, identical metrics."""
         dataset = load_benchmark("delicious", random_state=0)

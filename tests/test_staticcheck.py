@@ -1,0 +1,325 @@
+"""The static invariant checker and the runtime Hogwild auditor.
+
+Two halves:
+
+* ``repro.analysis.static`` — the repo-wide **self-check** (the tier-1
+  lint gate: ``src``/``tests``/``benchmarks`` must carry zero violations),
+  plus per-rule behaviour against the deliberately-violating corpus under
+  ``tests/fixtures/staticcheck/`` (excluded from directory walks, linted
+  here by explicit path), suppression comments, path scoping and the CLI.
+* :class:`repro.training.loop.HogwildWriteAuditor` — zero cross-shard
+  collisions on user tables for a real sharded fit, a raise on a synthetic
+  overlapping-shard model, and the ``REPRO_AUDIT`` environment switch.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.static import (
+    Violation,
+    all_rules,
+    check_paths,
+    check_source,
+    get_rule,
+    iter_python_files,
+)
+from repro.analysis.static.cli import main as lint_main
+from repro.autograd.module import Parameter
+from repro.autograd.optim import SGD
+from repro.baselines.cml import CML
+from repro.core import MARS
+from repro.data import load_benchmark
+from repro.data.batching import TripletBatcher
+from repro.data.interactions import InteractionMatrix
+from repro.training import HogwildAuditError, TrainingLoop
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "staticcheck"
+
+
+def _violations(path, rule_id=None):
+    rules = [get_rule(rule_id)] if rule_id else None
+    return check_paths([path], rules)
+
+
+# --------------------------------------------------------------------- #
+# the tier-1 gate: the shipped tree is clean
+# --------------------------------------------------------------------- #
+class TestSelfCheck:
+    def test_repository_is_clean(self):
+        violations = check_paths([REPO_ROOT / "src", REPO_ROOT / "tests",
+                                  REPO_ROOT / "benchmarks"])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_fixture_corpus_is_excluded_from_directory_walks(self):
+        walked = list(iter_python_files([REPO_ROOT / "tests"]))
+        assert not any("staticcheck" in p.parts for p in walked)
+        # ...but explicit file paths always lint (that is how this module
+        # reaches the corpus at all).
+        explicit = FIXTURES / "bad" / "repro" / "sampling.py"
+        assert list(iter_python_files([explicit])) == [explicit]
+
+    def test_five_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == sorted(ids)
+        assert set(ids) >= {"RNG-DISCIPLINE", "DTYPE-DISCIPLINE",
+                            "PICKLE-FREE-IO", "HOGWILD-SAFETY", "SLOW-MARKER"}
+
+
+# --------------------------------------------------------------------- #
+# each rule catches its fixture violation at the right position
+# --------------------------------------------------------------------- #
+class TestRuleFixtures:
+    @pytest.mark.parametrize("rule_id, relpath, lines", [
+        ("RNG-DISCIPLINE", "repro/sampling.py", [7, 8, 13]),
+        ("DTYPE-DISCIPLINE", "repro/core/fused.py", [7, 8]),
+        ("PICKLE-FREE-IO", "repro/serving/loader.py", [3, 9]),
+        ("HOGWILD-SAFETY", "repro/training/steps.py", [6, 8]),
+        ("SLOW-MARKER", "tests/timing_case.py", [7]),
+    ])
+    def test_bad_fixture_flagged(self, rule_id, relpath, lines):
+        path = FIXTURES / "bad" / relpath
+        found = _violations(path, rule_id)
+        assert [v.line for v in found] == lines
+        assert all(v.rule_id == rule_id and v.path == str(path)
+                   for v in found)
+
+    @pytest.mark.parametrize("relpath", [
+        "repro/sampling.py",
+        "repro/core/fused.py",
+        "repro/serving/loader.py",
+        "repro/training/steps.py",
+        "tests/timing_case.py",
+    ])
+    def test_clean_fixture_passes(self, relpath):
+        assert _violations(FIXTURES / "clean" / relpath) == []
+
+    def test_bad_fixtures_fail_only_their_own_rule(self):
+        # The corpus is minimal: every violation in a bad fixture belongs to
+        # the rule the fixture exercises, so rules do not bleed into each
+        # other's snippets.
+        expected = {
+            "repro/sampling.py": {"RNG-DISCIPLINE"},
+            "repro/core/fused.py": {"DTYPE-DISCIPLINE"},
+            "repro/serving/loader.py": {"PICKLE-FREE-IO"},
+            "repro/training/steps.py": {"HOGWILD-SAFETY"},
+            "tests/timing_case.py": {"SLOW-MARKER"},
+        }
+        for relpath, rule_ids in expected.items():
+            found = _violations(FIXTURES / "bad" / relpath)
+            assert {v.rule_id for v in found} == rule_ids, relpath
+
+
+# --------------------------------------------------------------------- #
+# suppression comments
+# --------------------------------------------------------------------- #
+class TestSuppression:
+    def test_suppressed_fixture_is_clean(self):
+        assert _violations(FIXTURES / "suppressed" / "repro" / "sampling.py") == []
+
+    def test_targeted_suppression_waives_only_named_rule(self):
+        source = "import numpy as np\n" \
+                 "np.random.seed(0)  # repro: ignore[DTYPE-DISCIPLINE]\n"
+        found = check_source(source, "repro/sampling.py")
+        assert [v.rule_id for v in found] == ["RNG-DISCIPLINE"]
+
+    def test_bare_suppression_waives_every_rule(self):
+        source = "import numpy as np\n" \
+                 "np.random.seed(0)  # repro: ignore\n"
+        assert check_source(source, "repro/sampling.py") == []
+
+    def test_suppression_only_covers_its_own_line(self):
+        source = "import numpy as np\n" \
+                 "np.random.seed(0)  # repro: ignore[RNG-DISCIPLINE]\n" \
+                 "np.random.seed(1)\n"
+        found = check_source(source, "repro/sampling.py")
+        assert [(v.rule_id, v.line) for v in found] == [("RNG-DISCIPLINE", 3)]
+
+
+# --------------------------------------------------------------------- #
+# scoping: the same code is legal outside a rule's jurisdiction
+# --------------------------------------------------------------------- #
+class TestScoping:
+    def test_dtype_rule_only_covers_hot_modules(self):
+        source = "import numpy as np\nbuffer = np.zeros((4, 4))\n"
+        assert check_source(source, "repro/core/fused.py") != []
+        assert check_source(source, "repro/eval/metrics.py") == []
+
+    def test_pickle_rule_only_covers_serving_and_io(self):
+        source = "import pickle\n"
+        assert check_source(source, "repro/serving/loader.py") != []
+        assert check_source(source, "repro/utils/io.py") != []
+        assert check_source(source, "repro/experiments/cache.py") == []
+
+    def test_rng_default_rng_allowed_outside_library(self):
+        source = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert check_source(source, "tests/test_something_else.py") == []
+        assert check_source(source, "repro/utils/rng.py") == []
+        assert check_source(source, "repro/data/batching.py") != []
+
+    def test_hogwild_rule_only_covers_step_functions(self):
+        rebind = "def load_state_dict(self, state):\n" \
+                 "    self.weight.data = state\n"
+        assert check_source(rebind, "repro/autograd/module.py") == []
+        inside = "def step_rows(self, p, rows, grads):\n" \
+                 "    p.data = p.data - grads\n"
+        assert check_source(inside, "repro/autograd/optim.py") != []
+
+    def test_slow_rule_ignores_timing_without_asserts(self):
+        source = "import time\n" \
+                 "def test_report_only():\n" \
+                 "    start = time.perf_counter()\n" \
+                 "    print(time.perf_counter() - start)\n"
+        assert check_source(source, "tests/report_case.py") == []
+
+    def test_syntax_error_becomes_parse_error_violation(self):
+        found = check_source("def broken(:\n", "repro/broken.py")
+        assert [v.rule_id for v in found] == ["PARSE-ERROR"]
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+class TestCli:
+    def test_clean_tree_exits_zero(self):
+        assert lint_main([str(REPO_ROOT / "src" / "repro" / "utils")]) == 0
+
+    def test_violations_exit_nonzero_with_position(self, capsys):
+        path = FIXTURES / "bad" / "repro" / "sampling.py"
+        assert lint_main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:7:5: RNG-DISCIPLINE" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert lint_main([str(REPO_ROOT / "no" / "such" / "dir")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.rule_id in out
+
+    def test_rule_selection(self):
+        path = FIXTURES / "bad" / "repro" / "sampling.py"
+        assert lint_main(["--rules", "DTYPE-DISCIPLINE", str(path)]) == 0
+        assert lint_main(["--rules", "RNG-DISCIPLINE", str(path)]) == 1
+
+
+# --------------------------------------------------------------------- #
+# the runtime Hogwild write auditor
+# --------------------------------------------------------------------- #
+class _OverlappingShardModel:
+    """Stub model whose every step writes user row 0, whatever the shard.
+
+    With ``n_shards >= 2`` both shards hit the same user-partitioned row,
+    which is exactly the disjointness breach the auditor must turn into a
+    :class:`HogwildAuditError`.
+    """
+
+    name = "overlap-stub"
+
+    def __init__(self, interactions):
+        self.loss_history_ = []
+        self.random_state = 0
+        self._table = Parameter(np.zeros((interactions.n_users, 4),
+                                         dtype=np.float64))
+
+    def make_batcher(self, interactions, *, user_subset=None,
+                     random_state=None):
+        return TripletBatcher(interactions, batch_size=8,
+                              user_subset=user_subset,
+                              random_state=random_state)
+
+    def make_optimizer(self):
+        return SGD([self._table], lr=0.1)
+
+    def train_step(self, batch, optimizer):
+        rows = np.zeros(1, dtype=np.int64)
+        optimizer.step_rows(self._table, rows,
+                            np.ones((1, 4), dtype=np.float64))
+        return 0.0
+
+    def _on_epoch_start(self, epoch, interactions):
+        pass
+
+
+def _small_interactions(n_users=16, n_items=12, seed=0):
+    rng = np.random.default_rng(seed)
+    users = np.repeat(np.arange(n_users), 3)
+    items = rng.integers(0, n_items, users.size)
+    return InteractionMatrix(n_users, n_items, users, items)
+
+
+class TestHogwildAuditor:
+    def test_sharded_fit_reports_zero_user_collisions(self, monkeypatch):
+        # REPRO_AUDIT reaches the loop the models build internally, so a
+        # stock fit() is auditable without a code change.
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        dataset = load_benchmark("delicious", random_state=0)
+        model = MARS(n_facets=3, embedding_dim=8, n_epochs=2, batch_size=64,
+                     engine="fused", executor="sharded", n_shards=4,
+                     random_state=0).fit(dataset)
+        loop = model.runtime_
+        assert loop.audit is True and len(loop.reports) == 2
+        for report in loop.reports:
+            assert report.audit is not None
+            user_tables = {name: entry for name, entry in report.audit.items()
+                           if entry["kind"] == "user"}
+            assert user_tables, "expected user-partitioned tables in audit"
+            for entry in user_tables.values():
+                assert entry["cross_shard_collisions"] == 0
+
+    def test_overlapping_shards_raise(self):
+        interactions = _small_interactions()
+        model = _OverlappingShardModel(interactions)
+        loop = TrainingLoop(model, interactions, executor="sharded",
+                            n_shards=2, audit=True)
+        with pytest.raises(HogwildAuditError, match="cross-shard row"):
+            loop.run(1)
+
+    def test_auditor_does_not_change_numerics(self):
+        interactions = _small_interactions()
+        fits = []
+        for audit in (False, True):
+            model = CML(embedding_dim=8, n_epochs=2, batch_size=32,
+                        engine="fused", random_state=0)
+            loop = TrainingLoop(model, interactions, audit=audit)
+            model._train_interactions = interactions
+            model.network = model._build(interactions)
+            model._post_step()
+            model.loss_history_ = []
+            loop.run(2)
+            fits.append(model)
+        np.testing.assert_array_equal(fits[0].loss_history_,
+                                      fits[1].loss_history_)
+        np.testing.assert_array_equal(
+            fits[0].network.state_dict()["user_embeddings.weight"],
+            fits[1].network.state_dict()["user_embeddings.weight"])
+
+    def test_env_variable_enables_audit(self, monkeypatch):
+        interactions = _small_interactions()
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        loop = TrainingLoop(_OverlappingShardModel(interactions), interactions)
+        assert loop.audit is True
+        monkeypatch.setenv("REPRO_AUDIT", "0")
+        loop = TrainingLoop(_OverlappingShardModel(interactions), interactions)
+        assert loop.audit is False
+        # An explicit argument beats the environment.
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        loop = TrainingLoop(_OverlappingShardModel(interactions), interactions,
+                            audit=False)
+        assert loop.audit is False
+
+    def test_serial_audit_populates_report(self):
+        interactions = _small_interactions()
+        model = _OverlappingShardModel(interactions)
+        loop = TrainingLoop(model, interactions, audit=True)
+        reports = loop.run(1)
+        # One shard cannot collide with itself, even writing row 0 always.
+        audit = reports[0].audit
+        assert audit is not None
+        (entry,) = audit.values()
+        assert entry == {"kind": "user", "rows_written": 1,
+                         "cross_shard_collisions": 0, "dense_updates": 0}
