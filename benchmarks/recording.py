@@ -14,13 +14,17 @@ repository itself instead of from buried pytest logs.  Each file holds::
 
 Writing is merge-by-name: re-running a benchmark overwrites its own file
 only, and the ``results`` mapping replaces the previous run wholesale (a
-partial run should not splice stale rows into fresh ones).
+partial run should not splice stale rows into fresh ones).  Writes are
+atomic (temp file + rename via :func:`repro.utils.io.atomic_write`), so an
+interrupted benchmark can't leave a half-written ``BENCH_*.json`` behind.
 """
 
 import json
 import os
 import time
 from pathlib import Path
+
+from repro.utils.io import atomic_write
 
 #: Repo root — recording lives in ``benchmarks/``, files land next to
 #: ``ROADMAP.md`` so they ride along in version control.
@@ -63,6 +67,6 @@ def record_benchmark(name, results, *, preset, timestamp=None, root=None):
         "results": results,
     }
     path = Path(root or _REPO_ROOT) / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    with atomic_write(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

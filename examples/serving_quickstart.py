@@ -3,8 +3,9 @@
 Shows the full life cycle of the serving subsystem: train a model, freeze
 its read path into a :class:`ServingArtifact`, ship the artifact file to a
 "serving host" (here: just reload it), answer single-user and batched
-queries through a micro-batching :class:`RecommenderService`, and hot-swap
-a newly trained model without dropping a request.
+queries through a micro-batching :class:`RecommenderService`, hot-swap a
+newly trained model without dropping a request, and ride out a scorer
+outage on a popularity fallback (graceful degradation + circuit breaker).
 
 Run with:  python examples/serving_quickstart.py
 """
@@ -16,9 +17,11 @@ import numpy as np
 
 from repro import Query, RecommenderService, ServingArtifact
 from repro.baselines.cml import CML
+from repro.baselines.popularity import Popularity
 from repro.core import MARS
 from repro.data import load_benchmark
 from repro.eval import LeaveOneOutEvaluator
+from repro.reliability import FaultInjector
 
 
 def main() -> None:
@@ -64,6 +67,24 @@ def main() -> None:
     swapped = service.recommend(user=7, k=10)
     assert np.array_equal(swapped, challenger.recommend_batch([7], k=10)[0])
     print(f"hot-swapped to version {version}; user 7 now gets:", swapped)
+
+    # 6. Graceful degradation.  Register a cheap, robust fallback; when the
+    #    primary scorer fails (here: a deterministic injected fault) the
+    #    service answers from it instead of surfacing the error, flags the
+    #    response degraded, and the per-model circuit breaker starts
+    #    fail-fasting once failures persist.
+    service.register_fallback(Popularity().fit(dataset).export_serving())
+    injector = FaultInjector()
+    injector.fail("serving.scorer", times=1)  # exactly one scorer outage
+    with injector.activate():
+        degraded = service.query(Query(users=[7], k=10))
+    assert degraded.degraded
+    print("scorer outage absorbed; degraded top-10:", degraded.items[0])
+
+    recovered = service.query(Query(users=[7], k=10))
+    assert not recovered.degraded
+    print("primary recovered; circuit:",
+          service.health()["circuits"]["default"])
     print("service stats:", service.stats)
 
 

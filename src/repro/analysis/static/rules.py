@@ -35,6 +35,15 @@ invariants" section of ``ROADMAP.md``.
     Test functions under ``tests/``/``benchmarks/`` that both measure wall
     time and assert on a comparison must carry ``@pytest.mark.slow`` so
     timing-sensitive gates stay out of the default tier-1 selection.
+``ATOMIC-IO``
+    Durable-path modules (``serving/``, ``utils/io.py``,
+    ``training/checkpoint.py``, ``benchmarks/recording.py``) must write
+    files through :func:`repro.utils.io.atomic_write` — no bare
+    ``open(path, "w")``, no direct ``np.save*`` to a final path, no
+    ``Path.write_text``/``write_bytes``.  A torn write to an artifact,
+    checkpoint or benchmark record is exactly the failure the reliability
+    layer exists to rule out; the atomic writer (temp file + fsync +
+    ``os.replace``) is the one blessed way to publish bytes.
 """
 
 from __future__ import annotations
@@ -94,6 +103,15 @@ _FUSED_STEP_FUNCTIONS = frozenset({"_fused_step", "_train_step_fused"})
 
 #: Wall-clock sources whose presence marks a function as timing-sensitive.
 _TIMING_CALLS = frozenset({"perf_counter", "monotonic", "process_time", "time"})
+
+#: NumPy writers that publish straight to their destination path.
+_NUMPY_WRITERS = frozenset({"save", "savez", "savez_compressed", "savetxt"})
+
+#: Pathlib convenience writers (non-atomic: truncate-then-write in place).
+_PATH_WRITERS = frozenset({"write_text", "write_bytes"})
+
+#: ``open`` modes that can destroy or tear an existing file.
+_WRITE_MODE_CHARS = frozenset("wax+")
 
 
 def _attribute_chain(node: ast.AST) -> Optional[List[str]]:
@@ -355,6 +373,108 @@ class _SlowMarkerVisitor(RuleVisitor):
             if times and asserts:
                 return True
         return False
+
+
+# --------------------------------------------------------------------------- #
+# ATOMIC-IO
+# --------------------------------------------------------------------------- #
+def _is_atomic_write_call(node: ast.AST) -> bool:
+    """Matches ``atomic_write(...)`` / ``io.atomic_write(...)`` calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _attribute_chain(node.func)
+    return bool(chain) and chain[-1] == "atomic_write"
+
+
+class _AtomicIoVisitor(RuleVisitor):
+    """Flags non-atomic file publication on the durable-write path.
+
+    Two lexical exemptions mark the blessed path itself: the body of a
+    function *named* ``atomic_write`` (the implementation has to stage,
+    fsync and rename somehow) and the body of a ``with atomic_write(...)``
+    block (writes there go to the staged temp handle, not the final path).
+    """
+
+    def __init__(self, rule: Rule, path: Path) -> None:
+        super().__init__(rule, path)
+        self._exempt = 0
+
+    def _visit_function(self, node) -> None:
+        if node.name == "atomic_write":
+            self._exempt += 1
+            self.generic_visit(node)
+            self._exempt -= 1
+        else:
+            self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        if any(_is_atomic_write_call(item.context_expr)
+               for item in node.items):
+            self._exempt += 1
+            self.generic_visit(node)
+            self._exempt -= 1
+        else:
+            self.generic_visit(node)
+
+    visit_AsyncWith = visit_With
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> Optional[str]:
+        """The constant mode string of an ``open`` call, if any."""
+        mode: Optional[ast.AST] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._exempt:
+            self.generic_visit(node)
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode = self._write_mode(node)
+            if mode is not None and set(mode) & _WRITE_MODE_CHARS:
+                self.report(node, (
+                    f"open(..., {mode!r}) writes the destination in place; "
+                    "durable-path modules must publish through "
+                    "repro.utils.io.atomic_write"))
+        chain = _attribute_chain(node.func)
+        if chain and len(chain) == 2 and chain[0] in _NUMPY_ALIASES \
+                and chain[1] in _NUMPY_WRITERS:
+            self.report(node, (
+                f"np.{chain[1]} writes its destination path in place; stage "
+                "through `with atomic_write(path) as handle` instead"))
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _PATH_WRITERS:
+            self.report(node, (
+                f".{node.func.attr}() truncates the destination before "
+                "writing; durable-path modules must publish through "
+                "repro.utils.io.atomic_write"))
+        self.generic_visit(node)
+
+
+@register_rule
+class AtomicIoRule(Rule):
+    rule_id = "ATOMIC-IO"
+    description = ("durable-path modules (serving/, utils/io.py, training/"
+                   "checkpoint.py, benchmarks/recording.py) must write "
+                   "through repro.utils.io.atomic_write")
+
+    def applies_to(self, path: Path) -> bool:
+        return ("repro/serving/" in path.as_posix()
+                or path_endswith(path, "repro/utils/io.py")
+                or path_endswith(path, "repro/training/checkpoint.py")
+                or path_endswith(path, "benchmarks/recording.py"))
+
+    def check(self, tree: ast.AST, path: Path) -> List[Violation]:
+        return _AtomicIoVisitor(self, path).run(tree)
 
 
 @register_rule

@@ -45,6 +45,50 @@ class Optimizer:
         for parameter in self.parameters:
             parameter.zero_grad()
 
+    # -- checkpoint support --------------------------------------------- #
+    # State is exchanged as {name: array} with parameters addressed by
+    # their *index* in ``self.parameters`` (stable across process restarts,
+    # unlike the ``id()`` keys of the in-memory dicts), so the whole dict
+    # can ride inside a pickle-free ``.npz`` checkpoint.
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Durable optimizer state (empty for stateless optimizers)."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but was handed state "
+                f"keys {sorted(state)}")
+
+    def _slot_state(self, slots: Dict[int, np.ndarray],
+                    name: str) -> Dict[str, np.ndarray]:
+        return {f"{name}.{index}": slots[id(parameter)].copy()
+                for index, parameter in enumerate(self.parameters)
+                if id(parameter) in slots}
+
+    def _load_slot_state(self, slots: Dict[int, np.ndarray], name: str,
+                         state: Dict[str, np.ndarray]) -> None:
+        slots.clear()
+        for key, value in state.items():
+            prefix, _, index_text = key.partition(".")
+            if prefix != name or not index_text.isdigit():
+                raise ValueError(
+                    f"{type(self).__name__} cannot restore state key {key!r}")
+            index = int(index_text)
+            if index >= len(self.parameters):
+                raise ValueError(
+                    f"state key {key!r} addresses parameter {index} but the "
+                    f"optimizer manages {len(self.parameters)}")
+            parameter = self.parameters[index]
+            value = np.asarray(value)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"state key {key!r} has shape {value.shape}, parameter "
+                    f"has {parameter.data.shape}")
+            slots[id(parameter)] = value.copy()
+
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -108,6 +152,12 @@ class SGD(Optimizer):
                              "weight_decay=0")
         parameter.data[rows] = parameter.data[rows] - self.lr * row_grads
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return self._slot_state(self._velocity, "velocity")
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self._load_slot_state(self._velocity, "velocity", state)
+
 
 class Adagrad(Optimizer):
     """Adagrad: per-coordinate learning rates from accumulated squared gradients."""
@@ -164,6 +214,12 @@ class Adagrad(Optimizer):
         parameter.data[rows] = (parameter.data[rows]
                                 - self.lr * row_grads / (np.sqrt(acc[rows]) + self.eps))
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return self._slot_state(self._accumulator, "accumulator")
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self._load_slot_state(self._accumulator, "accumulator", state)
+
 
 class Adam(Optimizer):
     """Adam with bias-corrected first and second moment estimates."""
@@ -203,6 +259,28 @@ class Adam(Optimizer):
             # holds is the one that gets updated; rebinding ``.data`` would
             # swap the buffer out from under them (HOGWILD-SAFETY).
             parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = self._slot_state(self._m, "m")
+        state.update(self._slot_state(self._v, "v"))
+        state["t"] = np.asarray(self._t, dtype=np.int64)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        state = dict(state)
+        self._t = int(np.asarray(state.pop("t", 0)))
+        unknown = [key for key in state
+                   if not key.startswith(("m.", "v."))]
+        if unknown:
+            raise ValueError(f"Adam cannot restore state keys {unknown}")
+        self._load_slot_state(
+            self._m, "m",
+            {key: value for key, value in state.items()
+             if key.startswith("m.")})
+        self._load_slot_state(
+            self._v, "v",
+            {key: value for key, value in state.items()
+             if key.startswith("v.")})
 
 
 class RiemannianSGD(Optimizer):

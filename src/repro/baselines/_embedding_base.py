@@ -271,7 +271,10 @@ class EmbeddingRecommender(RuntimeTrainedModel, BaseRecommender):
     # ------------------------------------------------------------------ #
     # training loop
     # ------------------------------------------------------------------ #
-    def _fit(self, interactions: InteractionMatrix) -> None:
+    def _prepare_training(self, interactions: InteractionMatrix) -> None:
+        """Build the network and (unrun) runtime — ``_fit`` minus the
+        epochs; the checkpoint restore path rebuilds training state through
+        this before overwriting it from the checkpoint."""
         self.network = self._build(interactions)
         # Apply the model's norm constraints to the freshly initialised
         # tables once (Gaussian init can start outside the unit ball), as
@@ -288,6 +291,9 @@ class EmbeddingRecommender(RuntimeTrainedModel, BaseRecommender):
             verbose=self.verbose,
             logger=logger,
         )
+
+    def _fit(self, interactions: InteractionMatrix) -> None:
+        self._prepare_training(interactions)
         self.runtime_.run(self.n_epochs)
 
     # ------------------------------------------------------------------ #

@@ -114,7 +114,11 @@ class MultiFacetRecommender(RuntimeTrainedModel, BaseRecommender):
     # ------------------------------------------------------------------ #
     # training
     # ------------------------------------------------------------------ #
-    def _fit(self, interactions: InteractionMatrix) -> None:
+    def _prepare_training(self, interactions: InteractionMatrix) -> None:
+        """Build the network, margins and (unrun) runtime — ``_fit`` minus
+        the epochs.  The checkpoint restore path calls this to reconstruct
+        training state exactly as a fresh fit would, then overwrites
+        parameters/optimizer/RNG streams from the checkpoint."""
         config = self.config
         self.network = _MultiFacetNetwork(
             n_users=interactions.n_users,
@@ -143,7 +147,10 @@ class MultiFacetRecommender(RuntimeTrainedModel, BaseRecommender):
             verbose=config.verbose,
             logger=logger,
         )
-        self.runtime_.run(config.n_epochs)
+
+    def _fit(self, interactions: InteractionMatrix) -> None:
+        self._prepare_training(interactions)
+        self.runtime_.run(self.config.n_epochs)
 
     # ------------------------------------------------------------------ #
     # TrainableModel protocol (consumed by the training runtime)

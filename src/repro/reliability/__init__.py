@@ -1,0 +1,46 @@
+"""Reliability substrate: fault injection, circuit breaking, failure types.
+
+See :mod:`repro.reliability.faults` for the deterministic fault-injection
+harness (sites, ``REPRO_FAULTS`` grammar), :mod:`repro.reliability.circuit`
+for the per-model circuit breaker used by the serving tier, and
+:mod:`repro.reliability.errors` for the exception vocabulary shared by
+serving, artifact I/O and training checkpoints.
+"""
+
+from repro.reliability.circuit import CircuitBreaker
+from repro.reliability.errors import (
+    ArtifactIntegrityError,
+    CheckpointError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReliabilityError,
+    ServiceOverloadedError,
+)
+from repro.reliability.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    Gate,
+    InjectedFault,
+    corrupt_bytes,
+    fire,
+    get_injector,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "ArtifactIntegrityError",
+    "CheckpointError",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "Gate",
+    "InjectedFault",
+    "ReliabilityError",
+    "ServiceOverloadedError",
+    "corrupt_bytes",
+    "fire",
+    "get_injector",
+    "parse_fault_spec",
+]

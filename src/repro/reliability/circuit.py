@@ -1,0 +1,121 @@
+"""A per-model circuit breaker with half-open probing.
+
+The classic three-state machine, tuned for the serving front-end:
+
+* **closed** — traffic flows; consecutive failures are counted and any
+  success resets the count.
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  trips: :meth:`CircuitBreaker.allow` answers ``False`` so callers fail
+  fast (or degrade to a fallback) instead of queueing behind a scorer that
+  is going to throw anyway.
+* **half-open** — once ``reset_timeout_s`` has elapsed, exactly one probe
+  call is admitted.  Its success closes the breaker; its failure re-opens
+  it and restarts the timeout.
+
+The clock is injectable so tests drive the open → half-open transition
+deterministically instead of sleeping through real timeouts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Union
+
+#: The three breaker states as reported by :attr:`CircuitBreaker.state`.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive :meth:`record_failure` calls that trip the breaker.
+    reset_timeout_s:
+        Seconds the breaker stays open before admitting a half-open probe.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout_s < 0:
+            raise ValueError(
+                f"reset_timeout_s must be non-negative, got {reset_timeout_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._opens = 0
+
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        Open breakers answer ``False`` until ``reset_timeout_s`` elapses,
+        then admit exactly one probe (moving to half-open); while that
+        probe is in flight every other caller keeps getting ``False``.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._state = HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            # half-open: one probe only
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        """Report a successful call: closes the breaker, resets counters."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """Report a failed call; may trip (or re-trip) the breaker."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN \
+                    or self._consecutive_failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    self._opens += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (time-aware)."""
+        with self._lock:
+            if self._state == OPEN and \
+                    self._clock() - self._opened_at >= self.reset_timeout_s:
+                return HALF_OPEN
+            return self._state
+
+    def snapshot(self) -> Dict[str, Union[str, int]]:
+        """One consistent view for health endpoints."""
+        state = self.state
+        with self._lock:
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self._opens,
+            }

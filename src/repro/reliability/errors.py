@@ -1,0 +1,62 @@
+"""The failure vocabulary of the train → export → serve pipeline.
+
+Every reliability mechanism added on top of the happy-path contracts —
+request deadlines, load shedding, circuit breaking, artifact integrity
+verification and crash-safe checkpoints — raises one of the exception
+types below, all rooted at :class:`ReliabilityError`.  Keeping them in one
+dependency-free module lets :mod:`repro.utils.io`, :mod:`repro.serving` and
+:mod:`repro.training.checkpoint` share the vocabulary without import
+cycles, and lets callers catch the whole failure family with one clause.
+"""
+
+from __future__ import annotations
+
+
+class ReliabilityError(RuntimeError):
+    """Base class of every failure-path error raised by the pipeline."""
+
+
+class DeadlineExceededError(ReliabilityError):
+    """A request's deadline elapsed before its response was produced.
+
+    Raised by :class:`~repro.serving.service.RecommenderService` when a
+    ``Query(deadline_ms=...)`` (or a ``recommend(deadline_ms=...)`` call)
+    cannot be answered in time — whether the time went to queueing behind a
+    micro-batch leader or to the scoring pass itself.  The work may still
+    complete in the background; only the caller's wait is cut short.
+    """
+
+
+class ServiceOverloadedError(ReliabilityError):
+    """The admission queue is full and the request was shed at the door.
+
+    Load shedding is deliberate: refusing cheaply at admission keeps the
+    queue (and therefore every admitted request's latency) bounded instead
+    of letting an overload grow the backlog without limit.  Shed requests
+    are counted in ``RecommenderService.stats["shed"]``.
+    """
+
+
+class CircuitOpenError(ReliabilityError):
+    """The model's circuit breaker is open and no fallback is registered.
+
+    After ``failure_threshold`` consecutive scorer failures the service
+    stops sending traffic to a model entirely (fail fast instead of fail
+    slow); once ``reset_timeout_s`` elapses a single half-open probe is let
+    through to test recovery.  Models with a registered fallback artifact
+    degrade gracefully instead of raising this.
+    """
+
+
+class ArtifactIntegrityError(ReliabilityError):
+    """A persisted array bundle failed its integrity verification.
+
+    Raised for truncated or bit-flipped ``.npz`` files, per-tensor SHA-256
+    digest mismatches, missing digest coverage and unknown format versions
+    — always *instead of* the raw ``zipfile``/``zlib``/NumPy error the
+    corruption would otherwise surface as deep inside a scorer.
+    """
+
+
+class CheckpointError(ReliabilityError):
+    """No usable training checkpoint could be saved, found or restored."""

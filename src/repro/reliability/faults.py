@@ -1,0 +1,373 @@
+"""Deterministic, seeded fault injection for exercising failure paths.
+
+Every reliability mechanism in this repository — deadlines, load shedding,
+circuit breaking, artifact integrity checks, crash-safe checkpoints — is
+tested against *injected* failures rather than hoped-for natural ones.  The
+library code is instrumented at a handful of named **sites**; each site is
+a single cheap call into this module that does nothing unless a fault has
+been configured for it:
+
+========================  ====================================================
+site                      where it fires
+========================  ====================================================
+``serving.scorer``        :class:`~repro.serving.service.RecommenderService`,
+                          immediately before every primary scoring pass
+                          (micro-batched, batched and ``query()`` paths)
+``training.step``         :class:`~repro.training.loop.TrainingLoop`, before
+                          every ``train_step`` call (kill-mid-epoch tests)
+``training.checkpoint``   :class:`~repro.training.checkpoint.CheckpointManager`
+                          at the start of every checkpoint save
+``io.atomic_write``       :func:`repro.utils.io.atomic_write`, applied to the
+                          staged payload *before* the atomic rename (byte
+                          corruption of the durable file)
+``io.atomic_replace``     :func:`repro.utils.io.atomic_write`, immediately
+                          before ``os.replace`` (simulates a crash that kills
+                          the process mid-publish: the temp file dies, the
+                          destination is never touched)
+========================  ====================================================
+
+Faults are configured either on an explicit :class:`FaultInjector` handle
+activated with :meth:`FaultInjector.activate` (the test-suite path), or via
+the ``REPRO_FAULTS`` environment variable so any process can be perturbed
+without code changes::
+
+    REPRO_FAULTS="serving.scorer=fail@3"        # every call from the 3rd on raises
+    REPRO_FAULTS="serving.scorer=fail@3x2"      # only the 3rd and 4th calls raise
+    REPRO_FAULTS="serving.scorer=delay:0.02"    # 20 ms of injected latency per call
+    REPRO_FAULTS="io.atomic_write=corrupt:4"    # flip 4 bytes of every staged write
+    REPRO_FAULTS="a=fail;b=delay:0.1"           # several sites, ';' or ',' separated
+
+Determinism is part of the contract: call counting is exact (the *n*-th
+call fails, not "some call around then"), corruption byte positions come
+from a seeded generator, and :class:`Gate` blocking faults release only
+when the test says so — no sleeps, no races.  The injector is thread-safe;
+the sites it instruments run under concurrent service and shard threads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.rng import ensure_rng
+
+#: Fault kinds accepted by :meth:`FaultInjector.inject` and ``REPRO_FAULTS``.
+FAULT_KINDS = ("fail", "delay", "corrupt", "block")
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by a ``fail`` fault (unless a custom one is given)."""
+
+
+class Gate:
+    """Hand-operated barrier backing a ``block`` fault.
+
+    The faulted call parks inside :meth:`FaultInjector.fire` until the test
+    calls :meth:`release`; :meth:`wait_blocked` lets the test wait until a
+    call has actually arrived at the site, which is what makes
+    "fill-the-queue-while-the-leader-is-stuck" scenarios deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._arrived = threading.Event()
+        self._released = threading.Event()
+
+    def wait_blocked(self, timeout: float = 5.0) -> bool:
+        """Block until a faulted call is parked at the gate (or timeout)."""
+        return self._arrived.wait(timeout)
+
+    def release(self) -> None:
+        """Let every parked (and future) faulted call proceed."""
+        self._released.set()
+
+    # -- called from FaultInjector.fire on the faulted thread ----------- #
+    def _enter(self) -> None:
+        self._arrived.set()
+        self._released.wait()
+
+
+@dataclass
+class _Spec:
+    """One configured fault at one site."""
+
+    kind: str
+    #: 1-based index of the first call that triggers.
+    nth: int = 1
+    #: Number of consecutive triggering calls; ``None`` = every call from
+    #: ``nth`` on.
+    times: Optional[int] = None
+    error: Optional[BaseException] = None
+    error_type: type = InjectedFault
+    seconds: float = 0.0
+    n_bytes: int = 1
+    gate: Optional[Gate] = None
+    triggered: int = field(default=0)
+
+    def active(self, call_index: int) -> bool:
+        if call_index < self.nth:
+            return False
+        return self.times is None or call_index < self.nth + self.times
+
+
+class FaultInjector:
+    """Seeded, thread-safe registry of per-site faults.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the generator that picks corruption byte positions and values,
+        so a corruption campaign is reproducible run over run.
+
+    Notes
+    -----
+    Configuration methods (:meth:`fail`, :meth:`delay`, :meth:`corrupt`,
+    :meth:`block` or the generic :meth:`inject`) may be called at any time,
+    including while other threads are firing sites.  Call counting is
+    per-site and exact: the first :meth:`fire` (or
+    :meth:`corrupt_bytes`) of a site is call 1.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._rng = ensure_rng(int(seed))
+        self._specs: Dict[str, List[_Spec]] = {}
+        self._calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def inject(self, site: str, spec: _Spec) -> _Spec:
+        if spec.kind not in FAULT_KINDS:
+            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, "
+                             f"got {spec.kind!r}")
+        if spec.nth < 1:
+            raise ValueError(f"nth must be >= 1, got {spec.nth}")
+        if spec.times is not None and spec.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {spec.times}")
+        with self._lock:
+            self._specs.setdefault(str(site), []).append(spec)
+        return spec
+
+    def fail(self, site: str, error: Optional[BaseException] = None, *,
+             nth: int = 1, times: Optional[int] = None) -> _Spec:
+        """Raise ``error`` (default :class:`InjectedFault`) at ``site``."""
+        return self.inject(site, _Spec(kind="fail", nth=nth, times=times,
+                                       error=error))
+
+    def delay(self, site: str, seconds: float, *, nth: int = 1,
+              times: Optional[int] = None) -> _Spec:
+        """Sleep ``seconds`` of real wall-clock time at ``site``."""
+        if seconds < 0:
+            raise ValueError(f"delay seconds must be non-negative, got {seconds}")
+        return self.inject(site, _Spec(kind="delay", nth=nth, times=times,
+                                       seconds=float(seconds)))
+
+    def corrupt(self, site: str, n_bytes: int = 1, *, nth: int = 1,
+                times: Optional[int] = None) -> _Spec:
+        """Flip ``n_bytes`` seeded-random bytes of payloads passing ``site``."""
+        if n_bytes < 1:
+            raise ValueError(f"n_bytes must be >= 1, got {n_bytes}")
+        return self.inject(site, _Spec(kind="corrupt", nth=nth, times=times,
+                                       n_bytes=int(n_bytes)))
+
+    def block(self, site: str, *, nth: int = 1,
+              times: Optional[int] = None) -> Gate:
+        """Park calls at ``site`` on a :class:`Gate` until released."""
+        gate = Gate()
+        self.inject(site, _Spec(kind="block", nth=nth, times=times, gate=gate))
+        return gate
+
+    def clear(self, site: Optional[str] = None) -> None:
+        """Drop the faults (and call counters) of ``site``, or of every site."""
+        with self._lock:
+            if site is None:
+                self._specs.clear()
+                self._calls.clear()
+            else:
+                self._specs.pop(site, None)
+                self._calls.pop(site, None)
+
+    # ------------------------------------------------------------------ #
+    # firing (called from the instrumented sites)
+    # ------------------------------------------------------------------ #
+    def _advance(self, site: str) -> Tuple[int, List[_Spec]]:
+        with self._lock:
+            count = self._calls.get(site, 0) + 1
+            self._calls[site] = count
+            active = [spec for spec in self._specs.get(site, ())
+                      if spec.active(count)]
+            for spec in active:
+                spec.triggered += 1
+            return count, active
+
+    def fire(self, site: str) -> None:
+        """Count one call at ``site`` and apply any active fault.
+
+        ``delay`` sleeps, ``block`` parks on its gate, ``fail`` raises.
+        Several active faults compose in that order, so a site can be both
+        slowed and then failed.  ``corrupt`` specs are inert here — they
+        only act through :meth:`corrupt_bytes`.
+        """
+        _, active = self._advance(site)
+        for spec in active:
+            if spec.kind == "delay":
+                time.sleep(spec.seconds)
+        for spec in active:
+            if spec.kind == "block":
+                spec.gate._enter()
+        for spec in active:
+            if spec.kind == "fail":
+                if spec.error is not None:
+                    raise spec.error
+                raise spec.error_type(
+                    f"injected fault at site {site!r} "
+                    f"(call {self.calls(site)})")
+
+    def corrupt_bytes(self, site: str, payload: bytes) -> bytes:
+        """Count one call at ``site``; return ``payload``, possibly corrupted.
+
+        An active ``corrupt`` spec XORs ``n_bytes`` seeded-random positions
+        with seeded-random non-zero masks, so the corrupted payload always
+        differs from the original and the damage is reproducible.
+        """
+        _, active = self._advance(site)
+        corrupt = [spec for spec in active if spec.kind == "corrupt"]
+        if not corrupt or not payload:
+            return payload
+        mutable = bytearray(payload)
+        with self._lock:
+            for spec in corrupt:
+                positions = self._rng.integers(0, len(mutable),
+                                               size=spec.n_bytes)
+                masks = self._rng.integers(1, 256, size=spec.n_bytes)
+                for position, mask in zip(positions, masks):
+                    mutable[int(position)] ^= int(mask)
+        return bytes(mutable)
+
+    def calls(self, site: str) -> int:
+        """How many times ``site`` has fired under this injector."""
+        with self._lock:
+            return self._calls.get(site, 0)
+
+    def reset_counters(self) -> None:
+        """Zero every site's call counter (fault specs stay configured)."""
+        with self._lock:
+            self._calls.clear()
+
+    # ------------------------------------------------------------------ #
+    # activation
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def activate(self):
+        """Install this injector as the ambient one for the ``with`` body.
+
+        Activations nest (innermost wins) and are process-global: the whole
+        point is perturbing code running on *other* threads (service
+        leaders, shard workers) from the test thread.
+        """
+        with _AMBIENT_LOCK:
+            _AMBIENT.append(self)
+        try:
+            yield self
+        finally:
+            with _AMBIENT_LOCK:
+                _AMBIENT.remove(self)
+
+
+# --------------------------------------------------------------------------- #
+# the ambient injector: explicit activation first, REPRO_FAULTS second
+# --------------------------------------------------------------------------- #
+_AMBIENT: List[FaultInjector] = []
+_AMBIENT_LOCK = threading.Lock()
+
+#: Cache of the injector parsed from ``REPRO_FAULTS`` (keyed by the raw
+#: value, so monkeypatched environments re-parse exactly once per value).
+_ENV_CACHE: Tuple[Optional[str], Optional[FaultInjector]] = (None, None)
+_ENV_LOCK = threading.Lock()
+
+
+def parse_fault_spec(text: str, injector: Optional[FaultInjector] = None,
+                     seed: int = 0) -> FaultInjector:
+    """Parse a ``REPRO_FAULTS`` grammar string into a :class:`FaultInjector`.
+
+    Entries are ``site=kind[:arg][@nth][xTIMES]`` separated by ``;`` or
+    ``,``.  ``arg`` is the delay in seconds for ``delay`` and the byte
+    count for ``corrupt``; ``fail`` takes none.  ``block`` is not
+    expressible from the environment (it needs a live :class:`Gate`).
+    """
+    injector = injector if injector is not None else FaultInjector(seed=seed)
+    for entry in text.replace(";", ",").split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if "=" not in entry:
+            raise ValueError(f"bad REPRO_FAULTS entry {entry!r}: expected "
+                             "site=kind[:arg][@nth][xTIMES]")
+        site, spec_text = (part.strip() for part in entry.split("=", 1))
+        nth, times = 1, None
+        if "x" in spec_text.rsplit("@", 1)[-1]:
+            head, times_text = spec_text.rsplit("x", 1)
+            if times_text.isdigit():  # an 'x' not followed by an integer is
+                spec_text = head      # part of the kind/arg, not a suffix
+                times = int(times_text)
+        if "@" in spec_text:
+            spec_text, nth_text = spec_text.rsplit("@", 1)
+            nth = int(nth_text)
+        kind, _, arg = spec_text.partition(":")
+        if kind == "fail":
+            injector.fail(site, nth=nth, times=times)
+        elif kind == "delay":
+            injector.delay(site, float(arg or "0.01"), nth=nth, times=times)
+        elif kind == "corrupt":
+            injector.corrupt(site, int(arg or "1"), nth=nth, times=times)
+        else:
+            raise ValueError(
+                f"bad REPRO_FAULTS entry {entry!r}: unknown kind {kind!r} "
+                f"(environment faults support fail/delay/corrupt)")
+    return injector
+
+
+def _env_injector() -> Optional[FaultInjector]:
+    global _ENV_CACHE
+    value = os.environ.get("REPRO_FAULTS", "").strip() or None
+    with _ENV_LOCK:
+        cached_value, cached_injector = _ENV_CACHE
+        if value == cached_value:
+            return cached_injector
+        injector = parse_fault_spec(value) if value else None
+        _ENV_CACHE = (value, injector)
+        return injector
+
+
+def get_injector() -> Optional[FaultInjector]:
+    """The active injector: innermost :meth:`~FaultInjector.activate`
+    handle, else the ``REPRO_FAULTS`` environment injector, else ``None``."""
+    if _AMBIENT:  # unlocked fast path: instrumented sites are hot
+        with _AMBIENT_LOCK:
+            if _AMBIENT:
+                return _AMBIENT[-1]
+    return _env_injector()
+
+
+def fire(site: str) -> None:
+    """Module-level site hook: apply any ambient fault configured at ``site``.
+
+    This is what the instrumented library code calls.  With no ambient
+    injector it is a dict lookup and a return — cheap enough for per-batch
+    and per-request sites.
+    """
+    injector = get_injector()
+    if injector is not None:
+        injector.fire(site)
+
+
+def corrupt_bytes(site: str, payload: bytes) -> bytes:
+    """Module-level corruption hook: pass ``payload`` through ``site``."""
+    injector = get_injector()
+    if injector is None:
+        return payload
+    return injector.corrupt_bytes(site, payload)

@@ -47,11 +47,16 @@ from repro.serving.query import Query, QueryResult
 
 _LAZY = {
     "ServingArtifact": "repro.serving.artifact",
+    "ARTIFACT_FORMAT_VERSION": "repro.serving.artifact",
     "ModelRegistry": "repro.serving.service",
     "RecommenderService": "repro.serving.service",
     "DEFAULT_MODEL": "repro.serving.service",
     "SCORER_FAMILIES": "repro.serving.scorers",
     "get_family_scorer": "repro.serving.scorers",
+    "ArtifactIntegrityError": "repro.reliability.errors",
+    "CircuitOpenError": "repro.reliability.errors",
+    "DeadlineExceededError": "repro.reliability.errors",
+    "ServiceOverloadedError": "repro.reliability.errors",
 }
 
 __all__ = [

@@ -27,6 +27,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.reliability.errors import ArtifactIntegrityError
 from repro.serving.kernel import broadcast_candidates, encode_seen_keys, run_query
 from repro.serving.query import Query, QueryResult
 from repro.serving.scorers import get_family_scorer
@@ -34,6 +35,11 @@ from repro.utils.io import load_arrays, pack_scalar, save_arrays, unpack_scalar
 
 _TENSOR_PREFIX = "tensor."
 _META_PREFIX = "meta."
+
+#: On-disk artifact format version.  Bump when the bundle layout changes;
+#: :meth:`ServingArtifact.load` rejects versions it does not understand
+#: with :class:`ArtifactIntegrityError` instead of misreading the file.
+ARTIFACT_FORMAT_VERSION = 1
 
 
 class ServingArtifact:
@@ -152,8 +158,15 @@ class ServingArtifact:
     # persistence
     # ------------------------------------------------------------------ #
     def save(self, path: Union[str, Path]) -> Path:
-        """Persist the artifact to one compressed, pickle-free ``.npz``."""
+        """Persist the artifact to one compressed, pickle-free ``.npz``.
+
+        The write is atomic (temp file + fsync + rename) and embeds a
+        format-version field plus a SHA-256 digest per entry, so
+        :meth:`load` can reject truncated or bit-flipped files with a
+        clean :class:`ArtifactIntegrityError`.
+        """
         arrays: Dict[str, np.ndarray] = {
+            _META_PREFIX + "format_version": pack_scalar(ARTIFACT_FORMAT_VERSION),
             _META_PREFIX + "family": pack_scalar(self.family),
             _META_PREFIX + "model_name": pack_scalar(self.model_name),
             _META_PREFIX + "n_users": pack_scalar(self.n_users),
@@ -164,12 +177,20 @@ class ServingArtifact:
             arrays[_TENSOR_PREFIX + name] = tensor
         if self._seen is not None:
             arrays["seen_indptr"], arrays["seen_indices"] = self._seen
-        return save_arrays(path, arrays)
+        return save_arrays(path, arrays, digests=True)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ServingArtifact":
-        """Restore an artifact written by :meth:`save`."""
-        arrays = load_arrays(path)
+        """Restore an artifact written by :meth:`save`.
+
+        Integrity is verified before anything is scored: embedded digests
+        are checked against the loaded tensors, and files that are
+        truncated, bit-flipped, digest-mismatching or of an unknown
+        format version raise :class:`ArtifactIntegrityError`.  Files that
+        are valid bundles but not serving artifacts at all (e.g. plain
+        parameter files) raise ``KeyError``.
+        """
+        arrays = load_arrays(path, digests="auto")
         try:
             family = unpack_scalar(arrays[_META_PREFIX + "family"])
             n_users = unpack_scalar(arrays[_META_PREFIX + "n_users"])
@@ -178,6 +199,13 @@ class ServingArtifact:
         except KeyError as error:
             raise KeyError(
                 f"{path} is not a serving artifact (missing {error})") from None
+        version_entry = arrays.get(_META_PREFIX + "format_version")
+        version = (unpack_scalar(version_entry)
+                   if version_entry is not None else None)
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise ArtifactIntegrityError(
+                f"{path} has serving-artifact format version {version!r}; "
+                f"this build reads version {ARTIFACT_FORMAT_VERSION}")
         model_name = unpack_scalar(arrays.get(_META_PREFIX + "model_name",
                                               np.asarray("")))
         tensors = {name[len(_TENSOR_PREFIX):]: array

@@ -39,6 +39,12 @@ class Query:
     exclude_items:
         Optional item ids masked for *every* user in the query (e.g. a
         blocklist or out-of-stock filter).
+    deadline_ms:
+        Optional per-request latency budget in milliseconds.  When the
+        request cannot be answered within the budget — whether the time
+        went to queueing or to scoring — the serving tier raises
+        :class:`~repro.reliability.errors.DeadlineExceededError` instead
+        of keeping the caller waiting.  ``None`` means no deadline.
     """
 
     users: np.ndarray
@@ -46,6 +52,7 @@ class Query:
     exclude_seen: bool = True
     candidates: Optional[np.ndarray] = None
     exclude_items: Optional[np.ndarray] = None
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         users = np.atleast_1d(np.asarray(self.users, dtype=np.int64))
@@ -62,6 +69,12 @@ class Query:
         if self.exclude_items is not None:
             exclude = np.atleast_1d(np.asarray(self.exclude_items, dtype=np.int64))
             object.__setattr__(self, "exclude_items", exclude)
+        if self.deadline_ms is not None:
+            deadline_ms = float(self.deadline_ms)
+            if deadline_ms <= 0:
+                raise ValueError(
+                    f"deadline_ms must be positive, got {deadline_ms}")
+            object.__setattr__(self, "deadline_ms", deadline_ms)
 
     @property
     def n_users(self) -> int:
@@ -76,10 +89,16 @@ class QueryResult:
     ``scores[i]`` their scores.  For a score-mode query (``k=None``)
     ``items`` is the broadcast ``(U, C)`` candidate matrix and ``scores``
     the candidate scores in the same order.
+
+    ``degraded=True`` marks an answer produced by a *fallback* artifact
+    (see ``RecommenderService.register_fallback``) because the primary
+    scorer failed or its circuit breaker was open — still a valid ranking,
+    but from a lower-fidelity model.
     """
 
     items: np.ndarray
     scores: np.ndarray
+    degraded: bool = False
 
     @property
     def n_users(self) -> int:

@@ -4,7 +4,9 @@
 :class:`~repro.serving.artifact.ServingArtifact` bundles with atomic
 hot-swap — publishing a new artifact under an existing name bumps its
 version; in-flight queries finish on the artifact they resolved, new
-queries see the new one.
+queries see the new one.  :meth:`ModelRegistry.publish_path` loads and
+*verifies* an artifact file before swapping, so a corrupt file can never
+evict a good live version.
 
 :class:`RecommenderService` is the request-facing layer.  Batched calls
 (:meth:`RecommenderService.recommend_batch`, :meth:`RecommenderService.query`)
@@ -16,6 +18,26 @@ pass and distributes the rows — turning a thundering herd of per-user
 requests into a handful of vectorised scorer calls.  A bounded LRU cache
 keyed by ``(model, version, user, k, exclude_seen)`` short-circuits repeat
 requests and is invalidated by version bump on hot-swap.
+
+The failure paths are first-class (see ``ROADMAP.md``, "Reliability
+contract"):
+
+- **Deadlines** — ``Query(deadline_ms=...)`` / ``recommend(deadline_ms=...)``
+  bound how long the caller waits; late answers raise
+  :class:`DeadlineExceededError` (the background work may still complete).
+- **Load shedding** — the admission queue is bounded by ``max_queue``;
+  requests beyond it are refused with :class:`ServiceOverloadedError`
+  instead of growing an unbounded backlog.
+- **Circuit breaking** — every primary scoring pass routes through a
+  per-model :class:`~repro.reliability.circuit.CircuitBreaker`; after
+  ``failure_threshold`` consecutive scorer failures the model fails fast
+  (:class:`CircuitOpenError`) until a half-open probe succeeds.
+- **Graceful degradation** — models with a fallback artifact registered
+  via :meth:`RecommenderService.register_fallback` answer from the
+  fallback (``QueryResult.degraded=True``) whenever the primary scorer
+  fails or its circuit is open.  Degraded rows are never cached.
+- :meth:`RecommenderService.health` exposes queue depth and per-model
+  circuit state for external monitoring.
 """
 
 from __future__ import annotations
@@ -23,12 +45,20 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.reliability.circuit import CircuitBreaker
+from repro.reliability.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+)
+from repro.reliability.faults import fire as _fire
 from repro.serving.artifact import ServingArtifact
 from repro.serving.query import Query, QueryResult
+from repro.utils.io import PathLike
 
 DEFAULT_MODEL = "default"
 
@@ -54,6 +84,18 @@ class ModelRegistry:
             version = self._entries.get(name, (None, 0))[1] + 1
             self._entries[name] = (artifact, version)
             return version
+
+    def publish_path(self, name: str, path: PathLike) -> int:
+        """Load, verify and publish an artifact file under ``name``.
+
+        The file's embedded digests and format version are checked by
+        :meth:`ServingArtifact.load` *before* the registry is touched: a
+        truncated, bit-flipped or wrong-version file raises
+        :class:`~repro.reliability.errors.ArtifactIntegrityError` and the
+        currently-published version (if any) keeps serving.
+        """
+        artifact = ServingArtifact.load(path)
+        return self.publish(name, artifact)
 
     def get(self, name: Optional[str] = None) -> Tuple[ServingArtifact, int, str]:
         """Resolve ``(artifact, version, name)``; ``name=None`` works when
@@ -129,7 +171,8 @@ class _LRUCache:
 class _Request:
     """One pending single-user recommendation awaiting a micro-batch."""
 
-    __slots__ = ("group", "artifact", "user", "done", "result", "error")
+    __slots__ = ("group", "artifact", "user", "done", "result", "error",
+                 "degraded")
 
     def __init__(self, group: tuple, artifact: ServingArtifact, user: int) -> None:
         self.group = group          # (name, version, k, exclude_seen)
@@ -138,10 +181,11 @@ class _Request:
         self.done = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
+        self.degraded = False
 
 
 class RecommenderService:
-    """Micro-batching, caching front-end over a :class:`ModelRegistry`.
+    """Micro-batching, caching, failure-hardened front-end over a registry.
 
     Parameters
     ----------
@@ -161,6 +205,16 @@ class RecommenderService:
         callers.
     cache_size:
         Capacity of the per-user top-k LRU cache (``0`` disables it).
+    max_queue:
+        Admission bound on queued single-user requests.  Arrivals beyond
+        it are shed with :class:`ServiceOverloadedError` (counted in
+        ``stats["shed"]``).  ``None`` disables shedding.
+    failure_threshold, reset_timeout_s:
+        Per-model circuit-breaker tuning (consecutive scorer failures to
+        trip; seconds open before a half-open probe).
+    clock:
+        Monotonic time source for the circuit breakers (injectable so
+        tests drive open → half-open transitions without sleeping).
     """
 
     def __init__(self,
@@ -168,7 +222,9 @@ class RecommenderService:
                                None] = None,
                  *, registry: Optional[ModelRegistry] = None,
                  max_batch_size: int = 64, max_wait_ms: float = 2.0,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096, max_queue: Optional[int] = 1024,
+                 failure_threshold: int = 5, reset_timeout_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if registry is not None and models is not None:
             raise ValueError("pass either models or a registry, not both")
         self.registry = registry if registry is not None else ModelRegistry()
@@ -181,12 +237,21 @@ class RecommenderService:
             raise ValueError("max_batch_size must be at least 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be at least 1 (or None)")
         self.max_batch_size = int(max_batch_size)
         self.max_wait = float(max_wait_ms) / 1e3
+        self.max_queue = None if max_queue is None else int(max_queue)
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
         self._cache = _LRUCache(cache_size)
         self._cond = threading.Condition()
         self._pending: List[_Request] = []
         self._leader_active = False
+        self._breaker_lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._fallbacks: Dict[str, ServingArtifact] = {}
         self._stats_lock = threading.Lock()
         self._stats = {
             "requests": 0,          # single-user recommend() calls
@@ -195,6 +260,9 @@ class RecommenderService:
             "coalesced": 0,         # single-user requests served by those passes
             "cache_hits": 0,
             "cache_misses": 0,
+            "shed": 0,              # requests refused at admission (queue full)
+            "deadline_exceeded": 0,  # callers released late with an error
+            "degraded": 0,          # kernel passes answered by a fallback
         }
 
     # ------------------------------------------------------------------ #
@@ -206,6 +274,73 @@ class RecommenderService:
         self._cache.purge_model(name)
         return version
 
+    def publish_path(self, name: str, path: PathLike) -> int:
+        """Verify-then-swap an artifact file (see
+        :meth:`ModelRegistry.publish_path`); invalidates cached rows."""
+        version = self.registry.publish_path(name, path)
+        self._cache.purge_model(name)
+        return version
+
+    def register_fallback(self, artifact: ServingArtifact,
+                          model: Optional[str] = None) -> None:
+        """Register a degradation artifact for ``model``.
+
+        When the primary scorer raises (or its circuit is open) the
+        service answers from this artifact instead, flagging the response
+        ``QueryResult.degraded=True``.  A cheap, robust model — e.g. a
+        popularity artifact — is the intended fallback.
+        """
+        if not isinstance(artifact, ServingArtifact):
+            raise TypeError(
+                f"fallback must be a ServingArtifact, got "
+                f"{type(artifact).__name__}")
+        _, _, name = self.registry.get(model)
+        self._fallbacks[name] = artifact
+
+    # ------------------------------------------------------------------ #
+    # guarded scoring funnel (circuit breaker + fault site + degradation)
+    # ------------------------------------------------------------------ #
+    def _breaker(self, name: str) -> CircuitBreaker:
+        with self._breaker_lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    reset_timeout_s=self.reset_timeout_s, clock=self._clock)
+                self._breakers[name] = breaker
+            return breaker
+
+    def _primary_query(self, name: str, artifact: ServingArtifact,
+                       query: Query) -> QueryResult:
+        """Every primary scoring pass funnels through here."""
+        breaker = self._breaker(name)
+        if not breaker.allow():
+            raise CircuitOpenError(
+                f"circuit for model {name!r} is open after "
+                f"{self.failure_threshold} consecutive scorer failures")
+        try:
+            _fire("serving.scorer")
+            result = artifact.query(query)
+        except BaseException:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return result
+
+    def _guarded_query(self, name: str, artifact: ServingArtifact,
+                       query: Query) -> QueryResult:
+        """Primary scoring with graceful degradation to the fallback."""
+        try:
+            return self._primary_query(name, artifact, query)
+        except BaseException:
+            fallback = self._fallbacks.get(name)
+            if fallback is None:
+                raise
+            self._bump("degraded")
+            result = fallback.query(query)
+            return QueryResult(items=result.items, scores=result.scores,
+                               degraded=True)
+
     # ------------------------------------------------------------------ #
     # read path
     # ------------------------------------------------------------------ #
@@ -213,27 +348,52 @@ class RecommenderService:
                         exclude_seen: bool = True,
                         model: Optional[str] = None) -> np.ndarray:
         """Top-``k`` for a caller-assembled user batch (no coalescing)."""
-        artifact, _, _ = self.registry.get(model)
+        artifact, _, name = self.registry.get(model)
         self._bump("batch_requests")
-        return artifact.recommend_batch(users, k=k, exclude_seen=exclude_seen)
+        return self._guarded_query(
+            name, artifact,
+            Query(users=users, k=k, exclude_seen=exclude_seen)).items
 
     def query(self, query: Query, model: Optional[str] = None) -> QueryResult:
-        """Execute a full :class:`Query` against a published artifact."""
-        artifact, _, _ = self.registry.get(model)
+        """Execute a full :class:`Query` against a published artifact.
+
+        Honours ``query.deadline_ms``: if the scoring pass (primary or
+        degraded) finishes past the budget the caller gets
+        :class:`DeadlineExceededError` instead of a late answer.
+        """
+        started = time.monotonic() if query.deadline_ms is not None else None
+        artifact, _, name = self.registry.get(model)
         self._bump("batch_requests")
-        return artifact.query(query)
+        result = self._guarded_query(name, artifact, query)
+        if started is not None:
+            elapsed_ms = (time.monotonic() - started) * 1e3
+            if elapsed_ms > query.deadline_ms:
+                self._bump("deadline_exceeded")
+                raise DeadlineExceededError(
+                    f"query answered in {elapsed_ms:.1f} ms, past its "
+                    f"{query.deadline_ms:.1f} ms deadline")
+        return result
 
     def recommend(self, user: int, k: int = 10, exclude_seen: bool = True,
-                  model: Optional[str] = None) -> np.ndarray:
+                  model: Optional[str] = None,
+                  deadline_ms: Optional[float] = None) -> np.ndarray:
         """Top-``k`` for one user — cached, and coalesced into micro-batches.
 
         Concurrent callers of compatible requests (same model version, same
         ``k``/``exclude_seen``) share one vectorised kernel pass; the result
         is bitwise what :meth:`recommend_batch` returns for the coalesced
-        user batch.
+        user batch.  ``deadline_ms`` bounds the caller's wait
+        (:class:`DeadlineExceededError`); a full admission queue sheds the
+        request at the door (:class:`ServiceOverloadedError`).
         """
         artifact, version, name = self.registry.get(model)
         self._bump("requests")
+        deadline = None
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+            if deadline_ms <= 0:
+                raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
+            deadline = time.monotonic() + deadline_ms / 1e3
         key = (name, version, int(user), int(k), bool(exclude_seen))
         cached = self._cache.get(key)
         if cached is not None:
@@ -244,6 +404,13 @@ class RecommenderService:
         request = _Request(group=(name, version, int(k), bool(exclude_seen)),
                            artifact=artifact, user=int(user))
         with self._cond:
+            if self.max_queue is not None \
+                    and len(self._pending) >= self.max_queue:
+                self._bump("shed")
+                raise ServiceOverloadedError(
+                    f"admission queue is full ({len(self._pending)} pending, "
+                    f"max_queue={self.max_queue}); request for user {user} "
+                    f"shed")
             self._pending.append(request)
             self._cond.notify_all()  # wake a leader waiting for batch fill
             leader = not self._leader_active
@@ -255,6 +422,12 @@ class RecommenderService:
         # Followers poll so that a request orphaned by a crashed leader
         # re-elects itself instead of blocking forever.
         while not request.done.wait(timeout=0.05):
+            if deadline is not None and time.monotonic() > deadline:
+                self._bump("deadline_exceeded")
+                raise DeadlineExceededError(
+                    f"request for user {user} missed its "
+                    f"{deadline_ms:.1f} ms deadline while awaiting a "
+                    f"micro-batch")
             with self._cond:
                 takeover = (not request.done.is_set()
                             and not self._leader_active
@@ -263,6 +436,11 @@ class RecommenderService:
                     self._leader_active = True
             if takeover:
                 self._lead_micro_batch()
+        if deadline is not None and time.monotonic() > deadline:
+            self._bump("deadline_exceeded")
+            raise DeadlineExceededError(
+                f"request for user {user} completed past its "
+                f"{deadline_ms:.1f} ms deadline")
         if request.error is not None:
             raise request.error
         return request.result.copy()
@@ -315,11 +493,12 @@ class RecommenderService:
         for request in batch:
             groups.setdefault(request.group, []).append(request)
         for (name, version, k, exclude_seen), requests in groups.items():
+            users = np.array([request.user for request in requests],
+                             dtype=np.int64)
             try:
-                users = np.array([request.user for request in requests],
-                                 dtype=np.int64)
-                rows = requests[0].artifact.recommend_batch(
-                    users, k=k, exclude_seen=exclude_seen)
+                result = self._guarded_query(
+                    name, requests[0].artifact,
+                    Query(users=users, k=k, exclude_seen=exclude_seen))
             except BaseException as error:  # propagate to every waiter
                 for request in requests:
                     request.error = error
@@ -327,14 +506,16 @@ class RecommenderService:
                 continue
             self._bump("micro_batches")
             self._bump("coalesced", len(requests))
-            for request, row in zip(requests, rows):
-                self._cache.put((name, version, request.user, k,
-                                 exclude_seen), row)
+            for request, row in zip(requests, result.items):
+                if not result.degraded:  # degraded rows are never cached
+                    self._cache.put((name, version, request.user, k,
+                                     exclude_seen), row)
+                request.degraded = result.degraded
                 request.result = row
                 request.done.set()
 
     # ------------------------------------------------------------------ #
-    # stats
+    # stats / health
     # ------------------------------------------------------------------ #
     def _bump(self, key: str, amount: int = 1) -> None:
         with self._stats_lock:
@@ -342,6 +523,27 @@ class RecommenderService:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Counters: requests, micro_batches, coalesced, cache hits/misses."""
+        """Counters: requests, micro_batches, coalesced, cache hits/misses,
+        shed, deadline_exceeded, degraded."""
         with self._stats_lock:
             return dict(self._stats)
+
+    def health(self) -> Dict[str, object]:
+        """Operational snapshot: queue depth, circuit state, fallbacks.
+
+        ``circuits`` maps each model that has taken traffic to its
+        breaker's :meth:`~repro.reliability.circuit.CircuitBreaker.snapshot`
+        (state, consecutive failures, times opened).
+        """
+        with self._cond:
+            queue_depth = len(self._pending)
+        with self._breaker_lock:
+            circuits = {name: breaker.snapshot()
+                        for name, breaker in sorted(self._breakers.items())}
+        return {
+            "queue_depth": queue_depth,
+            "max_queue": self.max_queue,
+            "models": self.registry.names(),
+            "circuits": circuits,
+            "fallbacks": sorted(self._fallbacks),
+        }

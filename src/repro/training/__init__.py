@@ -1,6 +1,7 @@
-"""Training harness: unified runtime, validation-driven trainer, callbacks
-and grid search."""
+"""Training harness: unified runtime, validation-driven trainer, callbacks,
+grid search and crash-safe checkpoints."""
 
+from repro.training.checkpoint import CHECKPOINT_FORMAT_VERSION, CheckpointManager
 from repro.training.loop import (
     EpochReport,
     HogwildAuditError,
@@ -16,6 +17,8 @@ from repro.training.callbacks import Callback, EarlyStopping, History
 from repro.training.grid_search import GridSearch, GridSearchResult
 
 __all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointManager",
     "EpochReport",
     "HogwildAuditError",
     "HogwildWriteAuditor",

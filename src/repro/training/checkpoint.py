@@ -1,0 +1,212 @@
+"""Crash-safe training checkpoints with resume-from-last-good.
+
+A :class:`CheckpointManager` attached to a model (``model.checkpoint = ...``
+before ``fit``) makes :class:`~repro.training.loop.TrainingLoop` persist a
+checkpoint every ``every_n_epochs`` completed epochs, keeping the newest
+``retain`` files.  Each checkpoint is one atomic, digest-verified ``.npz``
+(written through :func:`repro.utils.io.save_arrays` with ``digests=True``),
+so a crash — even mid-write — can never leave a checkpoint that restores to
+garbage: a torn or bit-flipped file fails verification and
+:meth:`CheckpointManager.latest_good` falls back to the previous one.
+
+A checkpoint captures everything the training loop's determinism rests on:
+
+* the model's learned parameters (``model.get_parameters()``),
+* the optimizer's durable state (``Optimizer.state_dict``: Adagrad
+  accumulators, SGD velocities, Adam moments),
+* the exact bit-generator state of every batcher's RNG stream,
+* the completed-epoch count and loss history.
+
+Restoring into a *fresh* model instance (:meth:`CheckpointManager.restore`)
+and continuing with ``fit_more`` therefore reproduces an uninterrupted
+seeded serial run **bitwise** — the property the kill-mid-epoch test in
+``tests/test_reliability.py`` certifies.  Sharded (``n_shards > 1``) runs
+restore the same way but inherit the executor's statistical-only
+reproducibility (thread interleaving; see :mod:`repro.training.loop`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.reliability.errors import ArtifactIntegrityError, CheckpointError
+from repro.reliability.faults import fire as _fire
+from repro.utils.io import (
+    PathLike,
+    load_arrays,
+    pack_scalar,
+    save_arrays,
+    unpack_scalar,
+)
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive_int
+
+logger = get_logger("training.checkpoint")
+
+#: On-disk checkpoint layout version (see :class:`CheckpointManager`).
+CHECKPOINT_FORMAT_VERSION = 1
+
+_META_PREFIX = "meta."
+_PARAM_PREFIX = "param."
+_LOOP_PREFIX = "loop."
+
+
+class CheckpointManager:
+    """Periodic atomic checkpoints for a :class:`TrainingLoop`.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files (``ckpt_epoch_NNNNNN.npz``) live.  Created
+        on first save.
+    every_n_epochs:
+        Save after every this-many completed epochs.
+    retain:
+        Keep the newest this-many checkpoint files; older ones are pruned
+        after each successful save.
+
+    Usage
+    -----
+    >>> model = CML(n_epochs=20, random_state=0)
+    >>> model.checkpoint = CheckpointManager("ckpts", every_n_epochs=5)
+    >>> model.fit(dataset)                    # saves at epochs 5, 10, 15, 20
+    ...                                       # ... process dies mid-epoch ...
+    >>> fresh = CML(n_epochs=20, random_state=0)
+    >>> done = CheckpointManager("ckpts").restore(fresh, dataset)
+    >>> fresh.fit_more(20 - done)             # bitwise == uninterrupted run
+    """
+
+    def __init__(self, directory: PathLike, every_n_epochs: int = 1,
+                 retain: int = 3) -> None:
+        self.directory = Path(directory)
+        self.every_n_epochs = check_positive_int(every_n_epochs,
+                                                 "every_n_epochs")
+        self.retain = check_positive_int(retain, "retain")
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def due(self, completed_epochs: int) -> bool:
+        """Whether a checkpoint should be written after this many epochs."""
+        return completed_epochs > 0 \
+            and completed_epochs % self.every_n_epochs == 0
+
+    def save(self, loop) -> Path:
+        """Persist one checkpoint of ``loop`` (atomic, digest-verified).
+
+        Fault-injection site ``training.checkpoint`` fires first, and the
+        underlying write runs through :func:`repro.utils.io.atomic_write`
+        (sites ``io.atomic_write`` / ``io.atomic_replace``), so both a
+        corrupted flush and a crash mid-publish are testable.
+        """
+        _fire("training.checkpoint")
+        model = loop.model
+        arrays: Dict[str, np.ndarray] = {
+            _META_PREFIX + "format_version":
+                pack_scalar(CHECKPOINT_FORMAT_VERSION),
+            _META_PREFIX + "model_class": pack_scalar(type(model).__name__),
+            _META_PREFIX + "executor": pack_scalar(loop.executor),
+            _META_PREFIX + "n_shards": pack_scalar(loop.n_shards),
+            _META_PREFIX + "epoch": pack_scalar(loop.epoch_),
+        }
+        for name, value in model.get_parameters().items():
+            arrays[_PARAM_PREFIX + name] = np.asarray(value)
+        for name, value in loop.capture_state().items():
+            arrays[_LOOP_PREFIX + name] = np.asarray(value)
+        path = self.directory / f"ckpt_epoch_{loop.epoch_:06d}.npz"
+        saved = save_arrays(path, arrays, digests=True)
+        self._prune()
+        return saved
+
+    def _prune(self) -> None:
+        paths = self.paths()
+        for stale in paths[:-self.retain]:
+            try:
+                stale.unlink()
+            except OSError:  # a reader may hold it; pruning is best-effort
+                pass
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def paths(self) -> List[Path]:
+        """Existing checkpoint files, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("ckpt_epoch_*.npz"))
+
+    def load(self, path: PathLike) -> Dict[str, np.ndarray]:
+        """Load and fully verify one checkpoint file.
+
+        Every entry must carry a matching digest; torn, bit-flipped or
+        wrong-version files raise :class:`ArtifactIntegrityError`.
+        """
+        arrays = load_arrays(path, digests="require")
+        version_entry = arrays.get(_META_PREFIX + "format_version")
+        version = (unpack_scalar(version_entry)
+                   if version_entry is not None else None)
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ArtifactIntegrityError(
+                f"{path} has checkpoint format version {version!r}; this "
+                f"build reads version {CHECKPOINT_FORMAT_VERSION}")
+        return arrays
+
+    def latest_good(self) -> Tuple[Path, Dict[str, np.ndarray]]:
+        """Newest checkpoint that passes verification.
+
+        Corrupt files are skipped (with a warning) in favour of the next
+        older one — the resume-from-last-good contract.  Raises
+        :class:`CheckpointError` when no checkpoint survives.
+        """
+        paths = self.paths()
+        for path in reversed(paths):
+            try:
+                return path, self.load(path)
+            except ArtifactIntegrityError as error:
+                logger.warning("skipping corrupt checkpoint %s: %s",
+                               path, error)
+        raise CheckpointError(
+            f"no usable checkpoint under {self.directory} "
+            f"({len(paths)} file(s) present, all corrupt or unreadable)")
+
+    def restore(self, model, data) -> int:
+        """Restore ``model`` (a fresh, unfitted instance) from the newest
+        good checkpoint; returns the number of completed epochs.
+
+        Rebuilds the model's network and training runtime exactly as
+        ``fit`` would (same seeds, same batcher construction), then
+        overwrites parameters, optimizer state and RNG streams from the
+        checkpoint — after which ``model.fit_more(remaining)`` continues
+        the run.  The restored model keeps this manager on
+        ``model.checkpoint`` so continued training keeps checkpointing.
+        """
+        path, arrays = self.latest_good()
+        model_class = unpack_scalar(arrays[_META_PREFIX + "model_class"])
+        if model_class != type(model).__name__:
+            raise CheckpointError(
+                f"{path} checkpoints a {model_class}; cannot restore into "
+                f"a {type(model).__name__}")
+        interactions = model._unwrap(data)
+        model.checkpoint = self
+        model._train_interactions = interactions
+        model._prepare_training(interactions)
+        loop = model.runtime_
+        executor = unpack_scalar(arrays[_META_PREFIX + "executor"])
+        n_shards = int(unpack_scalar(arrays[_META_PREFIX + "n_shards"]))
+        if (loop.executor, loop.n_shards) != (executor, n_shards):
+            raise CheckpointError(
+                f"{path} was written by executor={executor!r} "
+                f"n_shards={n_shards}, but the model is configured for "
+                f"executor={loop.executor!r} n_shards={loop.n_shards}")
+        model.set_parameters(
+            {name[len(_PARAM_PREFIX):]: value
+             for name, value in arrays.items()
+             if name.startswith(_PARAM_PREFIX)})
+        loop.restore_state(
+            {name[len(_LOOP_PREFIX):]: value
+             for name, value in arrays.items()
+             if name.startswith(_LOOP_PREFIX)})
+        return int(unpack_scalar(arrays[_META_PREFIX + "epoch"]))

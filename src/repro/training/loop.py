@@ -71,6 +71,7 @@ instead of retraining from scratch every round.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -84,6 +85,8 @@ import numpy as np
 from repro.autograd.optim import Optimizer
 from repro.data.batching import TripletBatch, TripletBatcher
 from repro.data.interactions import InteractionMatrix
+from repro.reliability.faults import fire as _fire
+from repro.utils.io import pack_scalar, unpack_scalar
 from repro.utils.logging import get_logger, scoped_info
 from repro.utils.rng import RandomState, spawn_generators
 from repro.utils.validation import check_positive_int
@@ -382,6 +385,14 @@ class TrainingLoop:
         defers to the ``REPRO_AUDIT`` environment variable, so any run can
         be audited without touching code.  Auditing does not change
         training numerics — the proxy only observes the update calls.
+    checkpoint:
+        A :class:`~repro.training.checkpoint.CheckpointManager`: after every
+        epoch it deems ``due``, the loop persists parameters, optimizer
+        state and batcher RNG streams atomically, so a killed run resumes
+        from its last good checkpoint (bitwise-identically under the serial
+        executor).  ``None`` (the default) falls back to
+        ``model.checkpoint`` when the model carries one, else disables
+        checkpointing.
 
     Notes
     -----
@@ -398,7 +409,7 @@ class TrainingLoop:
     def __init__(self, model: TrainableModel, interactions: InteractionMatrix,
                  *, executor: str = "serial", n_shards: int = 1,
                  verbose: bool = False, logger=None,
-                 audit: Optional[bool] = None) -> None:
+                 audit: Optional[bool] = None, checkpoint=None) -> None:
         validate_executor(executor, n_shards)
         self.model = model
         self.interactions = interactions
@@ -406,6 +417,8 @@ class TrainingLoop:
         self.n_shards = n_shards if executor == "sharded" else 1
         self.verbose = verbose
         self.audit = _audit_from_env() if audit is None else bool(audit)
+        self._checkpoint = (checkpoint if checkpoint is not None
+                            else getattr(model, "checkpoint", None))
         self._logger = logger if logger is not None else get_logger("training.loop")
         self.reports: List[EpochReport] = []
         self.epoch_ = 0
@@ -488,6 +501,9 @@ class TrainingLoop:
                 self.reports.append(report)
                 new_reports.append(report)
                 self.model.loss_history_.append(report.mean_loss)
+                if self._checkpoint is not None \
+                        and self._checkpoint.due(self.epoch_):
+                    self._checkpoint.save(self)
                 if self.verbose:
                     self._logger.info("%s epoch %d/%d loss %.4f",
                                       self.model.name, report.epoch + 1,
@@ -532,9 +548,62 @@ class TrainingLoop:
             self._auditor.bind_shard(shard)
         total, count = 0.0, 0
         for batch in batcher.epoch():
+            _fire("training.step")
             total += self.model.train_step(batch, self._optimizer)
             count += 1
         return total, count
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state (consumed by training.checkpoint.CheckpointManager)
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> Dict[str, np.ndarray]:
+        """The loop's durable training state as named pickle-free arrays.
+
+        Covers everything :meth:`run` consumes beyond the model parameters:
+        optimizer state (``optimizer.*``), each batcher stream's exact
+        bit-generator state (``rng.<shard>``, JSON-encoded — one stream
+        also drives that batcher's negative/user samplers, because
+        :class:`~repro.data.batching.TripletBatcher` shares its generator
+        with them), the completed-epoch count and the loss history.
+        """
+        self._ensure_state()
+        state: Dict[str, np.ndarray] = {
+            "epoch": pack_scalar(self.epoch_),
+            "loss_history": np.asarray(self.model.loss_history_,
+                                       dtype=np.float64),
+        }
+        for name, value in self._optimizer.state_dict().items():
+            state[f"optimizer.{name}"] = value
+        for shard, batcher in enumerate(self._batchers):
+            state[f"rng.{shard}"] = pack_scalar(
+                json.dumps(batcher._rng.bit_generator.state))
+        return state
+
+    def restore_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`capture_state` output into a freshly built loop.
+
+        Call order matters: the model's parameters must already be loaded
+        (``set_parameters`` rebinds ``parameter.data``, and the optimizer
+        state restored here is validated against the live parameter
+        shapes), and the loop must not have run yet.
+        """
+        self._ensure_state()
+        rng_keys = [name for name in state if name.startswith("rng.")]
+        if len(rng_keys) != len(self._batchers):
+            raise ValueError(
+                f"checkpoint carries {len(rng_keys)} batcher stream(s) but "
+                f"this loop has {len(self._batchers)} — executor/n_shards "
+                "mismatch")
+        self._optimizer.load_state_dict(
+            {name[len("optimizer."):]: value
+             for name, value in state.items()
+             if name.startswith("optimizer.")})
+        for shard, batcher in enumerate(self._batchers):
+            batcher._rng.bit_generator.state = json.loads(
+                unpack_scalar(state[f"rng.{shard}"]))
+        self.epoch_ = int(unpack_scalar(state["epoch"]))
+        self.model.loss_history_[:] = [
+            float(loss) for loss in np.asarray(state["loss_history"]).ravel()]
 
 
 class RuntimeTrainedModel:

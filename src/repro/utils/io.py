@@ -1,33 +1,181 @@
-"""Serialisation helpers for model parameters and experiment results."""
+"""Serialisation helpers for model parameters and experiment results.
+
+Every write in this module is **atomic**: payloads are staged to a
+temporary file in the destination directory, flushed and fsynced, then
+published with ``os.replace`` — readers see either the old complete file
+or the new complete file, never a torn write.  Array bundles can embed
+per-tensor SHA-256 digests (``digests=True`` on :func:`save_arrays`) that
+:func:`load_arrays` verifies on the way back in; any torn, truncated,
+bit-flipped or digest-mismatching bundle surfaces as a single clean
+:class:`~repro.reliability.errors.ArtifactIntegrityError` instead of a raw
+``zipfile``/``zlib``/NumPy error from deep inside a consumer.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
+import zipfile
+import zlib
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Mapping, Union
+from typing import Dict, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.reliability.errors import ArtifactIntegrityError
+from repro.reliability.faults import corrupt_bytes as _corrupt_bytes
+from repro.reliability.faults import fire as _fire
+from repro.reliability.faults import get_injector as _get_injector
+
 PathLike = Union[str, Path]
 
+#: Keys with this prefix inside an ``.npz`` bundle carry the SHA-256 digest
+#: of the same-named tensor (stored via :func:`pack_scalar`).
+DIGEST_PREFIX = "digest."
 
-def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray]) -> Path:
-    """Save a mapping of named arrays to a compressed ``.npz`` file."""
+
+@contextmanager
+def atomic_write(path: PathLike, mode: str = "wb",
+                 encoding: Optional[str] = None) -> Iterator:
+    """Write ``path`` atomically: temp file in-directory, fsync, ``os.replace``.
+
+    The yielded handle writes to a temporary sibling of ``path``; on clean
+    exit the data is flushed, fsynced and renamed over the destination in
+    one step, so a crash at any point leaves either the previous file or
+    the new one — never a truncated hybrid.  On error the temp file is
+    removed and the destination is untouched.
+
+    Fault-injection sites: ``io.atomic_write`` corrupts the staged bytes
+    before publication (exercising digest verification on a file that
+    *was* atomically renamed), and ``io.atomic_replace`` fires immediately
+    before ``os.replace`` (a raise there simulates a crash mid-publish).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **{k: np.asarray(v) for k, v in arrays.items()})
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        if _get_injector() is not None:
+            staged = tmp.read_bytes()
+            corrupted = _corrupt_bytes("io.atomic_write", staged)
+            if corrupted != staged:
+                tmp.write_bytes(corrupted)
+        _fire("io.atomic_replace")
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    try:  # make the rename itself durable where the platform allows
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def array_digest(array: np.ndarray) -> str:
+    """SHA-256 hex digest of an array's dtype, shape and raw bytes."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode("utf-8"))
+    digest.update(repr(tuple(array.shape)).encode("utf-8"))
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray], *,
+                digests: bool = False) -> Path:
+    """Save a mapping of named arrays to a compressed ``.npz`` file.
+
+    With ``digests=True`` a ``digest.<name>`` SHA-256 entry is embedded per
+    tensor, letting :func:`load_arrays` (with ``digests="require"``) detect
+    bit-flips that survive the zip container's own CRC.
+    """
+    path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
+    payload = {key: np.asarray(value) for key, value in arrays.items()}
+    for key in list(payload):
+        if key.startswith(DIGEST_PREFIX):
+            raise ValueError(
+                f"array name {key!r} collides with the reserved digest "
+                f"prefix {DIGEST_PREFIX!r}")
+    if digests:
+        for key in list(payload):
+            payload[DIGEST_PREFIX + key] = pack_scalar(
+                array_digest(payload[key]))
+    with atomic_write(path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
     return path
 
 
-def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
-    """Load a mapping of named arrays previously written by :func:`save_arrays`."""
+def load_arrays(path: PathLike, *,
+                digests: str = "auto") -> Dict[str, np.ndarray]:
+    """Load a mapping of named arrays previously written by :func:`save_arrays`.
+
+    ``digests`` controls integrity verification:
+
+    - ``"auto"`` (default): verify whatever ``digest.*`` entries are
+      present — legacy bundles without digests still load.
+    - ``"require"``: additionally demand that *every* tensor is covered by
+      a digest; undigested bundles are rejected.
+    - ``"skip"``: no verification (digest entries are still stripped).
+
+    Truncated or bit-flipped files, digest mismatches and missing required
+    digests all raise :class:`ArtifactIntegrityError`; the underlying
+    ``zipfile``/``zlib``/NumPy errors never escape.
+    """
+    if digests not in ("auto", "require", "skip"):
+        raise ValueError(
+            f'digests must be "auto", "require" or "skip", got {digests!r}')
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no such array file: {path}")
-    with np.load(path, allow_pickle=False) as data:
-        return {key: data[key].copy() for key in data.files}
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            loaded = {key: data[key].copy() for key in data.files}
+    except (zipfile.BadZipFile, zlib.error, ValueError, EOFError,
+            KeyError, OSError) as exc:
+        raise ArtifactIntegrityError(
+            f"corrupt or unreadable array bundle {path}: "
+            f"{type(exc).__name__}: {exc}") from exc
+    arrays = {key: value for key, value in loaded.items()
+              if not key.startswith(DIGEST_PREFIX)}
+    if digests == "skip":
+        return arrays
+    for key, value in arrays.items():
+        digest_entry = loaded.get(DIGEST_PREFIX + key)
+        if digest_entry is None:
+            if digests == "require":
+                raise ArtifactIntegrityError(
+                    f"array bundle {path} has no integrity digest for "
+                    f"{key!r} (digests='require')")
+            continue
+        try:
+            expected = unpack_scalar(digest_entry)
+        except (TypeError, ValueError) as exc:
+            raise ArtifactIntegrityError(
+                f"array bundle {path} has an unreadable digest entry for "
+                f"{key!r}") from exc
+        actual = array_digest(value)
+        if actual != expected:
+            raise ArtifactIntegrityError(
+                f"array bundle {path} failed integrity verification: "
+                f"tensor {key!r} digest {actual[:12]}… does not match the "
+                f"recorded {str(expected)[:12]}…")
+    return arrays
 
 
 def pack_scalar(value) -> np.ndarray:
@@ -60,10 +208,9 @@ def unpack_scalar(array: np.ndarray):
 
 
 def save_json(path: PathLike, payload: Mapping) -> Path:
-    """Write a JSON document, creating parent directories as needed."""
+    """Atomically write a JSON document, creating parent directories."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_write(path, "w", encoding="utf-8") as handle:
         json.dump(_jsonify(payload), handle, indent=2, sort_keys=True)
     return path
 

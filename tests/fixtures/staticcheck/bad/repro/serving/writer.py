@@ -1,0 +1,18 @@
+"""Fixture: non-atomic writes inside the serving package."""
+
+import json
+
+import numpy as np
+
+
+def save_manifest(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:  # bare write: line 9
+        handle.write(json.dumps(payload))
+
+
+def save_tensors(path, arrays):
+    np.savez_compressed(path, **arrays)  # direct np writer: line 14
+
+
+def save_note(path, text):
+    path.write_text(text)  # pathlib in-place write: line 18

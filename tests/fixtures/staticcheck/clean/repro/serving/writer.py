@@ -1,0 +1,22 @@
+"""Fixture: serving writes staged through the atomic writer."""
+
+import json
+
+import numpy as np
+
+from repro.utils.io import atomic_write
+
+
+def save_manifest(path, payload):
+    with atomic_write(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload))
+
+
+def save_tensors(path, arrays):
+    with atomic_write(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def load_manifest(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.loads(handle.read())

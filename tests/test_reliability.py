@@ -1,0 +1,851 @@
+"""The fault-tolerance contract, exercised under deterministic fault injection.
+
+Everything here runs in tier-1: no wall-clock assertions, no sleeps-as-
+synchronisation.  Failure timing comes from :class:`FaultInjector` (exact
+call counting, seeded corruption, hand-operated :class:`Gate` blocking) and
+circuit-breaker time from an injectable fake clock, so the suite is exactly
+as deterministic as the happy-path tests.
+
+Covered contracts (see ``ROADMAP.md``, "Reliability contract"):
+
+* the injector itself — nth/times call counting, the ``REPRO_FAULTS``
+  grammar, seeded byte corruption, activation nesting, thread safety;
+* the circuit breaker state machine (trip, fail-fast, half-open probe);
+* serving — deadlines, bounded-queue load shedding, per-model circuit
+  breaking, graceful degradation to a registered fallback, micro-batch
+  error propagation to every coalesced waiter, ``health()``;
+* durable artifacts — atomic writes (a crash mid-publish never touches the
+  destination), embedded digests (truncated / bit-flipped / stale-digest /
+  wrong-format-version files all raise :class:`ArtifactIntegrityError`,
+  and ``publish_path`` never evicts a good version with a bad file);
+* crash-safe training — periodic retained checkpoints, resume-from-last-
+  good, and the kill-mid-epoch test proving a resumed seeded serial run is
+  **bitwise identical** to an uninterrupted one.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    ModelRegistry,
+    Query,
+    RecommenderService,
+    ServingArtifact,
+)
+from repro.baselines.bpr import BPR
+from repro.baselines.cml import CML
+from repro.baselines.popularity import Popularity
+from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.reliability import (
+    ArtifactIntegrityError,
+    CheckpointError,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    FaultInjector,
+    InjectedFault,
+    ServiceOverloadedError,
+    get_injector,
+    parse_fault_spec,
+)
+from repro.training import CheckpointManager
+from repro.utils.io import (
+    array_digest,
+    atomic_write,
+    load_arrays,
+    load_json,
+    pack_scalar,
+    save_arrays,
+    save_json,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SyntheticConfig(n_users=60, n_items=90, interactions_per_user=9.0)
+    return MultiFacetSyntheticGenerator(config, random_state=0).generate_dataset()
+
+
+@pytest.fixture(scope="module")
+def primary(dataset):
+    return CML(embedding_dim=8, n_epochs=2, batch_size=64,
+               random_state=0).fit(dataset).export_serving()
+
+
+@pytest.fixture(scope="module")
+def fallback(dataset):
+    return Popularity().fit(dataset).export_serving()
+
+
+class FakeClock:
+    """Injectable monotonic clock for breaker tests (no real waiting)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# --------------------------------------------------------------------------- #
+# FaultInjector
+# --------------------------------------------------------------------------- #
+class TestFaultInjector:
+    def test_nth_and_times_are_exact(self):
+        injector = FaultInjector()
+        injector.fail("site", nth=3, times=2)
+        injector.fire("site")
+        injector.fire("site")
+        with pytest.raises(InjectedFault):
+            injector.fire("site")
+        with pytest.raises(InjectedFault):
+            injector.fire("site")
+        injector.fire("site")  # the window has passed
+        assert injector.calls("site") == 5
+
+    def test_fail_every_call_from_nth_on(self):
+        injector = FaultInjector()
+        injector.fail("site", nth=2)
+        injector.fire("site")
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                injector.fire("site")
+
+    def test_custom_error_instance(self):
+        injector = FaultInjector()
+        injector.fail("site", error=OSError("disk on fire"))
+        with pytest.raises(OSError, match="disk on fire"):
+            injector.fire("site")
+
+    def test_sites_are_independent(self):
+        injector = FaultInjector()
+        injector.fail("a")
+        injector.fire("b")  # no fault configured here
+        with pytest.raises(InjectedFault):
+            injector.fire("a")
+        assert injector.calls("a") == 1 and injector.calls("b") == 1
+
+    def test_clear_and_reset_counters(self):
+        injector = FaultInjector()
+        injector.fail("site")
+        injector.clear("site")
+        injector.fire("site")
+        assert injector.calls("site") == 1
+        injector.reset_counters()
+        assert injector.calls("site") == 0
+
+    def test_corruption_is_seeded_and_always_damaging(self):
+        payload = bytes(range(200)) * 3
+        outputs = []
+        for _ in range(2):
+            injector = FaultInjector(seed=7)
+            injector.corrupt("site", n_bytes=4)
+            outputs.append(injector.corrupt_bytes("site", payload))
+        assert outputs[0] == outputs[1]  # reproducible damage
+        assert outputs[0] != payload     # non-zero XOR masks guarantee change
+        assert len(outputs[0]) == len(payload)
+
+    def test_corruption_passthrough_without_spec(self):
+        injector = FaultInjector()
+        payload = b"untouched"
+        assert injector.corrupt_bytes("site", payload) == payload
+        assert injector.corrupt_bytes("site", b"") == b""
+
+    def test_validation(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="nth"):
+            injector.fail("s", nth=0)
+        with pytest.raises(ValueError, match="times"):
+            injector.fail("s", times=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            injector.delay("s", -1.0)
+        with pytest.raises(ValueError, match="n_bytes"):
+            injector.corrupt("s", 0)
+
+    def test_activation_nesting_and_teardown(self):
+        assert get_injector() is None
+        outer, inner = FaultInjector(), FaultInjector()
+        with outer.activate():
+            assert get_injector() is outer
+            with inner.activate():
+                assert get_injector() is inner
+            assert get_injector() is outer
+        assert get_injector() is None
+
+    def test_gate_blocks_until_released(self):
+        injector = FaultInjector()
+        gate = injector.block("site", times=1)
+        passed = threading.Event()
+
+        def faulted_call():
+            injector.fire("site")
+            passed.set()
+
+        thread = threading.Thread(target=faulted_call)
+        thread.start()
+        assert gate.wait_blocked(timeout=5.0)
+        assert not passed.is_set()  # parked at the gate
+        gate.release()
+        thread.join(timeout=5.0)
+        assert passed.is_set() and not thread.is_alive()
+        injector.fire("site")  # times=1: later calls pass freely
+
+    def test_thread_safe_counting(self):
+        injector = FaultInjector()
+        threads = [threading.Thread(
+            target=lambda: [injector.fire("site") for _ in range(100)])
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert injector.calls("site") == 800
+
+
+class TestFaultSpecGrammar:
+    def test_fail_with_nth_and_times(self):
+        injector = parse_fault_spec("site=fail@3x2")
+        injector.fire("site")
+        injector.fire("site")
+        with pytest.raises(InjectedFault):
+            injector.fire("site")
+        with pytest.raises(InjectedFault):
+            injector.fire("site")
+        injector.fire("site")
+
+    def test_multiple_entries_and_separators(self):
+        injector = parse_fault_spec("a=fail; b=corrupt:4, c=delay:0.0")
+        with pytest.raises(InjectedFault):
+            injector.fire("a")
+        assert injector.corrupt_bytes("b", b"x" * 64) != b"x" * 64
+        injector.fire("c")  # zero-second delay: counted, no effect
+
+    def test_bad_entries_rejected(self):
+        with pytest.raises(ValueError, match="site=kind"):
+            parse_fault_spec("just-a-site")
+        with pytest.raises(ValueError, match="unknown kind"):
+            parse_fault_spec("site=explode")
+        with pytest.raises(ValueError, match="unknown kind"):
+            parse_fault_spec("site=block")  # needs a live Gate handle
+
+    def test_environment_injector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "env.site=fail@1x1")
+        injector = get_injector()
+        assert injector is not None
+        with pytest.raises(InjectedFault):
+            injector.fire("env.site")
+        assert get_injector() is injector  # cached per value
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert get_injector() is None
+
+    def test_explicit_activation_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "env.site=fail")
+        explicit = FaultInjector()
+        with explicit.activate():
+            assert get_injector() is explicit
+
+
+# --------------------------------------------------------------------------- #
+# CircuitBreaker
+# --------------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures_only(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else keeps failing fast
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.snapshot()["opens"] == 2
+        clock.advance(5.0)  # the timeout restarts from the failed probe
+        assert breaker.allow()
+
+    def test_snapshot_shape(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        assert breaker.snapshot() == {"state": "closed",
+                                      "consecutive_failures": 1, "opens": 0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout_s"):
+            CircuitBreaker(reset_timeout_s=-1.0)
+
+
+# --------------------------------------------------------------------------- #
+# serving: deadlines
+# --------------------------------------------------------------------------- #
+class TestDeadlines:
+    def test_query_deadline_validation(self):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            Query(users=[0], k=5, deadline_ms=0)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            Query(users=[0], k=5, deadline_ms=-3.0)
+
+    def test_recommend_deadline_validation(self, primary):
+        service = RecommenderService(primary, max_wait_ms=0)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            service.recommend(0, k=5, deadline_ms=0)
+
+    def test_slow_scorer_misses_query_deadline(self, primary):
+        service = RecommenderService(primary, max_wait_ms=0)
+        injector = FaultInjector()
+        injector.delay("serving.scorer", 0.05)
+        with injector.activate():
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                service.query(Query(users=[0, 1], k=5, deadline_ms=1.0))
+        assert service.stats["deadline_exceeded"] == 1
+
+    def test_slow_scorer_misses_recommend_deadline(self, primary):
+        service = RecommenderService(primary, max_wait_ms=0, cache_size=0)
+        injector = FaultInjector()
+        injector.delay("serving.scorer", 0.05)
+        with injector.activate():
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                service.recommend(3, k=5, deadline_ms=1.0)
+        assert service.stats["deadline_exceeded"] == 1
+
+    def test_generous_deadline_is_met(self, primary):
+        service = RecommenderService(primary, max_wait_ms=0)
+        row = service.recommend(3, k=5, deadline_ms=60_000.0)
+        np.testing.assert_array_equal(
+            row, service.recommend_batch([3], k=5)[0])
+        result = service.query(Query(users=[3], k=5, deadline_ms=60_000.0))
+        np.testing.assert_array_equal(result.items[0], row)
+        assert service.stats["deadline_exceeded"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# serving: load shedding
+# --------------------------------------------------------------------------- #
+class TestLoadShedding:
+    def test_max_queue_validation(self, primary):
+        with pytest.raises(ValueError, match="max_queue"):
+            RecommenderService(primary, max_queue=0)
+
+    def test_full_queue_sheds_instead_of_queueing(self, primary):
+        service = RecommenderService(primary, max_queue=2, max_wait_ms=0,
+                                     cache_size=0)
+        injector = FaultInjector()
+        gate = injector.block("serving.scorer", times=1)
+        with injector.activate():
+            # The leader drains itself into a batch and parks at the gate.
+            leader = threading.Thread(target=service.recommend,
+                                      args=(0,), kwargs={"k": 5})
+            leader.start()
+            assert gate.wait_blocked(timeout=5.0)
+            # Two followers fill the admission queue behind the stuck leader.
+            followers = [threading.Thread(target=service.recommend,
+                                          args=(user,), kwargs={"k": 5})
+                         for user in (1, 2)]
+            for thread in followers:
+                thread.start()
+            for _ in range(1000):
+                if service.health()["queue_depth"] >= 2:
+                    break
+                time.sleep(0.005)
+            assert service.health()["queue_depth"] == 2
+            # The next arrival is refused at the door, not queued.
+            with pytest.raises(ServiceOverloadedError, match="queue is full"):
+                service.recommend(3, k=5)
+            assert service.stats["shed"] == 1
+            gate.release()
+            leader.join(timeout=10.0)
+            for thread in followers:
+                thread.join(timeout=10.0)
+        assert not leader.is_alive()
+        assert not any(thread.is_alive() for thread in followers)
+        assert service.health()["queue_depth"] == 0
+        # Shed requests never block later traffic.
+        service.recommend(3, k=5)
+
+
+# --------------------------------------------------------------------------- #
+# serving: circuit breaking and graceful degradation
+# --------------------------------------------------------------------------- #
+class TestCircuitBreaking:
+    def test_breaker_trips_and_fails_fast(self, primary):
+        clock = FakeClock()
+        service = RecommenderService(primary, failure_threshold=2,
+                                     reset_timeout_s=10.0, clock=clock,
+                                     max_wait_ms=0)
+        injector = FaultInjector()
+        injector.fail("serving.scorer", times=2)
+        with injector.activate():
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    service.recommend_batch([0, 1], k=5)
+            scorer_calls = injector.calls("serving.scorer")
+            with pytest.raises(CircuitOpenError, match="open"):
+                service.recommend_batch([0, 1], k=5)
+            # Fail-fast: the scorer was never reached.
+            assert injector.calls("serving.scorer") == scorer_calls
+            health = service.health()
+            assert health["circuits"]["default"]["state"] == "open"
+            assert health["circuits"]["default"]["opens"] == 1
+            # Past the reset timeout a half-open probe (fault exhausted)
+            # succeeds and closes the circuit.
+            clock.advance(10.0)
+            service.recommend_batch([0, 1], k=5)
+        assert service.health()["circuits"]["default"]["state"] == "closed"
+
+    def test_open_circuit_with_fallback_degrades(self, primary, fallback):
+        clock = FakeClock()
+        service = RecommenderService(primary, failure_threshold=1,
+                                     reset_timeout_s=30.0, clock=clock,
+                                     max_wait_ms=0)
+        service.register_fallback(fallback)
+        injector = FaultInjector()
+        injector.fail("serving.scorer", times=1)
+        with injector.activate():
+            first = service.query(Query(users=[0, 1], k=5))
+            assert first.degraded
+            # The breaker is now open; the service keeps answering from the
+            # fallback without touching the broken scorer.
+            scorer_calls = injector.calls("serving.scorer")
+            second = service.query(Query(users=[0, 1], k=5))
+            assert second.degraded
+            assert injector.calls("serving.scorer") == scorer_calls
+        assert service.stats["degraded"] == 2
+        assert service.health()["circuits"]["default"]["state"] == "open"
+        assert service.health()["fallbacks"] == ["default"]
+
+
+class TestGracefulDegradation:
+    def test_scorer_failure_answers_from_fallback(self, primary, fallback):
+        service = RecommenderService(primary, max_wait_ms=0)
+        service.register_fallback(fallback)
+        injector = FaultInjector()
+        injector.fail("serving.scorer", times=1)
+        query = Query(users=[2, 5], k=5)
+        with injector.activate():
+            degraded = service.query(query)
+        assert degraded.degraded
+        np.testing.assert_array_equal(degraded.items,
+                                      fallback.query(query).items)
+        # The next call reaches the healthy primary again.
+        healthy = service.query(query)
+        assert not healthy.degraded
+        np.testing.assert_array_equal(healthy.items,
+                                      primary.query(query).items)
+        assert service.stats["degraded"] == 1
+
+    def test_degraded_rows_are_never_cached(self, primary, fallback):
+        service = RecommenderService(primary, max_wait_ms=0)
+        service.register_fallback(fallback)
+        injector = FaultInjector()
+        injector.fail("serving.scorer", times=1)
+        with injector.activate():
+            degraded_row = service.recommend(4, k=5)
+        np.testing.assert_array_equal(
+            degraded_row, fallback.query(Query(users=[4], k=5)).items[0])
+        # Same request again: a degraded answer must not have been cached,
+        # so this is a fresh (healthy) kernel pass, not a cache hit.
+        healthy_row = service.recommend(4, k=5)
+        assert service.stats["cache_hits"] == 0
+        np.testing.assert_array_equal(
+            healthy_row, primary.query(Query(users=[4], k=5)).items[0])
+        # Healthy rows do get cached.
+        service.recommend(4, k=5)
+        assert service.stats["cache_hits"] == 1
+
+    def test_without_fallback_the_error_propagates(self, primary):
+        service = RecommenderService(primary, max_wait_ms=0)
+        injector = FaultInjector()
+        injector.fail("serving.scorer", times=1)
+        with injector.activate():
+            with pytest.raises(InjectedFault):
+                service.recommend_batch([0, 1], k=5)
+
+    def test_fallback_requires_artifact(self, primary):
+        service = RecommenderService(primary)
+        with pytest.raises(TypeError, match="ServingArtifact"):
+            service.register_fallback("not-an-artifact")
+
+    def test_health_shape(self, primary, fallback):
+        service = RecommenderService(primary, max_queue=16)
+        service.register_fallback(fallback)
+        health = service.health()
+        assert health["queue_depth"] == 0
+        assert health["max_queue"] == 16
+        assert health["models"] == ["default"]
+        assert health["circuits"] == {}  # no traffic yet
+        assert health["fallbacks"] == ["default"]
+
+
+# --------------------------------------------------------------------------- #
+# serving: micro-batch error propagation (leader failure regression)
+# --------------------------------------------------------------------------- #
+class TestMicroBatchErrorPropagation:
+    def test_scorer_fault_reaches_every_coalesced_waiter(self, primary):
+        service = RecommenderService(primary, max_wait_ms=25.0, cache_size=0)
+        injector = FaultInjector()
+        injector.fail("serving.scorer")  # every kernel pass raises
+        n_threads = 6
+        barrier = threading.Barrier(n_threads)
+        outcomes = {}
+
+        def worker(user):
+            barrier.wait()
+            try:
+                outcomes[user] = service.recommend(user, k=5)
+            except BaseException as error:  # noqa: BLE001 — recorded below
+                outcomes[user] = error
+
+        with injector.activate():
+            threads = [threading.Thread(target=worker, args=(user,))
+                       for user in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        # Nobody hangs, and every waiter — leader and coalesced followers
+        # alike — observes the injected scorer failure.
+        assert not any(thread.is_alive() for thread in threads)
+        assert sorted(outcomes) == list(range(n_threads))
+        for user, outcome in outcomes.items():
+            assert isinstance(outcome, InjectedFault), (user, outcome)
+        # The queue drained: subsequent healthy traffic is unaffected.
+        assert service.health()["queue_depth"] == 0
+        row = service.recommend(0, k=5)
+        np.testing.assert_array_equal(row, service.recommend_batch([0], k=5)[0])
+
+
+# --------------------------------------------------------------------------- #
+# durable artifacts: atomic writes
+# --------------------------------------------------------------------------- #
+class TestAtomicWrite:
+    def test_writes_and_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "out.txt"
+        with atomic_write(target, "w", encoding="utf-8") as handle:
+            handle.write("payload")
+        assert target.read_text(encoding="utf-8") == "payload"
+        assert list(target.parent.iterdir()) == [target]  # no temp residue
+
+    def test_error_in_body_leaves_destination_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with pytest.raises(RuntimeError, match="boom"):
+            with atomic_write(target, "w", encoding="utf-8") as handle:
+                handle.write("partial")
+                raise RuntimeError("boom")
+        assert target.read_text() == "original"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_crash_before_replace_leaves_destination_untouched(self, tmp_path):
+        target = tmp_path / "bundle.npz"
+        save_arrays(target, {"x": np.arange(5)})
+        before = target.read_bytes()
+        injector = FaultInjector()
+        injector.fail("io.atomic_replace", times=1)
+        with injector.activate():
+            with pytest.raises(InjectedFault):
+                save_arrays(target, {"x": np.arange(99)})
+            # Old complete file, no temp litter — and the very next write
+            # (fault exhausted) publishes normally.
+            assert target.read_bytes() == before
+            assert list(tmp_path.iterdir()) == [target]
+            save_arrays(target, {"x": np.arange(7)})
+        np.testing.assert_array_equal(load_arrays(target)["x"], np.arange(7))
+
+    def test_corrupted_staged_payload_is_caught_at_load(self, tmp_path):
+        target = tmp_path / "bundle.npz"
+        injector = FaultInjector(seed=3)
+        injector.corrupt("io.atomic_write", n_bytes=8)
+        with injector.activate():
+            save_arrays(target, {"x": np.arange(64, dtype=np.float64)},
+                        digests=True)
+        with pytest.raises(ArtifactIntegrityError):
+            load_arrays(target)
+
+    def test_save_json_is_atomic(self, tmp_path):
+        target = tmp_path / "doc.json"
+        save_json(target, {"version": 1})
+        injector = FaultInjector()
+        injector.fail("io.atomic_replace", times=1)
+        with injector.activate():
+            with pytest.raises(InjectedFault):
+                save_json(target, {"version": 2})
+        assert load_json(target) == {"version": 1}
+        assert list(tmp_path.iterdir()) == [target]
+
+
+# --------------------------------------------------------------------------- #
+# durable artifacts: digests
+# --------------------------------------------------------------------------- #
+class TestArrayDigests:
+    def test_round_trip_with_required_digests(self, tmp_path):
+        path = tmp_path / "bundle.npz"
+        arrays = {"a": np.arange(12, dtype=np.float64).reshape(3, 4),
+                  "b": np.asarray("meta")}
+        save_arrays(path, arrays, digests=True)
+        loaded = load_arrays(path, digests="require")
+        assert sorted(loaded) == ["a", "b"]  # digest entries stripped
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+
+    def test_require_rejects_undigested_bundles(self, tmp_path):
+        path = save_arrays(tmp_path / "plain.npz", {"a": np.arange(3)})
+        load_arrays(path)  # auto: fine
+        with pytest.raises(ArtifactIntegrityError, match="no integrity digest"):
+            load_arrays(path, digests="require")
+
+    def test_digest_mismatch_detected_and_skippable(self, tmp_path):
+        path = save_arrays(tmp_path / "bundle.npz",
+                           {"a": np.arange(6, dtype=np.float64)}, digests=True)
+        with np.load(path, allow_pickle=False) as data:
+            entries = {key: data[key].copy() for key in data.files}
+        entries["a"] = entries["a"] + 1.0  # tamper; digest left stale
+        np.savez_compressed(path, **entries)
+        with pytest.raises(ArtifactIntegrityError, match="does not match"):
+            load_arrays(path)
+        # An explicit skip still reads the (tampered) tensors.
+        np.testing.assert_array_equal(load_arrays(path, digests="skip")["a"],
+                                      np.arange(6, dtype=np.float64) + 1.0)
+
+    def test_digest_prefix_is_reserved(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_arrays(tmp_path / "x.npz", {"digest.a": np.arange(2)})
+
+    def test_array_digest_covers_dtype_and_shape(self):
+        data = np.arange(6, dtype=np.float64)
+        assert array_digest(data) != array_digest(data.reshape(2, 3))
+        assert array_digest(data) != array_digest(data.astype(np.float32))
+
+
+# --------------------------------------------------------------------------- #
+# durable artifacts: the corruption corpus vs load and publish
+# --------------------------------------------------------------------------- #
+class TestArtifactCorruption:
+    @pytest.fixture()
+    def good_path(self, primary, tmp_path):
+        return primary.save(tmp_path / "good.npz")
+
+    def _corrupt(self, good_path, tmp_path, kind):
+        """Build one corrupted sibling of a valid serving artifact."""
+        data = good_path.read_bytes()
+        path = tmp_path / f"{kind}.npz"
+        if kind == "truncated":
+            path.write_bytes(data[:len(data) // 2])
+        elif kind == "bit_flipped":
+            flipped = bytearray(data)
+            flipped[len(flipped) // 2] ^= 0xFF
+            path.write_bytes(bytes(flipped))
+        elif kind == "wrong_digest":
+            with np.load(good_path, allow_pickle=False) as bundle:
+                entries = {key: bundle[key].copy() for key in bundle.files}
+            name = next(key for key in entries
+                        if not key.startswith("digest.")
+                        and entries[key].dtype.kind == "f"
+                        and entries[key].size)
+            entries[name] = entries[name] + 1.0  # stale digest left in place
+            np.savez_compressed(path, **entries)
+        elif kind == "wrong_version":
+            with np.load(good_path, allow_pickle=False) as bundle:
+                entries = {key: bundle[key].copy() for key in bundle.files}
+            stamped = pack_scalar(99)
+            entries["meta.format_version"] = stamped
+            entries["digest.meta.format_version"] = pack_scalar(
+                array_digest(stamped))  # digests pass; the version must not
+            np.savez_compressed(path, **entries)
+        else:  # pragma: no cover - test bug
+            raise AssertionError(kind)
+        return path
+
+    @pytest.mark.parametrize("kind", ["truncated", "bit_flipped",
+                                      "wrong_digest", "wrong_version"])
+    def test_load_raises_one_clean_error(self, good_path, tmp_path, kind):
+        bad = self._corrupt(good_path, tmp_path, kind)
+        # Never a raw zipfile/zlib/NumPy/KeyError — one typed error.
+        with pytest.raises(ArtifactIntegrityError):
+            ServingArtifact.load(bad)
+
+    @pytest.mark.parametrize("kind", ["truncated", "bit_flipped",
+                                      "wrong_digest", "wrong_version"])
+    def test_publish_path_never_evicts_a_good_version(self, good_path,
+                                                      tmp_path, kind):
+        registry = ModelRegistry()
+        assert registry.publish_path("default", good_path) == 1
+        bad = self._corrupt(good_path, tmp_path, kind)
+        with pytest.raises(ArtifactIntegrityError):
+            registry.publish_path("default", bad)
+        assert registry.version("default") == 1
+        artifact, _, _ = registry.get("default")
+        assert artifact.query(Query(users=[0], k=5)).items.shape == (1, 5)
+
+    def test_service_publish_path_round_trip(self, primary, good_path,
+                                             tmp_path):
+        service = RecommenderService(registry=ModelRegistry(), max_wait_ms=0)
+        service.publish_path("default", good_path)
+        np.testing.assert_array_equal(
+            service.recommend_batch([0, 1], k=5),
+            primary.query(Query(users=[0, 1], k=5)).items)
+        bad = self._corrupt(good_path, tmp_path, "truncated")
+        with pytest.raises(ArtifactIntegrityError):
+            service.publish_path("default", bad)
+        service.recommend_batch([0, 1], k=5)  # still serving version 1
+
+    def test_format_version_is_embedded(self, good_path):
+        arrays = load_arrays(good_path)
+        from repro.serving import ARTIFACT_FORMAT_VERSION
+        from repro.utils.io import unpack_scalar
+        assert unpack_scalar(arrays["meta.format_version"]) \
+            == ARTIFACT_FORMAT_VERSION
+
+
+# --------------------------------------------------------------------------- #
+# crash-safe training checkpoints
+# --------------------------------------------------------------------------- #
+def _make_model(**overrides):
+    settings = dict(embedding_dim=8, n_epochs=4, batch_size=32,
+                    random_state=0)
+    settings.update(overrides)
+    return CML(**settings)
+
+
+def _batches_per_epoch(dataset):
+    """Count ``training.step`` firings of one seeded epoch via the injector."""
+    probe = _make_model(n_epochs=1)
+    counter = FaultInjector()
+    with counter.activate():
+        probe.fit(dataset)
+    return counter.calls("training.step")
+
+
+class TestCheckpointManager:
+    def test_cadence(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every_n_epochs=2)
+        assert [manager.due(epoch) for epoch in range(5)] \
+            == [False, False, True, False, True]
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, every_n_epochs=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, retain=0)
+
+    def test_fit_saves_and_prunes(self, dataset, tmp_path):
+        model = _make_model(n_epochs=5)
+        model.checkpoint = CheckpointManager(tmp_path, every_n_epochs=1,
+                                             retain=2)
+        model.fit(dataset)
+        names = [path.name for path in model.checkpoint.paths()]
+        assert names == ["ckpt_epoch_000004.npz", "ckpt_epoch_000005.npz"]
+
+    def test_latest_good_skips_corrupt_newest(self, dataset, tmp_path):
+        model = _make_model(n_epochs=3)
+        model.checkpoint = CheckpointManager(tmp_path, every_n_epochs=1,
+                                             retain=3)
+        model.fit(dataset)
+        newest = model.checkpoint.paths()[-1]
+        newest.write_bytes(newest.read_bytes()[:256])  # torn write
+        good_path, arrays = model.checkpoint.latest_good()
+        assert good_path.name == "ckpt_epoch_000002.npz"
+        assert arrays["meta.epoch"].item() == 2
+
+    def test_no_usable_checkpoint_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(CheckpointError, match="no usable checkpoint"):
+            manager.latest_good()
+        (tmp_path / "ckpt_epoch_000001.npz").write_bytes(b"garbage")
+        with pytest.raises(CheckpointError, match="all corrupt"):
+            manager.latest_good()
+
+    def test_restore_rejects_wrong_model_class(self, dataset, tmp_path):
+        model = _make_model(n_epochs=2)
+        model.checkpoint = CheckpointManager(tmp_path)
+        model.fit(dataset)
+        other = BPR(embedding_dim=8, n_epochs=2, random_state=0)
+        with pytest.raises(CheckpointError, match="checkpoints a CML"):
+            CheckpointManager(tmp_path).restore(other, dataset)
+
+    def test_restore_rejects_executor_mismatch(self, dataset, tmp_path):
+        model = _make_model(n_epochs=2)
+        model.checkpoint = CheckpointManager(tmp_path)
+        model.fit(dataset)
+        sharded = _make_model(n_epochs=2, engine="fused", executor="sharded",
+                              n_shards=2)
+        with pytest.raises(CheckpointError, match="executor"):
+            CheckpointManager(tmp_path).restore(sharded, dataset)
+
+
+class TestKillMidEpochResume:
+    def test_resumed_run_is_bitwise_identical(self, dataset, tmp_path):
+        n_epochs, kill_epoch = 4, 3
+        batches = _batches_per_epoch(dataset)
+        assert batches > 1
+        baseline = _make_model(n_epochs=n_epochs).fit(dataset)
+
+        # The doomed run: checkpoint every epoch, then die mid-epoch 3.
+        doomed = _make_model(n_epochs=n_epochs)
+        doomed.checkpoint = CheckpointManager(tmp_path, every_n_epochs=1,
+                                              retain=2)
+        injector = FaultInjector()
+        injector.fail("training.step",
+                      nth=(kill_epoch - 1) * batches + 2, times=1)
+        with injector.activate():
+            with pytest.raises(InjectedFault):
+                doomed.fit(dataset)
+
+        # A fresh process restores the last good checkpoint (epoch 2) and
+        # finishes the remaining epochs.
+        resumed = _make_model(n_epochs=n_epochs)
+        done = CheckpointManager(tmp_path).restore(resumed, dataset)
+        assert done == kill_epoch - 1
+        resumed.fit_more(n_epochs - done)
+
+        assert resumed.loss_history_ == pytest.approx(baseline.loss_history_,
+                                                      abs=0)
+        base_params = baseline.get_parameters()
+        resumed_params = resumed.get_parameters()
+        assert sorted(base_params) == sorted(resumed_params)
+        for name, value in base_params.items():
+            np.testing.assert_array_equal(value, resumed_params[name],
+                                          err_msg=name)
+
+    def test_resume_without_checkpoint_state_raises(self):
+        with pytest.raises(RuntimeError, match="must be fitted"):
+            _make_model().fit_more(1)
+
+    def test_checkpoint_save_site_is_injectable(self, dataset, tmp_path):
+        model = _make_model(n_epochs=2)
+        model.checkpoint = CheckpointManager(tmp_path, every_n_epochs=1)
+        injector = FaultInjector()
+        injector.fail("training.checkpoint", nth=2, times=1)
+        with injector.activate():
+            with pytest.raises(InjectedFault):
+                model.fit(dataset)
+        # Epoch 1 was checkpointed before the save of epoch 2 was killed.
+        manager = CheckpointManager(tmp_path)
+        good_path, arrays = manager.latest_good()
+        assert arrays["meta.epoch"].item() == 1

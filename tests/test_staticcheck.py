@@ -65,7 +65,8 @@ class TestSelfCheck:
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
         assert set(ids) >= {"RNG-DISCIPLINE", "DTYPE-DISCIPLINE",
-                            "PICKLE-FREE-IO", "HOGWILD-SAFETY", "SLOW-MARKER"}
+                            "PICKLE-FREE-IO", "HOGWILD-SAFETY", "SLOW-MARKER",
+                            "ATOMIC-IO"}
 
 
 # --------------------------------------------------------------------- #
@@ -78,6 +79,7 @@ class TestRuleFixtures:
         ("PICKLE-FREE-IO", "repro/serving/loader.py", [3, 9]),
         ("HOGWILD-SAFETY", "repro/training/steps.py", [6, 8]),
         ("SLOW-MARKER", "tests/timing_case.py", [7]),
+        ("ATOMIC-IO", "repro/serving/writer.py", [9, 14, 18]),
     ])
     def test_bad_fixture_flagged(self, rule_id, relpath, lines):
         path = FIXTURES / "bad" / relpath
@@ -92,6 +94,7 @@ class TestRuleFixtures:
         "repro/serving/loader.py",
         "repro/training/steps.py",
         "tests/timing_case.py",
+        "repro/serving/writer.py",
     ])
     def test_clean_fixture_passes(self, relpath):
         assert _violations(FIXTURES / "clean" / relpath) == []
@@ -106,6 +109,7 @@ class TestRuleFixtures:
             "repro/serving/loader.py": {"PICKLE-FREE-IO"},
             "repro/training/steps.py": {"HOGWILD-SAFETY"},
             "tests/timing_case.py": {"SLOW-MARKER"},
+            "repro/serving/writer.py": {"ATOMIC-IO"},
         }
         for relpath, rule_ids in expected.items():
             found = _violations(FIXTURES / "bad" / relpath)
@@ -173,6 +177,27 @@ class TestScoping:
                  "    start = time.perf_counter()\n" \
                  "    print(time.perf_counter() - start)\n"
         assert check_source(source, "tests/report_case.py") == []
+
+    def test_atomic_io_only_covers_durable_paths(self):
+        source = "def save(path, text):\n    path.write_text(text)\n"
+        assert check_source(source, "repro/serving/exporter.py") != []
+        assert check_source(source, "repro/training/checkpoint.py") != []
+        assert check_source(source, "repro/eval/metrics.py") == []
+
+    def test_atomic_io_exempts_the_atomic_writer_itself(self):
+        inside = "def atomic_write(path):\n" \
+                 "    path.write_bytes(b'staged')\n"
+        assert check_source(inside, "repro/utils/io.py") == []
+        staged = "import numpy as np\n" \
+                 "from repro.utils.io import atomic_write\n" \
+                 "def save(path, arrays):\n" \
+                 "    with atomic_write(path, 'wb') as handle:\n" \
+                 "        np.savez_compressed(handle, **arrays)\n"
+        assert check_source(staged, "repro/serving/exporter.py") == []
+        read_mode = "def load(path):\n" \
+                    "    with open(path, 'rb') as handle:\n" \
+                    "        return handle.read()\n"
+        assert check_source(read_mode, "repro/serving/exporter.py") == []
 
     def test_syntax_error_becomes_parse_error_violation(self):
         found = check_source("def broken(:\n", "repro/broken.py")
