@@ -1,11 +1,15 @@
 """Micro-benchmark for the serving read path.
 
 Records queries-per-second of full-catalogue top-k recommendation through
-three entry points — the per-user ``recommend`` loop, the batched
-``recommend_batch`` kernel, and the micro-batching
+three in-process entry points — the per-user ``recommend`` loop, the
+batched ``recommend_batch`` kernel, and the micro-batching
 :class:`~repro.serving.service.RecommenderService` front-end (coalesced
 single-user requests against an exported artifact) — for MARS and one
-metric baseline (CML).  Run with::
+metric baseline (CML), plus the **multi-process tier**: a
+:class:`~repro.serving.server.RecommenderServer` with memory-mapped
+workers measured by the closed-loop load generator
+(:func:`~repro.serving.client.run_closed_loop`), reporting achieved q/s
+and p50/p99 latency under concurrent clients.  Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.py
 
@@ -22,9 +26,19 @@ import pytest
 from repro.baselines.cml import CML
 from repro.core import MARS
 from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.serving.client import run_closed_loop
+from repro.serving.query import Query
+from repro.serving.server import RecommenderServer
 from repro.serving.service import RecommenderService
 
 from recording import record_benchmark
+
+#: Closed-loop generator shape: concurrent clients, measured window, and
+#: per-request think time (0 = saturating closed loop).
+_SERVER_WORKERS = 2
+_SERVER_CLIENTS = 4
+_SERVER_DURATION_S = 2.0
+_SERVER_THINK_TIME_S = 0.0
 
 #: Number of single-user queries timed on the loop/service paths (the
 #: batched path ranks every user; queries/s stays comparable because the
@@ -85,7 +99,32 @@ def _throughputs(model, users, k=10, repeats=3):
     }
 
 
-def test_serving_throughput(benchmark, capsys):
+def _server_closed_loop(model, n_users, tmp_path):
+    """q/s + latency percentiles of the multi-process tier under the
+    closed-loop generator (mmap-shared artifact, concurrent clients)."""
+    artifact_path = model.export_serving().save(
+        tmp_path / "bench.artifact.npz", compressed=False)
+
+    def make_query(client_index, turn):
+        return Query(users=[(client_index * 7919 + turn) % n_users], k=10)
+
+    with RecommenderServer(artifact_path,
+                           n_workers=_SERVER_WORKERS) as server:
+        report = run_closed_loop(
+            server.address, make_query, clients=_SERVER_CLIENTS,
+            duration_s=_SERVER_DURATION_S,
+            think_time_s=_SERVER_THINK_TIME_S)
+    return {
+        "server_qps": report["qps"],
+        "p50_ms": report["p50_ms"],
+        "p99_ms": report["p99_ms"],
+        "errors": report["errors"],
+        "workers": _SERVER_WORKERS,
+        "clients": _SERVER_CLIENTS,
+    }
+
+
+def test_serving_throughput(benchmark, capsys, tmp_path):
     dataset, models = _fit_models()
     users = np.arange(dataset.train.n_users)
 
@@ -109,6 +148,16 @@ def test_serving_throughput(benchmark, capsys):
                   f"{stats['service_qps']:>12,.0f} "
                   f"{stats['batch_speedup']:>7.1f}x "
                   f"{stats['service_speedup']:>9.1f}x")
+
+        server_stats = _server_closed_loop(mars, dataset.train.n_users,
+                                           tmp_path)
+        recorded["server/MARS"] = server_stats
+        print(f"server closed loop (MARS, {server_stats['workers']} workers, "
+              f"{server_stats['clients']} clients): "
+              f"{server_stats['server_qps']:,.0f} q/s, "
+              f"p50 {server_stats['p50_ms']:.2f} ms, "
+              f"p99 {server_stats['p99_ms']:.2f} ms, "
+              f"{server_stats['errors']} errors")
 
     record_benchmark(
         "serving_throughput", recorded,

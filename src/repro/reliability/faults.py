@@ -13,6 +13,10 @@ site                      where it fires
 ``serving.scorer``        :class:`~repro.serving.service.RecommenderService`,
                           immediately before every primary scoring pass
                           (micro-batched, batched and ``query()`` paths)
+``serving.worker``        :func:`repro.serving.worker.worker_main`, before
+                          each query frame is scored (``REPRO_FAULTS`` is
+                          inherited through the worker fork, so this
+                          perturbs the multi-process tier per-worker)
 ``training.step``         :class:`~repro.training.loop.TrainingLoop`, before
                           every ``train_step`` call (kill-mid-epoch tests)
 ``training.checkpoint``   :class:`~repro.training.checkpoint.CheckpointManager`

@@ -20,6 +20,12 @@ subsystem has three layers:
    :class:`ModelRegistry` of named, versioned artifacts with atomic
    hot-swap, micro-batch coalescing of single-user requests (size- and
    latency-bounded) and an LRU response cache invalidated on swap.
+4. **Server** — :class:`RecommenderServer` (:mod:`repro.serving.server`),
+   the multi-process tier: an asyncio socket front-end over a pool of
+   forked workers that memory-map the published artifact files (one OS
+   page-cache copy for N processes), with deadlines, load shedding,
+   worker-death re-dispatch and rolling hot-swap.  :class:`ServingClient`
+   / :func:`run_closed_loop` are the matching client and load generator.
 
 Quick example
 -------------
@@ -51,6 +57,9 @@ _LAZY = {
     "ModelRegistry": "repro.serving.service",
     "RecommenderService": "repro.serving.service",
     "DEFAULT_MODEL": "repro.serving.service",
+    "RecommenderServer": "repro.serving.server",
+    "ServingClient": "repro.serving.client",
+    "run_closed_loop": "repro.serving.client",
     "SCORER_FAMILIES": "repro.serving.scorers",
     "get_family_scorer": "repro.serving.scorers",
     "ArtifactIntegrityError": "repro.reliability.errors",

@@ -31,7 +31,13 @@ from repro.reliability.errors import ArtifactIntegrityError
 from repro.serving.kernel import broadcast_candidates, encode_seen_keys, run_query
 from repro.serving.query import Query, QueryResult
 from repro.serving.scorers import get_family_scorer
-from repro.utils.io import load_arrays, pack_scalar, save_arrays, unpack_scalar
+from repro.utils.io import (
+    is_memory_mapped,
+    load_arrays,
+    pack_scalar,
+    save_arrays,
+    unpack_scalar,
+)
 
 _TENSOR_PREFIX = "tensor."
 _META_PREFIX = "meta."
@@ -116,6 +122,22 @@ class ServingArtifact:
                           item_matrix: np.ndarray) -> np.ndarray:
         return self._scorer(self.tensors, users, item_matrix)
 
+    def _validate_users(self, users: np.ndarray) -> None:
+        """Reject ids outside ``[0, n_users)`` with a clean error.
+
+        Without this, a negative id silently wraps to another user's
+        embedding row *and* masks the wrong CSR row in ``exclude_seen``,
+        while an over-range id surfaces as a raw IndexError from deep
+        inside a family scorer.
+        """
+        if users.size == 0:
+            return
+        if int(users.min()) < 0 or int(users.max()) >= self.n_users:
+            bad = users[(users < 0) | (users >= self.n_users)][:5]
+            raise ValueError(
+                f"user ids out of range for this artifact "
+                f"(n_users={self.n_users}): {bad.tolist()}")
+
     def score_items_batch(self, users: Sequence[int],
                           item_matrix: np.ndarray) -> np.ndarray:
         """Scores for a user batch against per-user candidate lists.
@@ -126,6 +148,7 @@ class ServingArtifact:
         an artifact in place of the live model.
         """
         users = np.asarray(users, dtype=np.int64)
+        self._validate_users(users)
         return self._score_candidates(users,
                                       broadcast_candidates(users, item_matrix))
 
@@ -135,7 +158,12 @@ class ServingArtifact:
         return self.score_items_batch([user], items[None, :])[0]
 
     def query(self, query: Query) -> QueryResult:
-        """Execute a :class:`Query` against this artifact."""
+        """Execute a :class:`Query` against this artifact.
+
+        User ids outside ``[0, n_users)`` raise :class:`ValueError` before
+        any scoring happens (see :meth:`_validate_users`).
+        """
+        self._validate_users(query.users)
         return run_query(query, self._score_candidates, self.n_items,
                          seen=self._seen, seen_keys=self._seen_keys)
 
@@ -157,13 +185,19 @@ class ServingArtifact:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save(self, path: Union[str, Path]) -> Path:
-        """Persist the artifact to one compressed, pickle-free ``.npz``.
+    def save(self, path: Union[str, Path], *,
+             compressed: bool = True) -> Path:
+        """Persist the artifact to one pickle-free ``.npz``.
 
         The write is atomic (temp file + fsync + rename) and embeds a
         format-version field plus a SHA-256 digest per entry, so
         :meth:`load` can reject truncated or bit-flipped files with a
         clean :class:`ArtifactIntegrityError`.
+
+        ``compressed=False`` stores the tensors raw (``ZIP_STORED``),
+        which is what lets serving workers :meth:`load` the file with
+        ``mmap_mode="r"`` and share one OS page-cache copy of the
+        read-only tensors across N processes.
         """
         arrays: Dict[str, np.ndarray] = {
             _META_PREFIX + "format_version": pack_scalar(ARTIFACT_FORMAT_VERSION),
@@ -177,10 +211,11 @@ class ServingArtifact:
             arrays[_TENSOR_PREFIX + name] = tensor
         if self._seen is not None:
             arrays["seen_indptr"], arrays["seen_indices"] = self._seen
-        return save_arrays(path, arrays, digests=True)
+        return save_arrays(path, arrays, digests=True, compressed=compressed)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "ServingArtifact":
+    def load(cls, path: Union[str, Path], *,
+             mmap_mode: Optional[str] = None) -> "ServingArtifact":
         """Restore an artifact written by :meth:`save`.
 
         Integrity is verified before anything is scored: embedded digests
@@ -189,8 +224,15 @@ class ServingArtifact:
         format version raise :class:`ArtifactIntegrityError`.  Files that
         are valid bundles but not serving artifacts at all (e.g. plain
         parameter files) raise ``KeyError``.
+
+        ``mmap_mode="r"`` memory-maps the tensors of a bundle saved with
+        ``compressed=False`` instead of copying them into the heap — the
+        open path of the multi-process serving workers (compressed bundles
+        silently fall back to an eager load; see
+        :func:`repro.utils.io.load_arrays`).  Digest verification runs
+        either way.
         """
-        arrays = load_arrays(path, digests="auto")
+        arrays = load_arrays(path, digests="auto", mmap_mode=mmap_mode)
         try:
             family = unpack_scalar(arrays[_META_PREFIX + "family"])
             n_users = unpack_scalar(arrays[_META_PREFIX + "n_users"])
@@ -223,6 +265,12 @@ class ServingArtifact:
         """Total tensor payload in bytes (excluding the seen CSR)."""
         return int(sum(tensor.nbytes for tensor in self.tensors.values()))
 
+    @property
+    def memory_mapped(self) -> bool:
+        """Whether every scoring tensor reads from a shared file mapping."""
+        return bool(self.tensors) and all(
+            is_memory_mapped(tensor) for tensor in self.tensors.values())
+
     def __repr__(self) -> str:
         seen = "with seen CSR" if self.has_seen else "no seen CSR"
         return (f"ServingArtifact(family={self.family!r}, "
@@ -232,7 +280,15 @@ class ServingArtifact:
 
 
 def _freeze(array: np.ndarray) -> np.ndarray:
-    """Copy an array and make the copy read-only."""
+    """Copy an array and make the copy read-only.
+
+    Read-only *memory-mapped* arrays pass through untouched: copying one
+    would pull a private heap copy of exactly the tensors the mmap serving
+    path exists to share between worker processes, and a mode-``"r"`` map
+    is already immutable through every view.
+    """
+    if not array.flags.writeable and is_memory_mapped(array):
+        return array
     frozen = np.array(array, copy=True)
     frozen.flags.writeable = False
     return frozen

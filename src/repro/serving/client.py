@@ -1,0 +1,163 @@
+"""Blocking client for :class:`~repro.serving.server.RecommenderServer`.
+
+:class:`ServingClient` owns one TCP connection and speaks the frame
+protocol of :mod:`repro.serving.wire`: it encodes a :class:`Query`, sends
+it, and decodes the ``result`` frame back into a :class:`QueryResult` —
+or re-raises the server-side exception carried by an ``error`` frame
+(:class:`DeadlineExceededError`, :class:`ServiceOverloadedError`,
+``KeyError``/``ValueError`` from validation, ...).  One connection serves
+any number of sequential requests; concurrency = one client per thread.
+
+:func:`run_closed_loop` is the measurement harness the throughput
+benchmark uses: N threads, each with its own connection, each running the
+classic closed loop (issue, wait, think, repeat) for a fixed duration,
+reporting achieved q/s and latency percentiles.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serving import wire
+from repro.serving.query import Query, QueryResult
+
+Address = Tuple[str, int]
+
+
+class ServingClient:
+    """One blocking connection to a :class:`RecommenderServer`."""
+
+    def __init__(self, address: Address,
+                 timeout_s: Optional[float] = 60.0) -> None:
+        self._sock = socket.create_connection(address, timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def query(self, query: Union[Query, Sequence[int], np.ndarray],
+              model: Optional[str] = None, **query_kwargs) -> QueryResult:
+        """Execute a query and return its :class:`QueryResult`.
+
+        Accepts a ready :class:`Query`, or raw user ids plus ``Query``
+        keyword arguments (``k``, ``exclude_seen``, ``deadline_ms``, ...)
+        for convenience.  Server-side failures re-raise locally with their
+        original exception type where one exists.
+        """
+        if not isinstance(query, Query):
+            query = Query(users=query, **query_kwargs)
+        elif query_kwargs:
+            raise TypeError("pass Query kwargs only with raw user ids")
+        with self._lock:
+            wire.send_frame(self._sock, wire.encode_query(query, model))
+            blob = wire.recv_frame(self._sock)
+        kind, meta, tensors = wire.decode_frame(blob)
+        if kind == "error":
+            wire.raise_remote_error(meta)
+        if kind != "result":
+            raise wire.ProtocolError(
+                f"server answered {kind!r} to a query frame")
+        return wire.decode_result(meta, tensors)
+
+    def ping(self) -> dict:
+        """Server status: model versions, live workers, counters."""
+        with self._lock:
+            wire.send_frame(self._sock, wire.encode_frame("ping", {}))
+            blob = wire.recv_frame(self._sock)
+        kind, meta, _ = wire.decode_frame(blob)
+        if kind == "error":
+            wire.raise_remote_error(meta)
+        return meta
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_closed_loop(address: Address,
+                    make_query: Callable[[int, int], Query], *,
+                    clients: int = 4, duration_s: float = 2.0,
+                    think_time_s: float = 0.0,
+                    model: Optional[str] = None) -> Dict[str, float]:
+    """Closed-loop load generation against a running server.
+
+    ``clients`` threads each open their own connection and run the
+    classic closed loop — issue ``make_query(client_index, iteration)``,
+    wait for the answer, sleep ``think_time_s``, repeat — until
+    ``duration_s`` elapses.
+
+    Returns
+    -------
+    dict
+        ``qps`` (completed queries / wall time), latency percentiles
+        ``p50_ms`` / ``p90_ms`` / ``p99_ms`` and ``mean_ms`` over
+        successful requests, plus ``requests``, ``errors`` (failed
+        requests, e.g. shed or deadline-exceeded — never raised out of
+        the loop), ``clients`` and ``duration_s`` (measured wall time).
+    """
+    latencies: list = [None] * clients
+    errors = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+    stop_at = [0.0]  # set before the barrier releases the clients
+
+    def client_loop(index: int) -> None:
+        own_latencies = []
+        with ServingClient(address) as client:
+            barrier.wait()
+            iteration = 0
+            while time.monotonic() < stop_at[0]:
+                query = make_query(index, iteration)
+                iteration += 1
+                begin = time.monotonic()
+                try:
+                    client.query(query, model=model)
+                except Exception:
+                    errors[index] += 1
+                else:
+                    own_latencies.append(time.monotonic() - begin)
+                if think_time_s:
+                    time.sleep(think_time_s)
+        latencies[index] = own_latencies
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    stop_at[0] = time.monotonic() + float(duration_s)
+    barrier.wait()  # all connections are up; the measured window begins
+    started = time.monotonic()
+    for thread in threads:
+        thread.join()
+    elapsed = max(time.monotonic() - started, 1e-9)
+
+    merged = np.array(
+        [value for chunk in latencies if chunk for value in chunk],
+        dtype=np.float64)
+    completed = int(merged.size)
+
+    def percentile(q: float) -> float:
+        return float(np.percentile(merged, q) * 1000.0) if completed else 0.0
+    return {
+        "qps": completed / elapsed,
+        "p50_ms": percentile(50),
+        "p90_ms": percentile(90),
+        "p99_ms": percentile(99),
+        "mean_ms": float(merged.mean() * 1000.0) if completed else 0.0,
+        "requests": completed + sum(errors),
+        "errors": sum(errors),
+        "clients": clients,
+        "duration_s": elapsed,
+    }

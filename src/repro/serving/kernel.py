@@ -112,6 +112,19 @@ def _rank_rows(scores: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
             np.take_along_axis(part_scores, order, axis=1))
 
 
+def _mask_unrankable(items: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    """Replace items ranked at ``-inf`` with the ``-1`` sentinel, in place.
+
+    A ``-inf`` slot means masking (``exclude_seen``/``exclude_items``) left
+    the user with fewer than ``k`` rankable items; the historical behaviour
+    leaked the *masked* items into those slots as if they were
+    recommendations.  Masked slots always sort behind every finite score,
+    so the sentinels trail the real recommendations.
+    """
+    items[np.isneginf(scores)] = -1
+    return items
+
+
 def _empty_result(n_users: int) -> QueryResult:
     return QueryResult(items=np.empty((n_users, 0), dtype=np.int64),
                        scores=np.empty((n_users, 0), dtype=np.float64))
@@ -195,7 +208,8 @@ def _run_full_catalogue(query: Query, scorer: Scorer, n_items: int,
             blocked = query.exclude_items
             scores[:, blocked[(blocked >= 0) & (blocked < n_items)]] = -np.inf
         top_items[start:stop], top_scores[start:stop] = _rank_rows(scores, k)
-    return QueryResult(items=top_items, scores=top_scores)
+    return QueryResult(items=_mask_unrankable(top_items, top_scores),
+                       scores=top_scores)
 
 
 def _run_candidates(query: Query, scorer: Scorer, n_items: int,
@@ -230,5 +244,6 @@ def _run_candidates(query: Query, scorer: Scorer, n_items: int,
 
     k = min(query.k, candidates.shape[1])
     columns, top_scores = _rank_rows(scores, k)
-    return QueryResult(items=np.take_along_axis(candidates, columns, axis=1),
+    items = np.take_along_axis(candidates, columns, axis=1)
+    return QueryResult(items=_mask_unrankable(items, top_scores),
                        scores=top_scores)

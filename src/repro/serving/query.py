@@ -23,7 +23,9 @@ class Query:
     Parameters
     ----------
     users:
-        User ids, shape ``(U,)`` (any integer sequence; normalised to int64).
+        User ids, shape ``(U,)`` (any integer sequence; normalised to
+        int64).  Ids must be non-negative — negative ids are rejected at
+        construction instead of silently wrapping to other users' rows.
     k:
         Number of recommendations per user.  ``k <= 0`` yields an empty
         ``(U, 0)`` result; ``k=None`` switches to *score mode* — the scores
@@ -58,6 +60,12 @@ class Query:
         users = np.atleast_1d(np.asarray(self.users, dtype=np.int64))
         if users.ndim != 1:
             raise ValueError(f"users must be 1-D, got shape {users.shape}")
+        if users.size and int(users.min()) < 0:
+            bad = users[users < 0][:5]
+            raise ValueError(
+                f"user ids must be non-negative, got {bad.tolist()} — a "
+                "negative id would silently wrap to another user's row "
+                "through NumPy fancy indexing")
         object.__setattr__(self, "users", users)
         if self.k is not None:
             object.__setattr__(self, "k", int(self.k))
@@ -89,6 +97,12 @@ class QueryResult:
     ``scores[i]`` their scores.  For a score-mode query (``k=None``)
     ``items`` is the broadcast ``(U, C)`` candidate matrix and ``scores``
     the candidate scores in the same order.
+
+    When masking (``exclude_seen``/``exclude_items``) leaves a user with
+    fewer than ``k`` rankable items, the unfillable trailing slots hold the
+    sentinel ``items == -1`` with ``scores == -inf`` — *no recommendable
+    item* — instead of leaking the masked items back as recommendations.
+    Sentinel slots always trail the real recommendations.
 
     ``degraded=True`` marks an answer produced by a *fallback* artifact
     (see ``RecommenderService.register_fallback``) because the primary

@@ -117,7 +117,12 @@ class ModelRegistry:
 
     def version(self, name: str) -> int:
         with self._lock:
-            return self._entries[name][1]
+            try:
+                return self._entries[name][1]
+            except KeyError:
+                raise KeyError(
+                    f"no model named {name!r} is published; available: "
+                    f"{sorted(self._entries)}") from None
 
     def names(self) -> List[str]:
         with self._lock:
@@ -507,6 +512,10 @@ class RecommenderService:
             self._bump("micro_batches")
             self._bump("coalesced", len(requests))
             for request, row in zip(requests, result.items):
+                # Copy the row out of the (U, k) batch array: caching (or
+                # handing a caller) a view would pin the whole batch
+                # allocation for as long as any single row lives.
+                row = row.copy()
                 if not result.degraded:  # degraded rows are never cached
                     self._cache.put((name, version, request.user, k,
                                      exclude_seen), row)

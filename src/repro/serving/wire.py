@@ -1,0 +1,330 @@
+"""The pickle-free wire format of the multi-process serving tier.
+
+One frame codec serves both hops of the tier:
+
+- **client ↔ server** over a TCP stream (sync socket helpers for the
+  blocking :class:`~repro.serving.client.ServingClient`, asyncio
+  reader/writer helpers for the server front-end), and
+- **server ↔ worker** over ``multiprocessing.Connection.send_bytes`` /
+  ``recv_bytes`` (the already length-delimited pipe transport), so a
+  request is encoded once at the socket and relayed to a worker verbatim.
+
+Frame layout (all integers big-endian)::
+
+    MAGIC b"RSV1" | u32 header_len | u32 payload_len | header | payload
+
+The header is a UTF-8 JSON object carrying the frame ``kind`` plus
+scalar metadata, and a ``tensors`` manifest — ``[{name, dtype, shape}]``
+in payload order — describing the raw little-endian array bytes
+concatenated in the payload.  NumPy arrays therefore cross the wire as
+``dtype.str`` + shape + ``tobytes()``: no pickle anywhere (malicious
+frames cannot execute code), and decoding is a zero-copy
+``np.frombuffer`` per tensor.  Only numeric/bool dtypes (NumPy kinds
+``biufc``) are accepted on either side.
+
+Frame kinds: ``query`` / ``result`` / ``error`` carry the request
+traffic; ``ping`` / ``pong``, ``reload`` / ``ready`` and ``shutdown``
+manage the worker lifecycle (see :mod:`repro.serving.server`).
+
+Errors cross the wire by *name*: an ``error`` frame records the
+exception's type name and message, and :func:`raise_remote_error`
+re-raises the matching class on the receiving side — reliability types
+(:class:`DeadlineExceededError`, :class:`ServiceOverloadedError`, ...)
+and common builtins map back exactly; anything unknown degrades to
+:class:`RemoteServingError`.
+
+Oversized frames (> :data:`MAX_FRAME_BYTES`) are rejected before any
+allocation, bounding what a misbehaving peer can make either side buffer.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.reliability.errors import (
+    ArtifactIntegrityError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReliabilityError,
+    ServiceOverloadedError,
+)
+from repro.serving.query import Query, QueryResult
+
+#: Frame preamble: magic, then big-endian u32 header/payload lengths.
+MAGIC = b"RSV1"
+_PREFIX = struct.Struct(">4sII")
+
+#: Hard cap on header + payload bytes, enforced before allocation on both
+#: encode and decode.  64 MB comfortably fits any sane batch (a 10k-user
+#: k=100 int64 result is 8 MB) while bounding a malicious length prefix.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: NumPy dtype *kinds* allowed on the wire: bool, (un)signed int, float,
+#: complex.  Object/str/void dtypes are rejected outright.
+_SAFE_DTYPE_KINDS = frozenset("biufc")
+
+#: Exception types that cross the wire by name.  The serving tier's whole
+#: reliability taxonomy plus the builtins its validation paths raise.
+ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        ReliabilityError,
+        DeadlineExceededError,
+        ServiceOverloadedError,
+        CircuitOpenError,
+        ArtifactIntegrityError,
+        KeyError,
+        ValueError,
+        TypeError,
+        RuntimeError,
+    )
+}
+
+
+class RemoteServingError(RuntimeError):
+    """A server-side failure whose type has no local equivalent."""
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream is not a well-formed serving frame."""
+
+
+Frame = Tuple[str, dict, Dict[str, np.ndarray]]
+
+
+# --------------------------------------------------------------------- #
+# encode / decode
+# --------------------------------------------------------------------- #
+def encode_frame(kind: str, meta: Optional[Mapping] = None,
+                 tensors: Optional[Mapping[str, np.ndarray]] = None) -> bytes:
+    """Serialise ``(kind, meta, tensors)`` into one wire frame."""
+    header: Dict[str, object] = {"kind": str(kind)}
+    if meta:
+        for key in meta:
+            if key in ("kind", "tensors"):
+                raise ValueError(f"meta key {key!r} is reserved")
+        header.update(meta)
+    manifest = []
+    chunks = []
+    for name, array in (tensors or {}).items():
+        array = np.ascontiguousarray(array)
+        if array.dtype.kind not in _SAFE_DTYPE_KINDS:
+            raise TypeError(
+                f"tensor {name!r} has non-numeric dtype {array.dtype} — "
+                "only bool/int/float/complex arrays cross the wire")
+        # Normalise to little-endian so both sides agree byte-for-byte.
+        dtype = array.dtype.newbyteorder("<")
+        array = array.astype(dtype, copy=False)
+        manifest.append({"name": str(name), "dtype": dtype.str,
+                         "shape": list(array.shape)})
+        chunks.append(array.tobytes())
+    header["tensors"] = manifest
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    payload = b"".join(chunks)
+    if len(header_bytes) + len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame of {len(header_bytes) + len(payload)} bytes exceeds "
+            f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+    return (_PREFIX.pack(MAGIC, len(header_bytes), len(payload))
+            + header_bytes + payload)
+
+
+def decode_frame(blob: bytes) -> Frame:
+    """Parse one wire frame back into ``(kind, meta, tensors)``."""
+    if len(blob) < _PREFIX.size:
+        raise ProtocolError(f"frame truncated at {len(blob)} bytes")
+    magic, header_len, payload_len = _PREFIX.unpack_from(blob)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if header_len + payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {header_len + payload_len} bytes exceeds "
+            f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+    if len(blob) != _PREFIX.size + header_len + payload_len:
+        raise ProtocolError(
+            f"frame length mismatch: prefix promises "
+            f"{_PREFIX.size + header_len + payload_len} bytes, got {len(blob)}")
+    try:
+        header = json.loads(blob[_PREFIX.size:_PREFIX.size + header_len])
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from None
+    if not isinstance(header, dict) or "kind" not in header:
+        raise ProtocolError("frame header is not an object with a 'kind'")
+    kind = str(header.pop("kind"))
+    manifest = header.pop("tensors", [])
+    payload = memoryview(blob)[_PREFIX.size + header_len:]
+    tensors: Dict[str, np.ndarray] = {}
+    offset = 0
+    for entry in manifest:
+        try:
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(dim) for dim in entry["shape"])
+            name = str(entry["name"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad tensor manifest entry {entry!r}: "
+                                f"{exc}") from None
+        if dtype.kind not in _SAFE_DTYPE_KINDS:
+            raise ProtocolError(
+                f"tensor {name!r} declares unsafe dtype {dtype}")
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(payload):
+            raise ProtocolError(
+                f"tensor {name!r} overruns the frame payload")
+        tensors[name] = np.frombuffer(
+            payload[offset:offset + nbytes], dtype=dtype).reshape(shape)
+        offset += nbytes
+    if offset != len(payload):
+        raise ProtocolError(
+            f"{len(payload) - offset} trailing payload bytes after the "
+            "declared tensors")
+    return kind, header, tensors
+
+
+# --------------------------------------------------------------------- #
+# domain frames
+# --------------------------------------------------------------------- #
+def encode_query(query: Query, model: Optional[str] = None) -> bytes:
+    """Encode a :class:`Query` (plus the target model name) as a frame."""
+    meta = {
+        "model": model,
+        "k": query.k,
+        "exclude_seen": bool(query.exclude_seen),
+        "deadline_ms": query.deadline_ms,
+    }
+    tensors: Dict[str, np.ndarray] = {"users": query.users}
+    if query.candidates is not None:
+        tensors["candidates"] = query.candidates
+    if query.exclude_items is not None:
+        tensors["exclude_items"] = query.exclude_items
+    return encode_frame("query", meta, tensors)
+
+
+def decode_query(meta: dict,
+                 tensors: Mapping[str, np.ndarray]) -> Tuple[Query, Optional[str]]:
+    """Rebuild the :class:`Query` of a decoded ``query`` frame.
+
+    Runs ``Query.__post_init__`` validation, so malformed requests (negative
+    users, bad deadline, score-mode without candidates) fail here with the
+    same ``ValueError`` an in-process caller would see.
+    """
+    if "users" not in tensors:
+        raise ProtocolError("query frame is missing the 'users' tensor")
+    query = Query(
+        users=tensors["users"],
+        k=meta.get("k", 10),
+        exclude_seen=bool(meta.get("exclude_seen", True)),
+        candidates=tensors.get("candidates"),
+        exclude_items=tensors.get("exclude_items"),
+        deadline_ms=meta.get("deadline_ms"),
+    )
+    model = meta.get("model")
+    return query, (None if model is None else str(model))
+
+
+def encode_result(result: QueryResult) -> bytes:
+    """Encode a :class:`QueryResult` as a ``result`` frame."""
+    return encode_frame("result", {"degraded": bool(result.degraded)},
+                        {"items": result.items, "scores": result.scores})
+
+
+def decode_result(meta: dict, tensors: Mapping[str, np.ndarray]) -> QueryResult:
+    """Rebuild the :class:`QueryResult` of a decoded ``result`` frame."""
+    if "items" not in tensors or "scores" not in tensors:
+        raise ProtocolError("result frame is missing items/scores tensors")
+    return QueryResult(items=tensors["items"], scores=tensors["scores"],
+                       degraded=bool(meta.get("degraded", False)))
+
+
+def encode_error(error: BaseException) -> bytes:
+    """Encode an exception as an ``error`` frame (type name + message)."""
+    # KeyError repr()s its message; unwrap the bare argument instead.
+    if type(error) is KeyError and error.args:
+        message = str(error.args[0])
+    else:
+        message = str(error)
+    return encode_frame("error", {"error": type(error).__name__,
+                                  "message": message})
+
+
+def raise_remote_error(meta: dict) -> None:
+    """Re-raise the exception carried by a decoded ``error`` frame.
+
+    Known type names (:data:`ERROR_TYPES`) raise the matching local class;
+    unknown ones raise :class:`RemoteServingError` with the original type
+    name prefixed, so no information is dropped.
+    """
+    name = str(meta.get("error", "RemoteServingError"))
+    message = str(meta.get("message", ""))
+    cls = ERROR_TYPES.get(name)
+    if cls is not None:
+        raise cls(message)
+    raise RemoteServingError(f"{name}: {message}")
+
+
+# --------------------------------------------------------------------- #
+# transports
+# --------------------------------------------------------------------- #
+def send_frame(sock: socket.socket, blob: bytes) -> None:
+    """Blocking send of one already-encoded frame over a stream socket."""
+    sock.sendall(blob)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Blocking receive of exactly one frame from a stream socket.
+
+    Raises :class:`ConnectionError` on a cleanly closed peer (EOF before
+    any bytes) and :class:`ProtocolError` on garbage or oversized prefixes.
+    """
+    prefix = _recv_exact(sock, _PREFIX.size)
+    magic, header_len, payload_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if header_len + payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {header_len + payload_len}-byte frame "
+            f"(> MAX_FRAME_BYTES={MAX_FRAME_BYTES})")
+    return prefix + _recv_exact(sock, header_len + payload_len)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({remaining} of {count} "
+                "bytes outstanding)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+async def read_frame_async(reader) -> bytes:
+    """Read one frame from an :class:`asyncio.StreamReader`."""
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:  # clean EOF between frames
+            raise ConnectionError("connection closed") from None
+        raise ProtocolError("connection closed mid-frame") from None
+    magic, header_len, payload_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if header_len + payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {header_len + payload_len}-byte frame "
+            f"(> MAX_FRAME_BYTES={MAX_FRAME_BYTES})")
+    try:
+        body = await reader.readexactly(header_len + payload_len)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return prefix + body

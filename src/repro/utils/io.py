@@ -9,6 +9,16 @@ per-tensor SHA-256 digests (``digests=True`` on :func:`save_arrays`) that
 bit-flipped or digest-mismatching bundle surfaces as a single clean
 :class:`~repro.reliability.errors.ArtifactIntegrityError` instead of a raw
 ``zipfile``/``zlib``/NumPy error from deep inside a consumer.
+
+Bundles written with ``compressed=False`` store their members raw
+(``ZIP_STORED``), which makes them **memory-mappable**:
+``load_arrays(path, mmap_mode="r")`` resolves each member's absolute data
+offset inside the zip container and hands back ``np.memmap`` views, so N
+serving worker processes opening the same artifact file share one
+page-cache copy of the read-only tensors instead of N private heap
+copies.  Compressed members (and 0-d/empty arrays, which cannot be
+mapped) silently fall back to an eager in-heap load;
+:func:`is_memory_mapped` reports which mode an array actually got.
 """
 
 from __future__ import annotations
@@ -96,12 +106,17 @@ def array_digest(array: np.ndarray) -> str:
 
 
 def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray], *,
-                digests: bool = False) -> Path:
-    """Save a mapping of named arrays to a compressed ``.npz`` file.
+                digests: bool = False, compressed: bool = True) -> Path:
+    """Save a mapping of named arrays to an ``.npz`` file.
 
     With ``digests=True`` a ``digest.<name>`` SHA-256 entry is embedded per
     tensor, letting :func:`load_arrays` (with ``digests="require"``) detect
     bit-flips that survive the zip container's own CRC.
+
+    ``compressed=False`` stores members raw (``ZIP_STORED``), trading disk
+    size for a bundle whose tensors :func:`load_arrays` can memory-map —
+    the layout the multi-process serving tier wants, so worker processes
+    share one page-cache copy of the artifact.
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -116,13 +131,79 @@ def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray], *,
         for key in list(payload):
             payload[DIGEST_PREFIX + key] = pack_scalar(
                 array_digest(payload[key]))
+    writer = np.savez_compressed if compressed else np.savez
     with atomic_write(path, "wb") as handle:
-        np.savez_compressed(handle, **payload)
+        writer(handle, **payload)
     return path
 
 
-def load_arrays(path: PathLike, *,
-                digests: str = "auto") -> Dict[str, np.ndarray]:
+def is_memory_mapped(array: np.ndarray) -> bool:
+    """Whether ``array`` reads its data from a file mapping (zero-heap-copy).
+
+    Walks the view chain, so int64 views of a mapped CSR and frozen
+    pass-throughs of :func:`load_arrays(..., mmap_mode="r")` entries report
+    ``True`` just like the raw ``np.memmap`` they alias.
+    """
+    base = array
+    while base is not None:
+        if isinstance(base, np.memmap):
+            return True
+        base = getattr(base, "base", None)
+    return False
+
+
+def _mmap_npz_members(path: Path, mmap_mode: str) -> Dict[str, np.ndarray]:
+    """Memory-map every mappable member of an ``.npz`` bundle.
+
+    A member is mappable when it is stored raw (``ZIP_STORED``), carries a
+    format-1.0/2.0 ``.npy`` header, has a non-object dtype and a non-empty
+    ``ndim >= 1`` shape.  Non-mappable members are simply absent from the
+    returned mapping; the caller loads them eagerly.
+    """
+    entries: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        infos = list(archive.infolist())
+    with open(path, "rb") as handle:
+        for info in infos:
+            if info.compress_type != zipfile.ZIP_STORED:
+                continue
+            # Absolute data offset = local header offset + fixed 30-byte
+            # local header + name + extra (the *local* lengths, which may
+            # differ from the central directory's).
+            handle.seek(info.header_offset)
+            local = handle.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                raise ArtifactIntegrityError(
+                    f"corrupt or unreadable array bundle {path}: bad local "
+                    f"zip header for member {info.filename!r}")
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            try:
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_2_0(handle)
+                else:
+                    continue
+            except ValueError:
+                continue
+            if dtype.hasobject or 0 in shape or shape == ():
+                continue
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            entries[name] = np.memmap(
+                path, dtype=dtype, mode=mmap_mode, offset=handle.tell(),
+                shape=shape, order="F" if fortran else "C")
+    return entries
+
+
+def load_arrays(path: PathLike, *, digests: str = "auto",
+                mmap_mode: Optional[str] = None) -> Dict[str, np.ndarray]:
     """Load a mapping of named arrays previously written by :func:`save_arrays`.
 
     ``digests`` controls integrity verification:
@@ -133,6 +214,13 @@ def load_arrays(path: PathLike, *,
       a digest; undigested bundles are rejected.
     - ``"skip"``: no verification (digest entries are still stripped).
 
+    ``mmap_mode="r"`` (or ``"c"``, copy-on-write) memory-maps every member
+    a bundle written with ``compressed=False`` can serve as an
+    ``np.memmap`` — the read path of the multi-process serving tier, where
+    N workers opening the same file share one OS page-cache copy.
+    Compressed or 0-d/empty members fall back to an eager load; digest
+    verification still runs (a sequential read through the shared map).
+
     Truncated or bit-flipped files, digest mismatches and missing required
     digests all raise :class:`ArtifactIntegrityError`; the underlying
     ``zipfile``/``zlib``/NumPy errors never escape.
@@ -140,12 +228,20 @@ def load_arrays(path: PathLike, *,
     if digests not in ("auto", "require", "skip"):
         raise ValueError(
             f'digests must be "auto", "require" or "skip", got {digests!r}')
+    if mmap_mode not in (None, "r", "c"):
+        raise ValueError(
+            f'mmap_mode must be None, "r" or "c", got {mmap_mode!r}')
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no such array file: {path}")
     try:
+        mapped = ({} if mmap_mode is None
+                  else _mmap_npz_members(path, mmap_mode))
         with np.load(path, allow_pickle=False) as data:
-            loaded = {key: data[key].copy() for key in data.files}
+            loaded = dict(mapped)
+            for key in data.files:
+                if key not in loaded:
+                    loaded[key] = data[key].copy()
     except (zipfile.BadZipFile, zlib.error, ValueError, EOFError,
             KeyError, OSError) as exc:
         raise ArtifactIntegrityError(

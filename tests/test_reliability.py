@@ -849,3 +849,63 @@ class TestKillMidEpochResume:
         manager = CheckpointManager(tmp_path)
         good_path, arrays = manager.latest_good()
         assert arrays["meta.epoch"].item() == 1
+
+
+# --------------------------------------------------------------------------- #
+# follower takeover (leader dies mid-batch, a queued follower re-elects)
+# --------------------------------------------------------------------------- #
+class TestFollowerTakeover:
+    def test_follower_re_elects_after_leader_crash(self, primary):
+        """The leader crashes *between* draining its own request and
+        draining the follower's: the follower's poll loop must detect the
+        released leadership, elect itself and serve its own request —
+        within its deadline, with the exact ``recommend_batch`` answer."""
+        service = RecommenderService(primary, max_batch_size=1,
+                                     max_wait_ms=0.0)
+        original_execute = service._execute
+        crashed = threading.Event()
+
+        def crashing_execute(batch):
+            if crashed.is_set():
+                return original_execute(batch)
+            # Hold the leader mid-batch until the follower has queued, so
+            # the crash provably orphans a pending request.
+            for _ in range(4000):
+                with service._cond:
+                    if service._pending:
+                        break
+                time.sleep(0.001)
+            else:
+                pytest.fail("follower never queued behind the leader")
+            crashed.set()
+            raise RuntimeError("injected leader crash")
+
+        service._execute = crashing_execute
+
+        leader_outcome = []
+
+        def leader():
+            try:
+                service.recommend(0, k=5)
+            except BaseException as error:  # noqa: BLE001 - recorded for asserts
+                leader_outcome.append(error)
+
+        thread = threading.Thread(target=leader)
+        thread.start()
+        for _ in range(4000):
+            with service._cond:
+                if service._leader_active:
+                    break
+            time.sleep(0.001)
+        else:
+            pytest.fail("leader thread never took leadership")
+
+        # Queued behind the doomed leader; must still be answered in time.
+        row = service.recommend(1, k=5, deadline_ms=5000.0)
+        thread.join()
+
+        assert len(leader_outcome) == 1
+        assert "injected leader crash" in str(leader_outcome[0])
+        assert crashed.is_set()
+        np.testing.assert_array_equal(
+            row, service.recommend_batch([1], k=5)[0])

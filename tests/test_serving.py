@@ -508,7 +508,7 @@ class TestService:
     def test_error_propagates_to_caller(self, fitted):
         service = RecommenderService(fitted["MARS"].export_serving(),
                                      max_wait_ms=0.0)
-        with pytest.raises(IndexError):
+        with pytest.raises(ValueError, match="out of range"):
             service.recommend(10_000, k=5)  # out-of-range user id
         # ... and the service keeps serving afterwards.
         np.testing.assert_array_equal(
@@ -548,3 +548,145 @@ class TestRunQuery:
         result = fitted_mars.query(Query(users=[0, 1], k=4))
         assert isinstance(result, QueryResult)
         assert (result.n_users, result.k) == (2, 4)
+
+
+# --------------------------------------------------------------------------- #
+# read-path correctness regressions (sentinels, id validation, aliasing)
+# --------------------------------------------------------------------------- #
+def _popularity_artifact(n_users, n_items, seen_rows):
+    """Tiny popularity artifact with an explicit per-user seen-item list."""
+    indptr = np.zeros(n_users + 1, dtype=np.int64)
+    indices = []
+    for user in range(n_users):
+        row = sorted(seen_rows.get(user, ()))
+        indptr[user + 1] = indptr[user] + len(row)
+        indices.extend(row)
+    return ServingArtifact(
+        "popularity",
+        {"item_scores": np.arange(n_items, dtype=np.float64)},
+        n_users=n_users, n_items=n_items,
+        seen=(indptr, np.asarray(indices, dtype=np.int64)))
+
+
+class TestSentinelSlots:
+    def test_masked_items_never_leak_into_results(self):
+        """A user who has seen all but 2 of the catalogue, asked for k=10,
+        gets exactly 2 real items and 8 ``-1``/-inf sentinel slots."""
+        n_items = 12
+        artifact = _popularity_artifact(
+            n_users=2, n_items=n_items,
+            seen_rows={0: range(n_items - 2)})  # user 0 has 2 unseen items
+        result = artifact.query(Query(users=[0], k=10))
+        # The two unseen items rank first (popularity orders by id).
+        np.testing.assert_array_equal(result.items[0, :2],
+                                      [n_items - 1, n_items - 2])
+        np.testing.assert_array_equal(result.items[0, 2:], -1)
+        assert np.all(np.isneginf(result.scores[0, 2:]))
+        assert np.all(np.isfinite(result.scores[0, :2]))
+        # Seen items must not appear anywhere in the answer.
+        assert not np.isin(result.items[0], np.arange(n_items - 2)).any()
+
+    def test_sentinels_trail_real_recommendations(self):
+        artifact = _popularity_artifact(
+            n_users=3, n_items=8, seen_rows={1: range(5)})
+        result = artifact.query(Query(users=[0, 1, 2], k=6))
+        # Unmasked users get full rows; the masked user gets 3 + 3 sentinel.
+        assert not (result.items[0] == -1).any()
+        np.testing.assert_array_equal(result.items[1, 3:], -1)
+        assert (result.items[1, :3] >= 0).all()
+
+    def test_blocklist_can_exhaust_the_catalogue(self):
+        artifact = _popularity_artifact(n_users=1, n_items=4, seen_rows={})
+        result = artifact.query(Query(
+            users=[0], k=3, exclude_seen=False,
+            exclude_items=np.arange(4)))
+        np.testing.assert_array_equal(result.items, [[-1, -1, -1]])
+        assert np.all(np.isneginf(result.scores))
+
+    def test_candidate_path_sentinels_do_not_wrap(self):
+        """On the candidate path the sentinel must be applied *after* the
+        candidate-id mapping — a ``-1`` column index would wrap through
+        ``take_along_axis`` and resurrect a masked item."""
+        artifact = _popularity_artifact(
+            n_users=1, n_items=10, seen_rows={0: [2, 5, 7]})
+        result = artifact.query(Query(
+            users=[0], k=3, candidates=[[2, 5, 7]]))  # all seen
+        np.testing.assert_array_equal(result.items, [[-1, -1, -1]])
+        assert np.all(np.isneginf(result.scores))
+
+
+class TestUserIdValidation:
+    def test_negative_users_rejected_at_query_construction(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Query(users=[3, -1, 2])
+
+    def test_negative_scalar_user_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Query(users=-1)
+
+    def test_artifact_rejects_out_of_range_users(self, fitted_mars):
+        artifact = fitted_mars.export_serving()
+        with pytest.raises(ValueError, match="out of range"):
+            artifact.query(Query(users=[artifact.n_users], k=3))
+        with pytest.raises(ValueError, match="out of range"):
+            artifact.score_items_batch([artifact.n_users + 7], [[0, 1]])
+
+    def test_in_range_users_still_served(self, fitted_mars):
+        artifact = fitted_mars.export_serving()
+        result = artifact.query(Query(users=[0, artifact.n_users - 1], k=3))
+        assert result.items.shape == (2, 3)
+
+
+class TestCacheAliasing:
+    def test_cached_row_does_not_alias_the_batch_array(self, fitted_mars,
+                                                       monkeypatch):
+        """``_execute`` must cache a *copy* of each per-user row — a view
+        would pin the whole ``(U, k)`` micro-batch allocation in the LRU
+        for as long as any single cached row lives."""
+        service = RecommenderService(fitted_mars.export_serving(),
+                                     max_wait_ms=0.0)
+        captured = []
+        original = service._guarded_query
+
+        def capturing(name, artifact, query):
+            result = original(name, artifact, query)
+            captured.append(result.items)
+            return result
+
+        monkeypatch.setattr(service, "_guarded_query", capturing)
+        service.recommend(4, k=5)
+        assert len(captured) == 1
+
+        name = service.registry.names()[0]
+        version = service.registry.version(name)
+        cached = service._cache.get((name, version, 4, 5, True))
+        assert cached is not None
+        assert not np.shares_memory(cached, captured[0])
+
+    def test_handed_out_row_does_not_alias_the_batch_array(self, fitted_mars,
+                                                           monkeypatch):
+        service = RecommenderService(fitted_mars.export_serving(),
+                                     max_wait_ms=0.0, cache_size=0)
+        captured = []
+        original = service._guarded_query
+
+        def capturing(name, artifact, query):
+            result = original(name, artifact, query)
+            captured.append(result.items)
+            return result
+
+        monkeypatch.setattr(service, "_guarded_query", capturing)
+        row = service.recommend(2, k=4)
+        assert not np.shares_memory(row, captured[0])
+
+
+class TestRegistryErrorMessages:
+    def test_version_matches_get_error_contract(self, fitted):
+        registry = ModelRegistry()
+        registry.publish("cml", fitted["CML"].export_serving())
+        with pytest.raises(KeyError, match=r"no model named 'missing'"):
+            registry.version("missing")
+        with pytest.raises(KeyError, match=r"available: \['cml'\]"):
+            registry.version("missing")
+        # The happy path is unchanged.
+        assert registry.version("cml") == 1
