@@ -26,6 +26,7 @@ import pytest
 from repro.baselines.cml import CML
 from repro.core import MARS
 from repro.data import MultiFacetSyntheticGenerator, SyntheticConfig
+from repro.serving.artifact import ServingArtifact
 from repro.serving.client import run_closed_loop
 from repro.serving.query import Query
 from repro.serving.server import RecommenderServer
@@ -44,6 +45,16 @@ _SERVER_THINK_TIME_S = 0.0
 #: batched path ranks every user; queries/s stays comparable because the
 #: per-query work is identical).
 _LOOP_SAMPLE = 300
+
+#: Catalogue-scale preset for the exact-vs-approx retrieval rows: large
+#: enough that the O(n_items) full GEMM visibly dominates, clustered so
+#: the IVF recall gate is meaningful.
+_RETRIEVAL_USERS = 1500
+_RETRIEVAL_ITEMS = 30_000
+_RETRIEVAL_DIM = 24
+_RETRIEVAL_CLUSTERS = 64
+_RETRIEVAL_CELLS = 128
+_RETRIEVAL_N_PROBE = 12
 
 
 def _best_of(fn, repeats=3):
@@ -124,6 +135,70 @@ def _server_closed_loop(model, n_users, tmp_path):
     }
 
 
+def _retrieval_artifact():
+    """Seeded clustered catalogue with a bundled IVF index."""
+    rng = np.random.default_rng(0)
+    centers = 4.0 * rng.normal(size=(_RETRIEVAL_CLUSTERS, _RETRIEVAL_DIM))
+    items = (centers[rng.integers(0, _RETRIEVAL_CLUSTERS, _RETRIEVAL_ITEMS)]
+             + 0.5 * rng.normal(size=(_RETRIEVAL_ITEMS, _RETRIEVAL_DIM)))
+    users = (centers[rng.integers(0, _RETRIEVAL_CLUSTERS, _RETRIEVAL_USERS)]
+             + 0.5 * rng.normal(size=(_RETRIEVAL_USERS, _RETRIEVAL_DIM)))
+    artifact = ServingArtifact(
+        "euclidean",
+        {"user_embeddings": users, "item_embeddings": items},
+        n_users=_RETRIEVAL_USERS, n_items=_RETRIEVAL_ITEMS,
+        model_name="retrieval-bench")
+    return artifact.build_index(_RETRIEVAL_CELLS, random_state=0)
+
+
+def _retrieval_rows(tmp_path):
+    """Exact-vs-approx closed-loop rows over the socket tier, plus the
+    recall@10 of approx against the exact kernel (computed in-process —
+    quality is timing-independent)."""
+    artifact = _retrieval_artifact()
+    artifact_path = artifact.save(tmp_path / "retrieval.artifact.npz",
+                                  compressed=False)
+    sample = np.arange(0, _RETRIEVAL_USERS, 5)
+    exact = artifact.query(Query(users=sample, k=10, exclude_seen=False))
+    approx = artifact.query(Query(users=sample, k=10, exclude_seen=False,
+                                  mode="approx", n_probe=_RETRIEVAL_N_PROBE))
+    hits = sum(np.isin(approx.items[row], exact.items[row]).sum()
+               for row in range(sample.size))
+    recall = float(hits / exact.items.size)
+    _, counts = artifact.probe_candidates(sample, n_probe=_RETRIEVAL_N_PROBE)
+
+    rows = {}
+    with RecommenderServer(artifact_path,
+                           n_workers=_SERVER_WORKERS) as server:
+        for mode in ("exact", "approx"):
+            def make_query(client_index, turn, mode=mode):
+                user = (client_index * 7919 + turn) % _RETRIEVAL_USERS
+                return Query(
+                    users=[user], k=10, exclude_seen=False, mode=mode,
+                    n_probe=(_RETRIEVAL_N_PROBE if mode == "approx"
+                             else None))
+
+            report = run_closed_loop(
+                server.address, make_query, clients=_SERVER_CLIENTS,
+                duration_s=_SERVER_DURATION_S,
+                think_time_s=_SERVER_THINK_TIME_S)
+            rows[f"retrieval/{mode}"] = {
+                "qps": report["qps"],
+                "p50_ms": report["p50_ms"],
+                "p99_ms": report["p99_ms"],
+                "errors": report["errors"],
+                "recall_at_10": 1.0 if mode == "exact" else recall,
+                "mean_candidates": (float(_RETRIEVAL_ITEMS)
+                                    if mode == "exact"
+                                    else float(counts.mean())),
+                "n_probe": (None if mode == "exact"
+                            else _RETRIEVAL_N_PROBE),
+            }
+        rows["retrieval/coalesced_queries"] = \
+            server.stats["coalesced_queries"]
+    return rows
+
+
 def test_serving_throughput(benchmark, capsys, tmp_path):
     dataset, models = _fit_models()
     users = np.arange(dataset.train.n_users)
@@ -159,10 +234,25 @@ def test_serving_throughput(benchmark, capsys, tmp_path):
               f"p99 {server_stats['p99_ms']:.2f} ms, "
               f"{server_stats['errors']} errors")
 
+        retrieval = _retrieval_rows(tmp_path)
+        recorded.update(retrieval)
+        print(f"retrieval ({_RETRIEVAL_USERS}x{_RETRIEVAL_ITEMS}, "
+              f"{_RETRIEVAL_CELLS} cells):")
+        for mode in ("exact", "approx"):
+            row = retrieval[f"retrieval/{mode}"]
+            print(f"  {mode:6s} {row['qps']:>8,.0f} q/s, "
+                  f"p50 {row['p50_ms']:.2f} ms, p99 {row['p99_ms']:.2f} ms, "
+                  f"recall@10 {row['recall_at_10']:.3f}, "
+                  f"{row['mean_candidates']:,.0f} candidates/user")
+        print(f"  coalesced_queries: "
+              f"{retrieval['retrieval/coalesced_queries']}")
+
     record_benchmark(
         "serving_throughput", recorded,
         preset=(f"synthetic {dataset.train.n_users}x{dataset.train.n_items}, "
-                "top-10, exclude_seen"))
+                "top-10, exclude_seen; retrieval "
+                f"{_RETRIEVAL_USERS}x{_RETRIEVAL_ITEMS}, "
+                f"{_RETRIEVAL_CELLS} cells, n_probe={_RETRIEVAL_N_PROBE}"))
 
 
 @pytest.mark.slow

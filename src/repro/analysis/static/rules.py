@@ -84,6 +84,7 @@ _HOT_MODULES = (
     "repro/core/fused.py",
     "repro/serving/scorers.py",
     "repro/serving/kernel.py",
+    "repro/serving/retrieval.py",
 )
 
 #: Modules that must stay free of pickle-capable deserialisation.

@@ -60,6 +60,10 @@ _LAZY = {
     "RecommenderServer": "repro.serving.server",
     "ServingClient": "repro.serving.client",
     "run_closed_loop": "repro.serving.client",
+    "IVFIndex": "repro.serving.retrieval",
+    "build_ivf_index": "repro.serving.retrieval",
+    "kmeans_cells": "repro.serving.retrieval",
+    "APPROX_FAMILIES": "repro.serving.retrieval",
     "SCORER_FAMILIES": "repro.serving.scorers",
     "get_family_scorer": "repro.serving.scorers",
     "ArtifactIntegrityError": "repro.reliability.errors",

@@ -30,6 +30,12 @@ import numpy as np
 from repro.reliability.errors import ArtifactIntegrityError
 from repro.serving.kernel import broadcast_candidates, encode_seen_keys, run_query
 from repro.serving.query import Query, QueryResult
+from repro.serving.retrieval import (
+    DEFAULT_KMEANS_ITERATIONS,
+    IVFIndex,
+    build_ivf_index,
+    coarse_cell_scores,
+)
 from repro.serving.scorers import get_family_scorer
 from repro.utils.io import (
     is_memory_mapped,
@@ -38,14 +44,21 @@ from repro.utils.io import (
     save_arrays,
     unpack_scalar,
 )
+from repro.utils.rng import RandomState
 
 _TENSOR_PREFIX = "tensor."
 _META_PREFIX = "meta."
+_IVF_PREFIX = "ivf."
 
 #: On-disk artifact format version.  Bump when the bundle layout changes;
 #: :meth:`ServingArtifact.load` rejects versions it does not understand
 #: with :class:`ArtifactIntegrityError` instead of misreading the file.
-ARTIFACT_FORMAT_VERSION = 1
+#: Version 2 added the optional IVF retrieval index (``ivf.*`` entries +
+#: ``meta.has_ivf``); version-1 bundles still load (no index).
+ARTIFACT_FORMAT_VERSION = 2
+
+#: Format versions :meth:`ServingArtifact.load` understands.
+_SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 
 class ServingArtifact:
@@ -66,15 +79,20 @@ class ServingArtifact:
         the canonical CSR layout — so the membership test can binary-search.
     model_name:
         Human-readable provenance label (e.g. ``"MARS"``).
+    index:
+        Optional :class:`~repro.serving.retrieval.IVFIndex` enabling
+        ``Query(mode="approx")``.  Usually attached via
+        :meth:`build_index` rather than passed directly.
     """
 
     __slots__ = ("family", "tensors", "n_users", "n_items", "model_name",
-                 "_seen", "_seen_keys", "_scorer", "_frozen")
+                 "_seen", "_seen_keys", "_scorer", "_index", "_frozen")
 
     def __init__(self, family: str, tensors: Mapping[str, np.ndarray],
                  n_users: int, n_items: int,
                  seen: Optional[Tuple[np.ndarray, np.ndarray]] = None,
-                 model_name: str = "") -> None:
+                 model_name: str = "",
+                 index: Optional[IVFIndex] = None) -> None:
         scorer = get_family_scorer(family)
         object.__setattr__(self, "family", str(family))
         object.__setattr__(self, "tensors", MappingProxyType(
@@ -97,6 +115,11 @@ class ServingArtifact:
         object.__setattr__(self, "_seen", seen)
         object.__setattr__(self, "_seen_keys", seen_keys)
         object.__setattr__(self, "_scorer", scorer)
+        if index is not None and index.n_items != self.n_items:
+            raise ValueError(
+                f"IVF index covers {index.n_items} items but the artifact "
+                f"catalogue has {self.n_items}")
+        object.__setattr__(self, "_index", index)
         object.__setattr__(self, "_frozen", True)
 
     # ------------------------------------------------------------------ #
@@ -117,6 +140,16 @@ class ServingArtifact:
     def has_seen(self) -> bool:
         """Whether the train-set CSR is bundled (``exclude_seen`` support)."""
         return self._seen is not None
+
+    @property
+    def has_index(self) -> bool:
+        """Whether an IVF index is bundled (``mode="approx"`` support)."""
+        return self._index is not None
+
+    @property
+    def index(self) -> Optional[IVFIndex]:
+        """The bundled :class:`~repro.serving.retrieval.IVFIndex`, if any."""
+        return self._index
 
     def _score_candidates(self, users: np.ndarray,
                           item_matrix: np.ndarray) -> np.ndarray:
@@ -162,10 +195,78 @@ class ServingArtifact:
 
         User ids outside ``[0, n_users)`` raise :class:`ValueError` before
         any scoring happens (see :meth:`_validate_users`).
+        ``mode="approx"`` probes the bundled IVF index for candidates and
+        re-ranks them exactly (requires :attr:`has_index`).
         """
         self._validate_users(query.users)
+        if query.mode == "approx":
+            return self._approx_query(query)
         return run_query(query, self._score_candidates, self.n_items,
                          seen=self._seen, seen_keys=self._seen_keys)
+
+    def probe_candidates(self, users: Sequence[int],
+                         n_probe: Optional[int] = None,
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """IVF candidate lists for a user batch, before re-ranking.
+
+        Returns ``(candidates, counts)``: the ``(U, C)`` ``-1``-padded
+        candidate matrix the approx path re-ranks, and the ``(U,)`` true
+        per-user candidate counts — the observable behind the sub-linearity
+        gate (``counts < n_items`` whenever fewer than all cells are
+        probed).
+        """
+        if self._index is None:
+            raise RuntimeError(
+                "this artifact has no IVF index; attach one with "
+                "build_index() before probing or querying mode='approx'")
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        self._validate_users(users)
+        cell_scores = coarse_cell_scores(self.family, self.tensors, users,
+                                         self._index)
+        return self._index.probe(cell_scores, n_probe=n_probe)
+
+    def _approx_query(self, query: Query) -> QueryResult:
+        """Probe the IVF index, then exact-re-rank the candidate union."""
+        candidates, _ = self.probe_candidates(query.users,
+                                              n_probe=query.n_probe)
+        rerank = Query(users=query.users, k=query.k,
+                       exclude_seen=query.exclude_seen,
+                       candidates=candidates,
+                       exclude_items=query.exclude_items)
+        result = run_query(rerank, self._score_candidates, self.n_items,
+                           seen=self._seen, seen_keys=self._seen_keys)
+        # Keep the result shape mode-independent: when the probed union is
+        # narrower than k, right-pad with the no-recommendable-item
+        # sentinel (-1 / -inf) up to the exact path's min(k, n_items).
+        width = min(query.k, self.n_items)
+        if result.items.shape[1] < width:
+            items = np.full((result.n_users, width), -1, dtype=np.int64)
+            scores = np.full((result.n_users, width), -np.inf,
+                             dtype=np.float64)
+            items[:, :result.items.shape[1]] = result.items
+            scores[:, :result.scores.shape[1]] = result.scores
+            result = QueryResult(items=items, scores=scores,
+                                 degraded=result.degraded)
+        return result
+
+    def build_index(self, n_cells: int, random_state: RandomState = None,
+                    n_iterations: int = DEFAULT_KMEANS_ITERATIONS,
+                    ) -> "ServingArtifact":
+        """Return a new artifact with a freshly built IVF index attached.
+
+        The artifact itself is immutable, so index construction — seeded
+        k-means over this family's item vectors (see
+        :func:`repro.serving.retrieval.build_ivf_index`) — produces a new
+        bundle sharing the same frozen semantics; :meth:`save` then packs
+        the index arrays next to the tensors.
+        """
+        index = build_ivf_index(self.family, self.tensors, n_cells,
+                                random_state=random_state,
+                                n_iterations=n_iterations)
+        return ServingArtifact(family=self.family, tensors=self.tensors,
+                               n_users=self.n_users, n_items=self.n_items,
+                               seen=self._seen, model_name=self.model_name,
+                               index=index)
 
     def recommend_batch(self, users: Sequence[int], k: int = 10,
                         exclude_seen: bool = True) -> np.ndarray:
@@ -206,11 +307,16 @@ class ServingArtifact:
             _META_PREFIX + "n_users": pack_scalar(self.n_users),
             _META_PREFIX + "n_items": pack_scalar(self.n_items),
             _META_PREFIX + "has_seen": pack_scalar(self.has_seen),
+            _META_PREFIX + "has_ivf": pack_scalar(self.has_index),
         }
         for name, tensor in self.tensors.items():
             arrays[_TENSOR_PREFIX + name] = tensor
         if self._seen is not None:
             arrays["seen_indptr"], arrays["seen_indices"] = self._seen
+        if self._index is not None:
+            arrays[_IVF_PREFIX + "centroids"] = self._index.centroids
+            arrays[_IVF_PREFIX + "cell_indptr"] = self._index.cell_indptr
+            arrays[_IVF_PREFIX + "cell_items"] = self._index.cell_items
         return save_arrays(path, arrays, digests=True, compressed=compressed)
 
     @classmethod
@@ -244,10 +350,10 @@ class ServingArtifact:
         version_entry = arrays.get(_META_PREFIX + "format_version")
         version = (unpack_scalar(version_entry)
                    if version_entry is not None else None)
-        if version != ARTIFACT_FORMAT_VERSION:
+        if version not in _SUPPORTED_FORMAT_VERSIONS:
             raise ArtifactIntegrityError(
                 f"{path} has serving-artifact format version {version!r}; "
-                f"this build reads version {ARTIFACT_FORMAT_VERSION}")
+                f"this build reads versions {_SUPPORTED_FORMAT_VERSIONS}")
         model_name = unpack_scalar(arrays.get(_META_PREFIX + "model_name",
                                               np.asarray("")))
         tensors = {name[len(_TENSOR_PREFIX):]: array
@@ -255,8 +361,27 @@ class ServingArtifact:
                    if name.startswith(_TENSOR_PREFIX)}
         seen = ((arrays["seen_indptr"], arrays["seen_indices"])
                 if has_seen else None)
+        # Version-1 bundles predate the IVF layer: no has_ivf flag, no index.
+        has_ivf_entry = arrays.get(_META_PREFIX + "has_ivf")
+        has_ivf = (unpack_scalar(has_ivf_entry)
+                   if has_ivf_entry is not None else False)
+        index = None
+        if has_ivf:
+            try:
+                index = IVFIndex(arrays[_IVF_PREFIX + "centroids"],
+                                 arrays[_IVF_PREFIX + "cell_indptr"],
+                                 arrays[_IVF_PREFIX + "cell_items"])
+            except (KeyError, ValueError) as error:
+                # A structurally broken index (missing entries, non-CSR
+                # indptr, items dropped from the partition) is corruption
+                # the per-entry digests cannot express — same failure
+                # class, same exception.
+                raise ArtifactIntegrityError(
+                    f"{path} declares an IVF index but it is missing or "
+                    f"inconsistent: {error}") from error
         return cls(family=family, tensors=tensors, n_users=n_users,
-                   n_items=n_items, seen=seen, model_name=model_name)
+                   n_items=n_items, seen=seen, model_name=model_name,
+                   index=index)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -273,9 +398,11 @@ class ServingArtifact:
 
     def __repr__(self) -> str:
         seen = "with seen CSR" if self.has_seen else "no seen CSR"
+        ivf = (f"ivf[{self._index.n_cells} cells]" if self.has_index
+               else "no ivf index")
         return (f"ServingArtifact(family={self.family!r}, "
                 f"model={self.model_name!r}, users={self.n_users}, "
-                f"items={self.n_items}, {seen}, "
+                f"items={self.n_items}, {seen}, {ivf}, "
                 f"{self.nbytes() / 1e6:.1f} MB)")
 
 

@@ -161,6 +161,14 @@ def run_query(query: Query, scorer: Scorer, n_items: int,
         Ranked ``(U, k)`` items/scores — or the raw ``(U, C)`` candidate
         scores for a score-mode query (``k=None``).
     """
+    if query.mode != "exact":
+        # Approx retrieval is an artifact-level concern: ServingArtifact
+        # probes its IVF index and re-enters this kernel with an exact
+        # candidate re-rank query.  A live model has no index to probe.
+        raise ValueError(
+            f"run_query only executes exact queries (got mode="
+            f"{query.mode!r}); approximate retrieval requires a "
+            "ServingArtifact with a built IVF index")
     if query.exclude_seen and seen is None:
         raise RuntimeError(
             "exclude_seen=True requires the seen-items CSR (fit the model on "
@@ -220,12 +228,19 @@ def _run_candidates(query: Query, scorer: Scorer, n_items: int,
     if query.k is not None and query.k <= 0:
         return _empty_result(users.size)
 
-    scores = np.asarray(scorer(users, candidates), dtype=np.float64)
+    # Ragged candidate lists (e.g. per-user IVF probe unions) arrive as a
+    # rectangle right-padded with -1.  Pad slots are scored on item 0 (any
+    # valid id — the score is discarded) and forced to -inf after masking.
+    pad_mask = candidates < 0
+    any_pads = bool(pad_mask.any())
+    scoreable = np.where(pad_mask, np.int64(0), candidates) if any_pads \
+        else candidates
+    scores = np.asarray(scorer(users, scoreable), dtype=np.float64)
     if scores.shape != candidates.shape:
         raise ValueError(
             f"scorer returned shape {scores.shape}, expected {candidates.shape}")
 
-    if query.exclude_seen or query.exclude_items is not None:
+    if query.exclude_seen or query.exclude_items is not None or any_pads:
         scores = scores.copy()
         if query.exclude_seen:
             if seen_keys is None:
@@ -234,6 +249,11 @@ def _run_candidates(query: Query, scorer: Scorer, n_items: int,
                                        seen_keys)] = -np.inf
         if query.exclude_items is not None:
             scores[np.isin(candidates, query.exclude_items)] = -np.inf
+        if any_pads:
+            # Last, unconditionally: a pad key user*n_items - 1 aliases the
+            # previous user's final item in the seen-membership test, but a
+            # pad slot must stay -inf regardless of what masking computed.
+            scores[pad_mask] = -np.inf
 
     if query.k is None:
         # Score mode: candidate order preserved.  `candidates` may be a

@@ -47,6 +47,18 @@ class Query:
         went to queueing or to scoring — the serving tier raises
         :class:`~repro.reliability.errors.DeadlineExceededError` instead
         of keeping the caller waiting.  ``None`` means no deadline.
+    mode:
+        ``"exact"`` (default) ranks through the full scorer;
+        ``"approx"`` retrieves candidates from the artifact's IVF index
+        (top-``n_probe`` cells per user, O(n_cells) centroid scan) and
+        re-ranks them exactly — see :mod:`repro.serving.retrieval`.
+        Approx mode generates its own candidate lists, so it is mutually
+        exclusive with explicit ``candidates``, and requires an
+        artifact whose bundle carries an index.
+    n_probe:
+        Number of IVF cells scanned per user in approx mode (higher =
+        better recall, more re-rank work).  ``None`` uses the index's
+        default; only meaningful with ``mode="approx"``.
     """
 
     users: np.ndarray
@@ -55,6 +67,8 @@ class Query:
     candidates: Optional[np.ndarray] = None
     exclude_items: Optional[np.ndarray] = None
     deadline_ms: Optional[float] = None
+    mode: str = "exact"
+    n_probe: Optional[int] = None
 
     def __post_init__(self) -> None:
         users = np.atleast_1d(np.asarray(self.users, dtype=np.int64))
@@ -83,6 +97,22 @@ class Query:
                 raise ValueError(
                     f"deadline_ms must be positive, got {deadline_ms}")
             object.__setattr__(self, "deadline_ms", deadline_ms)
+        if self.mode not in ("exact", "approx"):
+            raise ValueError(
+                f"mode must be 'exact' or 'approx', got {self.mode!r}")
+        if self.mode == "approx" and self.candidates is not None:
+            raise ValueError(
+                "mode='approx' generates its own candidate lists from the "
+                "IVF index and cannot be combined with explicit candidates; "
+                "pass candidates with mode='exact' instead")
+        if self.n_probe is not None:
+            if self.mode != "approx":
+                raise ValueError(
+                    "n_probe only applies to mode='approx' queries")
+            n_probe = int(self.n_probe)
+            if n_probe < 1:
+                raise ValueError(f"n_probe must be >= 1, got {n_probe}")
+            object.__setattr__(self, "n_probe", n_probe)
 
     @property
     def n_users(self) -> int:

@@ -1,0 +1,413 @@
+"""Sub-linear approximate retrieval: an IVF index over the item tables.
+
+Every family scorer in :mod:`repro.serving.scorers` ranks by a
+full-catalogue pass — O(n_items) work per user per query — which caps
+throughput once the catalogue outgrows the GEMM.  This module adds the
+classic inverted-file (IVF) coarse-quantization layer in front of the
+exact kernel:
+
+1. **Build** (offline, seeded): k-means over the family's item vectors
+   partitions the catalogue into ``n_cells`` cells.  The index is three
+   plain arrays — cell centroids ``(n_cells, D)`` plus a CSR
+   ``cell_indptr``/``cell_items`` mapping each cell to its member item
+   ids — packed into the :class:`~repro.serving.artifact.ServingArtifact`
+   ``.npz`` next to the scoring tensors (digest-verified, pickle-free,
+   memory-mappable across forked serving workers like every other
+   tensor).
+2. **Probe** (per query): the user vector is scored against the
+   *centroids* only — O(n_cells) instead of O(n_items) — and the top
+   ``n_probe`` cells' item lists are unioned into a per-user candidate
+   list (``-1``-padded to a rectangle, the pad convention of
+   :func:`repro.serving.kernel.run_query`).
+3. **Re-rank** (exact): the candidates go through the existing
+   candidate-list scoring path of the kernel, so approximate answers are
+   a *verified subset* of exact scores — same family scorer, same seen
+   masking, same partial sort.  Approximation only ever loses items
+   whose cells were not probed; it never invents or perturbs a score.
+
+Families
+--------
+Only families whose scoring decomposes as a distance/inner product
+between one user vector and one item vector support coarse
+quantization; the registry :data:`APPROX_FAMILIES` maps each to its
+item-vector extraction and centroid scoring rule:
+
+``euclidean``
+    Cells cluster ``item_embeddings``; cells are ranked by
+    ``-‖u − c‖²`` (the Gram expansion, one ``(U, n_cells)`` GEMM).
+``dot_bias``
+    The classic MIPS reduction: items cluster as ``[v, bias]`` in
+    ``D + 1`` dimensions and users probe as ``[u, 1]``, so the centroid
+    inner product equals the mean full score of the cell — the additive
+    bias steers cell choice exactly as it steers item ranking.
+
+The hot paths here are linted like the other kernels: the
+``DTYPE-DISCIPLINE`` rule of :mod:`repro.analysis.static` covers this
+module, and randomness routes through :func:`repro.utils.rng.ensure_rng`
+(``RNG-DISCIPLINE``) so index builds are reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.io import is_memory_mapped
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Default Lloyd iteration budget for index builds.  Convergence is
+#: declared early when assignments stop moving.
+DEFAULT_KMEANS_ITERATIONS = 25
+
+
+@dataclass(frozen=True)
+class FamilyRetrieval:
+    """How one scoring family plugs into the IVF layer.
+
+    ``item_vectors`` extracts the ``(n_items, D')`` matrix the cells are
+    clustered over; ``user_vectors`` the matching ``(U, D')`` probe
+    vectors; ``coarse_scores`` ranks cells so that a higher score means
+    the cell is more likely to hold top items for the user (it must be
+    order-compatible with the family's exact item scores).
+    """
+
+    item_vectors: Callable[[Dict[str, np.ndarray]], np.ndarray]
+    user_vectors: Callable[[Dict[str, np.ndarray], np.ndarray], np.ndarray]
+    coarse_scores: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _negative_sq_distances(user_vecs: np.ndarray,
+                           centroids: np.ndarray) -> np.ndarray:
+    """``-‖u − c‖²`` via the Gram expansion — one BLAS matmul."""
+    dots = user_vecs @ centroids.T
+    user_sq = np.einsum("ud,ud->u", user_vecs, user_vecs)
+    cent_sq = np.einsum("cd,cd->c", centroids, centroids)
+    return 2.0 * dots - user_sq[:, None] - cent_sq[None, :]
+
+
+def _dot_scores(user_vecs: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    return user_vecs @ centroids.T
+
+
+def _augmented_dot_items(tensors: Dict[str, np.ndarray]) -> np.ndarray:
+    """MIPS reduction: append the item bias as one extra coordinate."""
+    embeddings = np.asarray(tensors["item_embeddings"], dtype=np.float64)
+    bias = np.asarray(tensors["item_bias"], dtype=np.float64)
+    return np.concatenate([embeddings, bias[:, None]], axis=1)
+
+
+def _augmented_dot_users(tensors: Dict[str, np.ndarray],
+                         users: np.ndarray) -> np.ndarray:
+    vecs = np.asarray(tensors["user_embeddings"], dtype=np.float64)[users]
+    pad = np.ones((vecs.shape[0], 1), dtype=np.float64)
+    return np.concatenate([vecs, pad], axis=1)
+
+
+#: ``family -> FamilyRetrieval`` for every family that supports
+#: ``Query(mode="approx")``.  Families absent here (attention/MLP heads,
+#: dense precomputed fallbacks) have no item-vector geometry to quantize
+#: and serve exact-only.
+APPROX_FAMILIES: Dict[str, FamilyRetrieval] = {
+    "euclidean": FamilyRetrieval(
+        item_vectors=lambda tensors: np.asarray(
+            tensors["item_embeddings"], dtype=np.float64),
+        user_vectors=lambda tensors, users: np.asarray(
+            tensors["user_embeddings"], dtype=np.float64)[users],
+        coarse_scores=_negative_sq_distances,
+    ),
+    "dot_bias": FamilyRetrieval(
+        item_vectors=_augmented_dot_items,
+        user_vectors=_augmented_dot_users,
+        coarse_scores=_dot_scores,
+    ),
+}
+
+
+def supports_approx(family: str) -> bool:
+    """Whether ``family`` can build and probe an IVF index."""
+    return family in APPROX_FAMILIES
+
+
+# --------------------------------------------------------------------------- #
+# seeded k-means
+# --------------------------------------------------------------------------- #
+def kmeans_cells(vectors: np.ndarray, n_cells: int,
+                 random_state: RandomState = None,
+                 n_iterations: int = DEFAULT_KMEANS_ITERATIONS,
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Seeded Lloyd k-means; returns ``(centroids, assignments)``.
+
+    Deterministic for a given seed: initial centroids are a seeded
+    distinct sample of the rows, ties in the assignment step break to
+    the lowest cell id (``argmin``), and empty cells are re-seeded to
+    the points currently farthest from their centroid (largest residual
+    first) — so the whole partition is a pure function of
+    ``(vectors, n_cells, seed)``.
+
+    Parameters
+    ----------
+    vectors:
+        ``(n, D)`` rows to cluster (the family's item vectors).
+    n_cells:
+        Number of cells; clipped to ``n`` when the catalogue is smaller.
+    random_state:
+        Seed / generator via :func:`repro.utils.rng.ensure_rng`.
+    n_iterations:
+        Lloyd iteration cap; iteration stops early on a fixed point.
+    """
+    vectors = np.ascontiguousarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[0] == 0:
+        raise ValueError(
+            f"vectors must be a non-empty (n, D) matrix, got shape "
+            f"{vectors.shape}")
+    n_rows = vectors.shape[0]
+    n_cells = int(n_cells)
+    if n_cells < 1:
+        raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+    n_cells = min(n_cells, n_rows)
+    rng = ensure_rng(random_state)
+
+    centroids = vectors[np.sort(rng.choice(n_rows, size=n_cells,
+                                           replace=False))].copy()
+    assignments = np.full(n_rows, -1, dtype=np.int64)
+    row_sq = np.einsum("nd,nd->n", vectors, vectors)
+    for _ in range(max(1, int(n_iterations))):
+        # Assign: argmin ‖x − c‖² via the Gram expansion (‖x‖² is a
+        # per-row constant, so it cannot change the argmin and is left
+        # out of the (n, n_cells) distance block).
+        cent_sq = np.einsum("cd,cd->c", centroids, centroids)
+        affinity = 2.0 * (vectors @ centroids.T) - cent_sq[None, :]
+        new_assignments = np.argmax(affinity, axis=1).astype(np.int64)
+
+        counts = np.bincount(new_assignments, minlength=n_cells)
+        empty = np.flatnonzero(counts == 0)
+        if empty.size:
+            # Re-seed empty cells on the worst-fit points: largest
+            # residual to their assigned centroid, deterministic order.
+            residual = row_sq - affinity[
+                np.arange(n_rows, dtype=np.int64), new_assignments]
+            donors = np.argsort(-residual, kind="stable")[:empty.size]
+            new_assignments[donors] = empty
+            centroids[empty] = vectors[donors]
+            counts = np.bincount(new_assignments, minlength=n_cells)
+
+        if np.array_equal(new_assignments, assignments):
+            break
+        assignments = new_assignments
+        # Update: per-dimension bincount segment sums (D is small).
+        sums = np.empty((n_cells, vectors.shape[1]), dtype=np.float64)
+        for dim in range(vectors.shape[1]):
+            sums[:, dim] = np.bincount(assignments,
+                                       weights=vectors[:, dim],
+                                       minlength=n_cells)
+        centroids = sums / counts[:, None]
+    return centroids, assignments
+
+
+# --------------------------------------------------------------------------- #
+# the index
+# --------------------------------------------------------------------------- #
+class IVFIndex:
+    """Inverted-file index: cell centroids plus CSR cell → item lists.
+
+    Parameters
+    ----------
+    centroids:
+        ``(n_cells, D)`` cell centers in the family's item-vector space.
+    cell_indptr:
+        ``(n_cells + 1,)`` CSR row pointers into ``cell_items``.
+    cell_items:
+        ``(n_items,)`` item ids grouped by cell; within each cell the
+        ids are ascending.  Every catalogue item belongs to exactly one
+        cell — validated at construction, so a corrupt index can never
+        silently drop items from the reachable catalogue.
+
+    Arrays are frozen at construction (memory-mapped inputs pass through
+    uncopied, exactly like the artifact tensors — the whole point of
+    packing the index into the mmap-shared bundle).
+    """
+
+    __slots__ = ("centroids", "cell_indptr", "cell_items", "_frozen")
+
+    def __init__(self, centroids: np.ndarray, cell_indptr: np.ndarray,
+                 cell_items: np.ndarray) -> None:
+        centroids = _freeze(np.asarray(centroids, dtype=np.float64))
+        cell_indptr = _freeze(np.asarray(cell_indptr, dtype=np.int64))
+        cell_items = _freeze(np.asarray(cell_items, dtype=np.int64))
+        if centroids.ndim != 2:
+            raise ValueError(
+                f"centroids must be (n_cells, D), got shape {centroids.shape}")
+        n_cells = centroids.shape[0]
+        if cell_indptr.shape != (n_cells + 1,):
+            raise ValueError(
+                f"cell_indptr has shape {cell_indptr.shape}, expected "
+                f"({n_cells + 1},) for {n_cells} cells")
+        if cell_indptr[0] != 0 or np.any(np.diff(cell_indptr) < 0) \
+                or cell_indptr[-1] != cell_items.size:
+            raise ValueError(
+                "cell_indptr is not a monotone CSR over cell_items "
+                f"(indptr[0]={int(cell_indptr[0])}, "
+                f"indptr[-1]={int(cell_indptr[-1])}, "
+                f"len(cell_items)={cell_items.size})")
+        membership = np.bincount(cell_items, minlength=cell_items.size) \
+            if cell_items.size else np.zeros(0, dtype=np.int64)
+        if cell_items.size and (cell_items.min() < 0
+                                or cell_items.max() >= cell_items.size
+                                or np.any(membership != 1)):
+            raise ValueError(
+                "cell_items is not a permutation of the catalogue: every "
+                "item must belong to exactly one cell")
+        object.__setattr__(self, "centroids", centroids)
+        object.__setattr__(self, "cell_indptr", cell_indptr)
+        object.__setattr__(self, "cell_items", cell_items)
+        object.__setattr__(self, "_frozen", True)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("IVFIndex is frozen; build a new index instead")
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.centroids.shape[0])
+
+    @property
+    def n_items(self) -> int:
+        return int(self.cell_items.size)
+
+    @property
+    def default_n_probe(self) -> int:
+        """Probe width used when a query does not pin ``n_probe``:
+        a quarter of the cells — comfortably past the recall knee on the
+        tested presets while keeping the scan sub-linear."""
+        return max(1, (self.n_cells + 3) // 4)
+
+    @property
+    def memory_mapped(self) -> bool:
+        """Whether every index array reads from a shared file mapping."""
+        return all(is_memory_mapped(array) for array in
+                   (self.centroids, self.cell_indptr, self.cell_items))
+
+    def assignments(self) -> np.ndarray:
+        """``(n_items,)`` cell id per item (inverse of the CSR lists)."""
+        owners = np.repeat(np.arange(self.n_cells, dtype=np.int64),
+                           np.diff(self.cell_indptr))
+        inverse = np.empty(self.n_items, dtype=np.int64)
+        inverse[self.cell_items] = owners
+        return inverse
+
+    def probe(self, cell_scores: np.ndarray, n_probe: Optional[int] = None,
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Union the item lists of each user's top-``n_probe`` cells.
+
+        Parameters
+        ----------
+        cell_scores:
+            ``(U, n_cells)`` coarse scores (higher = probe first).
+        n_probe:
+            Cells to scan per user (clipped to ``n_cells``); ``None``
+            uses :attr:`default_n_probe`.
+
+        Returns
+        -------
+        (candidates, counts)
+            ``candidates`` is the ``(U, C)`` rectangular candidate
+            matrix, right-padded with ``-1`` where a user's union is
+            shorter than the widest row (the pad convention of
+            :func:`repro.serving.kernel.run_query`); ``counts`` the
+            ``(U,)`` true candidate count per user — the probe the
+            sub-linearity acceptance gate asserts on.
+        """
+        cell_scores = np.asarray(cell_scores, dtype=np.float64)
+        if cell_scores.ndim != 2 or cell_scores.shape[1] != self.n_cells:
+            raise ValueError(
+                f"cell_scores must be (U, {self.n_cells}), got shape "
+                f"{cell_scores.shape}")
+        if n_probe is None:
+            n_probe = self.default_n_probe
+        n_probe = int(n_probe)
+        if n_probe < 1:
+            raise ValueError(f"n_probe must be >= 1, got {n_probe}")
+        n_probe = min(n_probe, self.n_cells)
+        n_users = cell_scores.shape[0]
+
+        part = np.argpartition(-cell_scores, kth=n_probe - 1,
+                               axis=1)[:, :n_probe]
+        part_scores = np.take_along_axis(cell_scores, part, axis=1)
+        order = np.argsort(-part_scores, axis=1, kind="stable")
+        cells = np.take_along_axis(part, order, axis=1)  # (U, P), best first
+
+        starts = self.cell_indptr[cells]                     # (U, P)
+        seg_counts = (self.cell_indptr[cells + 1] - starts)  # (U, P)
+        counts = seg_counts.sum(axis=1)                      # (U,)
+        total = int(counts.sum())
+        width = int(counts.max()) if n_users else 0
+        candidates = np.full((n_users, width), -1, dtype=np.int64)
+        if total == 0:
+            return candidates, counts
+        # Flatten every probed segment user-major (cells in probe order):
+        # flat[t] walks segment s as starts[s], starts[s]+1, ...
+        flat_counts = seg_counts.reshape(-1)
+        offsets = np.repeat(
+            starts.reshape(-1) - (np.cumsum(flat_counts) - flat_counts),
+            flat_counts)
+        flat = np.arange(total, dtype=np.int64) + offsets
+        rows = np.repeat(np.arange(n_users, dtype=np.int64), counts)
+        columns = np.arange(total, dtype=np.int64) \
+            - np.repeat(np.cumsum(counts) - counts, counts)
+        candidates[rows, columns] = self.cell_items[flat]
+        return candidates, counts
+
+    def __repr__(self) -> str:
+        return (f"IVFIndex(cells={self.n_cells}, items={self.n_items}, "
+                f"dim={self.centroids.shape[1]}, "
+                f"default_n_probe={self.default_n_probe})")
+
+
+def build_ivf_index(family: str, tensors: Dict[str, np.ndarray],
+                    n_cells: int, random_state: RandomState = None,
+                    n_iterations: int = DEFAULT_KMEANS_ITERATIONS) -> IVFIndex:
+    """Cluster a family's item vectors into a fresh :class:`IVFIndex`.
+
+    Raises :class:`ValueError` for families without coarse-quantization
+    support (see :data:`APPROX_FAMILIES`).
+    """
+    spec = APPROX_FAMILIES.get(family)
+    if spec is None:
+        raise ValueError(
+            f"family {family!r} does not support approximate retrieval; "
+            f"IVF indexes exist for {sorted(APPROX_FAMILIES)}")
+    vectors = spec.item_vectors(tensors)
+    centroids, assignments = kmeans_cells(
+        vectors, n_cells, random_state=random_state,
+        n_iterations=n_iterations)
+    # Stable sort of item ids by cell: within-cell lists stay ascending.
+    cell_items = np.argsort(assignments, kind="stable").astype(np.int64)
+    sizes = np.bincount(assignments, minlength=centroids.shape[0])
+    cell_indptr = np.zeros(centroids.shape[0] + 1, dtype=np.int64)
+    np.cumsum(sizes, out=cell_indptr[1:])
+    return IVFIndex(centroids, cell_indptr, cell_items)
+
+
+def coarse_cell_scores(family: str, tensors: Dict[str, np.ndarray],
+                       users: np.ndarray, index: IVFIndex) -> np.ndarray:
+    """``(U, n_cells)`` centroid scores for a user batch — the O(n_cells)
+    scan that replaces the O(n_items) full-catalogue GEMM."""
+    spec = APPROX_FAMILIES.get(family)
+    if spec is None:
+        raise ValueError(
+            f"family {family!r} does not support approximate retrieval; "
+            f"IVF indexes exist for {sorted(APPROX_FAMILIES)}")
+    user_vecs = spec.user_vectors(tensors, users)
+    return spec.coarse_scores(user_vecs, index.centroids)
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """Copy-and-lock, passing read-only memory maps through uncopied
+    (the same rule as ``ServingArtifact`` tensors — a private heap copy
+    would defeat the page-cache sharing the mmap path exists for)."""
+    if not array.flags.writeable and is_memory_mapped(array):
+        return array
+    frozen = np.array(array, copy=True)
+    frozen.flags.writeable = False
+    return frozen

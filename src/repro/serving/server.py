@@ -35,6 +35,15 @@ A connection handles any number of sequential request frames; concurrent
 load uses concurrent connections (see
 :func:`repro.serving.client.run_closed_loop`).
 
+**Cross-connection coalescing** — plain single-user top-k queries (one
+user, no candidates/blocklist, no caller deadline) that are pending at
+the same moment for the same ``(model, k, exclude_seen, mode, n_probe)``
+are merged into *one* batched frame and answered by one worker round
+trip, then the result rows are split back per connection.  This recovers
+the in-process micro-batcher's vectorisation win at the socket tier; the
+``ping`` counter ``coalesced_queries`` counts queries served through a
+merged frame.
+
 Worker lifecycle
 ----------------
 1. **Spawn** — the parent forks ``n_workers`` processes *before* starting
@@ -82,11 +91,14 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.reliability.errors import (
     DeadlineExceededError,
     ServiceOverloadedError,
 )
 from repro.serving import wire
+from repro.serving.query import Query, QueryResult
 from repro.serving.worker import worker_main
 
 PathLike = Union[str, Path]
@@ -114,6 +126,18 @@ class _Worker:
 
     def alive(self) -> bool:
         return self.process.is_alive()
+
+
+class _PendingSingle:
+    """One coalescable single-user query awaiting a shared worker trip."""
+
+    __slots__ = ("user", "blob", "future")
+
+    def __init__(self, user: int, blob: bytes,
+                 future: "asyncio.Future") -> None:
+        self.user = user
+        self.blob = blob      # original frame, relayed verbatim if alone
+        self.future = future  # resolves to this request's reply bytes
 
 
 class RecommenderServer:
@@ -168,10 +192,15 @@ class RecommenderServer:
         self._start_error: Optional[BaseException] = None
         self._closing = False
         self._publish_lock = threading.Lock()
+        # Cross-connection coalescing state (event-loop-thread only): the
+        # pending bucket per compatible-query key, and the keys whose
+        # bucket currently has an active leader draining it.
+        self._coalesce: Dict[tuple, list] = {}
+        self._coalesce_leaders: set = set()
         self._stats: Dict[str, int] = {
             "requests": 0, "answered": 0, "errors": 0, "shed": 0,
             "deadline_exceeded": 0, "worker_deaths": 0, "redispatched": 0,
-            "respawns": 0, "reloads": 0,
+            "respawns": 0, "reloads": 0, "coalesced_queries": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -371,7 +400,7 @@ class RecommenderServer:
 
     async def _handle_frame(self, blob: bytes) -> bytes:
         try:
-            kind, meta, _ = wire.decode_frame(blob)
+            kind, meta, tensors = wire.decode_frame(blob)
         except wire.ProtocolError as error:
             return wire.encode_error(error)
         if kind == "ping":
@@ -388,7 +417,11 @@ class RecommenderServer:
                 "flight); retry with backoff"))
         self._in_flight += 1
         try:
-            reply = await self._dispatch(blob, meta)
+            key = self._coalesce_key(meta, tensors)
+            if key is not None:
+                reply = await self._dispatch_coalesced(key, blob, tensors)
+            else:
+                reply = await self._dispatch(blob, meta)
         except DeadlineExceededError as error:
             self._stats["deadline_exceeded"] += 1
             reply = wire.encode_error(error)
@@ -405,6 +438,11 @@ class RecommenderServer:
         deadline_ms = meta.get("deadline_ms", self.default_deadline_ms)
         deadline = (None if deadline_ms is None
                     else time.monotonic() + float(deadline_ms) / 1000.0)
+        return await self._relay_to_worker(blob, deadline, deadline_ms)
+
+    async def _relay_to_worker(self, blob: bytes, deadline: Optional[float],
+                               deadline_ms: Optional[float]) -> bytes:
+        """Acquire a worker, round-trip one frame, retry once on death."""
         death_error: Optional[BaseException] = None
         for attempt in range(2):
             worker = await self._acquire_worker(deadline)
@@ -438,6 +476,119 @@ class RecommenderServer:
         raise RuntimeError(
             f"worker died while serving the request (re-dispatch also "
             f"failed): {type(death_error).__name__}: {death_error}")
+
+    # ------------------------------------------------------------------ #
+    # cross-connection coalescing
+    # ------------------------------------------------------------------ #
+    def _coalesce_key(self, meta: dict, tensors: dict) -> Optional[tuple]:
+        """Coalescing group of a query frame, or ``None`` if not eligible.
+
+        Eligible frames are plain single-user top-k lookups: one user, no
+        candidate/blocklist tensors, no caller deadline (the uniform
+        ``default_deadline_ms`` still applies), ranked ``k``.  Everything
+        in the key must make two frames interchangeable rows of one
+        batched kernel pass.
+        """
+        users = tensors.get("users")
+        if users is None or users.size != 1:
+            return None
+        if "candidates" in tensors or "exclude_items" in tensors:
+            return None
+        if meta.get("deadline_ms") is not None:
+            return None
+        k = meta.get("k", 10)
+        if k is None:
+            return None
+        model = meta.get("model")
+        n_probe = meta.get("n_probe")
+        return (None if model is None else str(model), int(k),
+                bool(meta.get("exclude_seen", True)),
+                str(meta.get("mode", "exact")),
+                None if n_probe is None else int(n_probe))
+
+    async def _dispatch_coalesced(self, key: tuple, blob: bytes,
+                                  tensors: dict) -> bytes:
+        """Queue a coalescable query and await its reply.
+
+        All bucket/leader state is touched only between awaits on the
+        event-loop thread, so check-then-act sequences here are atomic.
+        The first arriver for a key starts a detached drain task (so no
+        single connection is held hostage leading the bucket); the drain
+        serves whole buckets — one worker round trip each — until no
+        compatible queries are pending.
+        """
+        loop = asyncio.get_running_loop()
+        pend = _PendingSingle(int(tensors["users"][0]), blob,
+                              loop.create_future())
+        self._coalesce.setdefault(key, []).append(pend)
+        if key not in self._coalesce_leaders:
+            self._coalesce_leaders.add(key)
+            loop.create_task(self._drain_bucket(key))
+        return await pend.future
+
+    async def _drain_bucket(self, key: tuple) -> None:
+        try:
+            while True:
+                batch = self._coalesce.get(key)
+                if not batch:
+                    break
+                self._coalesce[key] = []
+                await self._serve_batch(key, batch)
+        finally:
+            # No awaits between the emptiness check above and this block,
+            # so a new arrival either saw the leader flag (and is in a
+            # batch that was served) or re-elects a drain after it clears.
+            self._coalesce_leaders.discard(key)
+            for orphan in self._coalesce.pop(key, []):
+                if not orphan.future.done():
+                    orphan.future.cancel()
+
+    async def _serve_batch(self, key: tuple, batch: list) -> None:
+        """One worker round trip for a bucket; never raises — failures land
+        on the members' futures (each handler reports its own error)."""
+        model, k, exclude_seen, mode, n_probe = key
+        try:
+            if len(batch) == 1:
+                replies = [await self._relay_single(batch[0].blob, model)]
+            else:
+                users = np.array([pend.user for pend in batch],
+                                 dtype=np.int64)
+                merged = wire.encode_query(
+                    Query(users=users, k=k, exclude_seen=exclude_seen,
+                          mode=mode, n_probe=n_probe), model)
+                reply = await self._relay_single(merged, model)
+                kind, meta, reply_tensors = wire.decode_frame(reply)
+                if kind == "result":
+                    result = wire.decode_result(meta, reply_tensors)
+                    replies = [
+                        wire.encode_result(QueryResult(
+                            items=result.items[row:row + 1],
+                            scores=result.scores[row:row + 1],
+                            degraded=result.degraded))
+                        for row in range(len(batch))]
+                    self._stats["coalesced_queries"] += len(batch)
+                else:  # error frame: every member sees the same failure
+                    replies = [reply] * len(batch)
+        except asyncio.CancelledError:
+            for pend in batch:
+                if not pend.future.done():
+                    pend.future.cancel()
+            raise
+        except BaseException as error:
+            for pend in batch:
+                if not pend.future.done():
+                    pend.future.set_exception(error)
+            return
+        for pend, reply in zip(batch, replies):
+            if not pend.future.done():
+                pend.future.set_result(reply)
+
+    async def _relay_single(self, blob: bytes, model: Optional[str]) -> bytes:
+        self._resolve_name(model)
+        deadline_ms = self.default_deadline_ms
+        deadline = (None if deadline_ms is None
+                    else time.monotonic() + float(deadline_ms) / 1000.0)
+        return await self._relay_to_worker(blob, deadline, deadline_ms)
 
     def _remaining(self, deadline: Optional[float]) -> Optional[float]:
         if deadline is None:

@@ -16,8 +16,10 @@ waits until either ``max_batch_size`` compatible requests have queued or
 ``max_wait_ms`` has elapsed, then scores the whole batch with one kernel
 pass and distributes the rows — turning a thundering herd of per-user
 requests into a handful of vectorised scorer calls.  A bounded LRU cache
-keyed by ``(model, version, user, k, exclude_seen)`` short-circuits repeat
-requests and is invalidated by version bump on hot-swap.
+keyed by the *full query identity* — ``(model, version, user, k,
+exclude_seen, mode, n_probe, candidate-list hash)`` — short-circuits
+repeat requests and is invalidated by version bump on hot-swap; queries
+that differ in any knob never share a cache row.
 
 The failure paths are first-class (see ``ROADMAP.md``, "Reliability
 contract"):
@@ -42,6 +44,7 @@ contract"):
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import OrderedDict
@@ -176,13 +179,16 @@ class _LRUCache:
 class _Request:
     """One pending single-user recommendation awaiting a micro-batch."""
 
-    __slots__ = ("group", "artifact", "user", "done", "result", "error",
-                 "degraded")
+    __slots__ = ("group", "artifact", "user", "candidates", "done", "result",
+                 "error", "degraded")
 
-    def __init__(self, group: tuple, artifact: ServingArtifact, user: int) -> None:
-        self.group = group          # (name, version, k, exclude_seen)
+    def __init__(self, group: tuple, artifact: ServingArtifact, user: int,
+                 candidates: Optional[np.ndarray] = None) -> None:
+        # (name, version, k, exclude_seen, mode, n_probe, candidates_hash)
+        self.group = group
         self.artifact = artifact    # resolved at request time: in-flight
         self.user = user            # requests finish on the swap-out artifact
+        self.candidates = candidates  # shared 1-D list; hash lives in group
         self.done = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
@@ -381,33 +387,66 @@ class RecommenderService:
 
     def recommend(self, user: int, k: int = 10, exclude_seen: bool = True,
                   model: Optional[str] = None,
-                  deadline_ms: Optional[float] = None) -> np.ndarray:
+                  deadline_ms: Optional[float] = None, *,
+                  mode: str = "exact", n_probe: Optional[int] = None,
+                  candidates: Optional[Sequence[int]] = None) -> np.ndarray:
         """Top-``k`` for one user — cached, and coalesced into micro-batches.
 
         Concurrent callers of compatible requests (same model version, same
-        ``k``/``exclude_seen``) share one vectorised kernel pass; the result
-        is bitwise what :meth:`recommend_batch` returns for the coalesced
-        user batch.  ``deadline_ms`` bounds the caller's wait
+        ``k``/``exclude_seen``/``mode``/``n_probe``/candidate list) share
+        one vectorised kernel pass; the result is bitwise what
+        :meth:`recommend_batch` returns for the coalesced user batch.
+        ``mode="approx"`` routes through the artifact's IVF index (see
+        :class:`~repro.serving.query.Query`); ``candidates`` restricts
+        ranking to a shared 1-D item list (exact mode only).
+        ``deadline_ms`` bounds the caller's wait
         (:class:`DeadlineExceededError`); a full admission queue sheds the
         request at the door (:class:`ServiceOverloadedError`).
+
+        The cache key covers the full query identity — two requests that
+        differ only in ``mode``, ``n_probe`` or the candidate list can
+        never serve each other's rows.
         """
         artifact, version, name = self.registry.get(model)
         self._bump("requests")
+        if mode not in ("exact", "approx"):
+            raise ValueError(f"mode must be 'exact' or 'approx', got {mode!r}")
+        if n_probe is not None:
+            if mode != "approx":
+                raise ValueError("n_probe only applies to mode='approx'")
+            n_probe = int(n_probe)
+            if n_probe < 1:
+                raise ValueError(f"n_probe must be >= 1, got {n_probe}")
+        candidates_hash = None
+        if candidates is not None:
+            if mode == "approx":
+                raise ValueError(
+                    "mode='approx' generates its own candidates from the "
+                    "IVF index; explicit candidates require mode='exact'")
+            candidates = np.atleast_1d(np.asarray(candidates, dtype=np.int64))
+            if candidates.ndim != 1:
+                raise ValueError(
+                    "recommend() takes a shared 1-D candidate list; use "
+                    "query() for per-user candidate matrices")
+            candidates_hash = hashlib.sha256(candidates.tobytes()).hexdigest()
         deadline = None
         if deadline_ms is not None:
             deadline_ms = float(deadline_ms)
             if deadline_ms <= 0:
                 raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
             deadline = time.monotonic() + deadline_ms / 1e3
-        key = (name, version, int(user), int(k), bool(exclude_seen))
+        key = (name, version, int(user), int(k), bool(exclude_seen),
+               mode, n_probe, candidates_hash)
         cached = self._cache.get(key)
         if cached is not None:
             self._bump("cache_hits")
             return cached.copy()
         self._bump("cache_misses")
 
-        request = _Request(group=(name, version, int(k), bool(exclude_seen)),
-                           artifact=artifact, user=int(user))
+        request = _Request(group=(name, version, int(k), bool(exclude_seen),
+                                  mode, n_probe, candidates_hash),
+                           artifact=artifact, user=int(user),
+                           candidates=candidates)
         with self._cond:
             if self.max_queue is not None \
                     and len(self._pending) >= self.max_queue:
@@ -497,13 +536,17 @@ class RecommenderService:
         groups: "OrderedDict[tuple, List[_Request]]" = OrderedDict()
         for request in batch:
             groups.setdefault(request.group, []).append(request)
-        for (name, version, k, exclude_seen), requests in groups.items():
+        for group, requests in groups.items():
+            name, version, k, exclude_seen, mode, n_probe, candidates_hash = \
+                group
             users = np.array([request.user for request in requests],
                              dtype=np.int64)
             try:
                 result = self._guarded_query(
                     name, requests[0].artifact,
-                    Query(users=users, k=k, exclude_seen=exclude_seen))
+                    Query(users=users, k=k, exclude_seen=exclude_seen,
+                          candidates=requests[0].candidates, mode=mode,
+                          n_probe=n_probe))
             except BaseException as error:  # propagate to every waiter
                 for request in requests:
                     request.error = error
@@ -518,7 +561,8 @@ class RecommenderService:
                 row = row.copy()
                 if not result.degraded:  # degraded rows are never cached
                     self._cache.put((name, version, request.user, k,
-                                     exclude_seen), row)
+                                     exclude_seen, mode, n_probe,
+                                     candidates_hash), row)
                 request.degraded = result.degraded
                 request.result = row
                 request.done.set()

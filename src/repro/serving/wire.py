@@ -196,6 +196,8 @@ def encode_query(query: Query, model: Optional[str] = None) -> bytes:
         "k": query.k,
         "exclude_seen": bool(query.exclude_seen),
         "deadline_ms": query.deadline_ms,
+        "mode": query.mode,
+        "n_probe": query.n_probe,
     }
     tensors: Dict[str, np.ndarray] = {"users": query.users}
     if query.candidates is not None:
@@ -222,6 +224,9 @@ def decode_query(meta: dict,
         candidates=tensors.get("candidates"),
         exclude_items=tensors.get("exclude_items"),
         deadline_ms=meta.get("deadline_ms"),
+        # Frames from pre-retrieval peers carry neither key: exact mode.
+        mode=str(meta.get("mode", "exact")),
+        n_probe=meta.get("n_probe"),
     )
     model = meta.get("model")
     return query, (None if model is None else str(model))

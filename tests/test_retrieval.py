@@ -1,0 +1,514 @@
+"""Tests for the approximate retrieval subsystem (IVF index + exact re-rank).
+
+The contracts under test:
+
+* seeded k-means is a pure function of ``(vectors, n_cells, seed)`` and
+  its cells partition the catalogue — every item in exactly one cell;
+* ``IVFIndex.probe`` returns exactly the union of the top-``n_probe``
+  cells' item lists, ``-1``-padded, with true per-user counts;
+* ``Query(mode="approx")`` achieves recall@10 ≥ 0.95 vs the exact kernel
+  for every supported family while scoring strictly fewer than
+  ``n_items`` candidates per user (the sub-linearity probe), and probing
+  *all* cells reproduces the exact ranking identically;
+* the index rides inside the artifact ``.npz`` — mmap-shared,
+  digest-verified, format-versioned with v1 backward compat — and a
+  corrupt or inconsistent index raises :class:`ArtifactIntegrityError`;
+* :class:`RecommenderService` cache keys cover the full query identity
+  (mode / n_probe / candidate list) — the PR's cache-collision bugfix;
+* the mode knob works end-to-end over the socket tier, and concurrent
+  single-user queries coalesce into batched worker frames
+  (``coalesced_queries``).
+
+No wall-clock assertions anywhere: approximation quality and candidate
+counts are the observables, so the tests are timing-independent.
+"""
+
+import threading
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.reliability.errors import ArtifactIntegrityError
+from repro.serving import wire
+from repro.serving.artifact import ServingArtifact
+from repro.serving.client import ServingClient
+from repro.serving.kernel import run_query
+from repro.serving.query import Query
+from repro.serving.retrieval import (
+    APPROX_FAMILIES,
+    IVFIndex,
+    build_ivf_index,
+    kmeans_cells,
+)
+from repro.serving.server import RecommenderServer
+from repro.serving.service import RecommenderService
+
+#: Clustered synthetic catalogue: well-separated item clusters are the
+#: regime IVF exists for, and make the recall gates deterministic.
+N_USERS, N_ITEMS, DIM, N_CLUSTERS = 120, 2500, 12, 20
+N_CELLS, N_PROBE = 40, 8
+
+
+def _clustered_tensors(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = 4.0 * rng.normal(size=(N_CLUSTERS, DIM))
+    items = (centers[rng.integers(0, N_CLUSTERS, N_ITEMS)]
+             + 0.5 * rng.normal(size=(N_ITEMS, DIM)))
+    users = (centers[rng.integers(0, N_CLUSTERS, N_USERS)]
+             + 0.5 * rng.normal(size=(N_USERS, DIM)))
+    return {"user_embeddings": users, "item_embeddings": items,
+            "item_bias": 0.3 * rng.normal(size=N_ITEMS)}
+
+
+def _seen_csr(seed=0, per_user=3):
+    rng = np.random.default_rng(seed + 1000)
+    indptr = np.arange(0, per_user * N_USERS + 1, per_user, dtype=np.int64)
+    indices = np.concatenate([
+        np.sort(rng.choice(N_ITEMS, size=per_user, replace=False))
+        for _ in range(N_USERS)]).astype(np.int64)
+    return indptr, indices
+
+
+def _artifact(family="euclidean", seed=0, with_seen=True, with_index=True):
+    tensors = _clustered_tensors(seed)
+    if family == "euclidean":
+        tensors = {key: tensors[key]
+                   for key in ("user_embeddings", "item_embeddings")}
+    artifact = ServingArtifact(
+        family, tensors, N_USERS, N_ITEMS,
+        seen=_seen_csr(seed) if with_seen else None, model_name=family)
+    if with_index:
+        artifact = artifact.build_index(N_CELLS, random_state=7)
+    return artifact
+
+
+@pytest.fixture(scope="module", params=sorted(APPROX_FAMILIES))
+def family_artifact(request):
+    return _artifact(family=request.param)
+
+
+def _recall_at_k(approx_items, exact_items):
+    hits = sum(np.isin(approx_items[row], exact_items[row]).sum()
+               for row in range(exact_items.shape[0]))
+    return hits / exact_items.size
+
+
+# --------------------------------------------------------------------------- #
+# seeded k-means properties
+# --------------------------------------------------------------------------- #
+class TestKMeans:
+    def test_seed_stable(self):
+        vectors = _clustered_tensors(3)["item_embeddings"]
+        first = kmeans_cells(vectors, 32, random_state=11)
+        second = kmeans_cells(vectors, 32, random_state=11)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_different_seeds_differ(self):
+        vectors = _clustered_tensors(3)["item_embeddings"]
+        _, one = kmeans_cells(vectors, 32, random_state=1)
+        _, two = kmeans_cells(vectors, 32, random_state=2)
+        assert not np.array_equal(one, two)
+
+    def test_every_item_in_exactly_one_cell(self):
+        vectors = _clustered_tensors(4)["item_embeddings"]
+        centroids, assignments = kmeans_cells(vectors, 32, random_state=5)
+        assert assignments.shape == (N_ITEMS,)
+        assert assignments.min() >= 0
+        assert assignments.max() < centroids.shape[0]
+        # Partition property via the CSR the index builds from it.
+        index = build_ivf_index(
+            "euclidean", {"item_embeddings": vectors}, 32, random_state=5)
+        counts = np.bincount(index.cell_items, minlength=N_ITEMS)
+        assert (counts == 1).all()
+
+    def test_no_empty_cells_even_when_cells_rival_points(self):
+        vectors = np.asarray(np.random.default_rng(0).normal(size=(20, 3)))
+        centroids, assignments = kmeans_cells(vectors, 18, random_state=0)
+        occupancy = np.bincount(assignments, minlength=centroids.shape[0])
+        assert (occupancy >= 1).all()
+
+    def test_n_cells_clipped_to_catalogue(self):
+        vectors = np.asarray(np.random.default_rng(1).normal(size=(5, 2)))
+        centroids, assignments = kmeans_cells(vectors, 64, random_state=0)
+        assert centroids.shape[0] == 5
+        assert sorted(assignments.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="n_cells"):
+            kmeans_cells(np.zeros((4, 2)), 0)
+        with pytest.raises(ValueError, match="non-empty"):
+            kmeans_cells(np.zeros((0, 2)), 4)
+
+
+# --------------------------------------------------------------------------- #
+# the IVF index
+# --------------------------------------------------------------------------- #
+class TestIVFIndex:
+    def test_probe_matches_brute_force_union(self):
+        artifact = _artifact()
+        index = artifact.index
+        users = np.arange(25)
+        candidates, counts = artifact.probe_candidates(users, n_probe=3)
+        spec = APPROX_FAMILIES["euclidean"]
+        cell_scores = spec.coarse_scores(
+            spec.user_vectors(artifact.tensors, users), index.centroids)
+        for row in range(users.size):
+            best_cells = np.argsort(-cell_scores[row], kind="stable")[:3]
+            expected = np.concatenate([
+                index.cell_items[index.cell_indptr[cell]:
+                                 index.cell_indptr[cell + 1]]
+                for cell in best_cells])
+            got = candidates[row]
+            assert counts[row] == expected.size
+            np.testing.assert_array_equal(got[:counts[row]], expected)
+            assert (got[counts[row]:] == -1).all()
+
+    def test_probe_all_cells_covers_catalogue(self):
+        artifact = _artifact()
+        candidates, counts = artifact.probe_candidates(
+            np.arange(5), n_probe=N_CELLS)
+        assert (counts == N_ITEMS).all()
+        for row in range(5):
+            np.testing.assert_array_equal(np.sort(candidates[row]),
+                                          np.arange(N_ITEMS))
+
+    def test_rejects_inconsistent_construction(self):
+        centroids = np.zeros((3, 2))
+        with pytest.raises(ValueError, match="CSR"):
+            IVFIndex(centroids, np.array([0, 1, 2, 5]), np.arange(4))
+        with pytest.raises(ValueError, match="permutation"):
+            IVFIndex(centroids, np.array([0, 2, 3, 4]),
+                     np.array([0, 0, 1, 2]))
+        with pytest.raises(ValueError, match="cell_indptr"):
+            IVFIndex(centroids, np.array([0, 4]), np.arange(4))
+
+    def test_frozen(self):
+        index = _artifact().index
+        with pytest.raises(AttributeError, match="frozen"):
+            index.centroids = np.zeros((1, 1))
+        assert not index.centroids.flags.writeable
+
+    def test_unsupported_family_rejected(self):
+        with pytest.raises(ValueError, match="does not support"):
+            build_ivf_index("popularity", {"item_counts": np.ones(4)}, 2)
+
+
+# --------------------------------------------------------------------------- #
+# Query schema + kernel guard rails
+# --------------------------------------------------------------------------- #
+class TestQueryMode:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="mode"):
+            Query(users=[0], mode="fuzzy")
+
+    def test_approx_forbids_explicit_candidates(self):
+        with pytest.raises(ValueError, match="candidates"):
+            Query(users=[0], mode="approx", candidates=[1, 2, 3])
+
+    def test_n_probe_requires_approx(self):
+        with pytest.raises(ValueError, match="n_probe"):
+            Query(users=[0], n_probe=4)
+        with pytest.raises(ValueError, match="n_probe"):
+            Query(users=[0], mode="approx", n_probe=0)
+        assert Query(users=[0], mode="approx", n_probe=4).n_probe == 4
+
+    def test_kernel_rejects_approx_queries(self):
+        query = Query(users=[0], k=3, exclude_seen=False, mode="approx")
+        with pytest.raises(ValueError, match="exact"):
+            run_query(query, lambda users, items: np.zeros(items.shape), 10)
+
+    def test_kernel_pads_never_surface(self):
+        # Padded rows: user 1's union is shorter; pad slots must come back
+        # as the -1/-inf sentinel, never as item 0 (which scores them).
+        candidates = np.array([[0, 1, 2], [3, -1, -1]], dtype=np.int64)
+        result = run_query(
+            Query(users=[0, 1], k=3, exclude_seen=False,
+                  candidates=candidates),
+            lambda users, items: np.ones(items.shape), 5)
+        np.testing.assert_array_equal(result.items[1], [3, -1, -1])
+        assert np.isneginf(result.scores[1, 1:]).all()
+
+    def test_pad_key_does_not_alias_previous_users_seen_item(self):
+        # The encoded key of a pad (-1) for user u is u*n_items - 1 ==
+        # user (u-1)'s item (n_items-1).  The pad must still be -inf and
+        # user (u-1)'s genuine candidate must be masked independently.
+        n_items = 5
+        seen = (np.array([0, 1, 1], dtype=np.int64),
+                np.array([4], dtype=np.int64))  # user 0 has seen item 4
+        candidates = np.array([[4, 0], [1, -1]], dtype=np.int64)
+        result = run_query(
+            Query(users=[0, 1], k=2, candidates=candidates),
+            lambda users, items: np.ones(items.shape), n_items, seen=seen)
+        np.testing.assert_array_equal(result.items[0], [0, -1])  # 4 masked
+        np.testing.assert_array_equal(result.items[1], [1, -1])  # pad -inf
+
+
+# --------------------------------------------------------------------------- #
+# recall gates (per supported family)
+# --------------------------------------------------------------------------- #
+class TestRecallGates:
+    def test_recall_at_10_with_sublinear_candidates(self, family_artifact):
+        artifact = family_artifact
+        users = np.arange(N_USERS)
+        exact = artifact.query(Query(users=users, k=10))
+        approx = artifact.query(
+            Query(users=users, k=10, mode="approx", n_probe=N_PROBE))
+        recall = _recall_at_k(approx.items, exact.items)
+        assert recall >= 0.95, (
+            f"{artifact.family}: recall@10 {recall:.3f} < 0.95 at "
+            f"n_probe={N_PROBE}/{N_CELLS}")
+        # The sub-linearity probe: strictly fewer than n_items candidates
+        # were scored for every user.
+        _, counts = artifact.probe_candidates(users, n_probe=N_PROBE)
+        assert int(counts.max()) < N_ITEMS
+        assert approx.items.shape == exact.items.shape
+
+    def test_full_probe_reproduces_exact_ranking(self, family_artifact):
+        artifact = family_artifact
+        users = np.arange(0, N_USERS, 3)
+        exact = artifact.query(Query(users=users, k=10))
+        approx = artifact.query(
+            Query(users=users, k=10, mode="approx", n_probe=N_CELLS))
+        np.testing.assert_array_equal(approx.items, exact.items)
+        # Same scorer, but gathered (U, C) candidate blocks vs the full
+        # catalogue GEMM — BLAS summation order differs at the ulp level.
+        np.testing.assert_allclose(approx.scores, exact.scores,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_approx_excludes_seen(self, family_artifact):
+        artifact = family_artifact
+        indptr, indices = _seen_csr()
+        result = artifact.query(
+            Query(users=np.arange(N_USERS), k=10, mode="approx",
+                  n_probe=N_PROBE))
+        for user in range(N_USERS):
+            seen = indices[indptr[user]:indptr[user + 1]]
+            assert not set(result.items[user]) & set(seen.tolist())
+
+    def test_default_n_probe_used_when_unpinned(self, family_artifact):
+        result = family_artifact.query(
+            Query(users=np.arange(10), k=10, mode="approx"))
+        assert result.items.shape == (10, 10)
+
+    def test_approx_without_index_fails_cleanly(self):
+        artifact = _artifact(with_index=False)
+        with pytest.raises(RuntimeError, match="no IVF index"):
+            artifact.query(Query(users=[0], k=5, mode="approx"))
+
+    def test_narrow_union_pads_to_k(self):
+        # n_probe=1 on the smallest cell can union fewer than k items.
+        artifact = _artifact()
+        index = artifact.index
+        smallest = int(np.diff(index.cell_indptr).min())
+        k = N_ITEMS  # force k far beyond any single cell
+        result = artifact.query(
+            Query(users=[0], k=k, exclude_seen=False, mode="approx",
+                  n_probe=1))
+        assert result.items.shape == (1, k)
+        assert (result.items[0] != -1).sum() <= max(
+            smallest, int(np.diff(index.cell_indptr).max()))
+        assert np.isneginf(result.scores[0, -1])
+
+
+# --------------------------------------------------------------------------- #
+# artifact persistence: round trip, mmap, corruption, versioning
+# --------------------------------------------------------------------------- #
+class TestIndexPersistence:
+    def test_round_trip_bitwise_and_mmap_shared(self, tmp_path):
+        artifact = _artifact()
+        path = artifact.save(tmp_path / "ivf.artifact.npz", compressed=False)
+        loaded = ServingArtifact.load(path, mmap_mode="r")
+        assert loaded.has_index
+        assert loaded.index.memory_mapped
+        np.testing.assert_array_equal(loaded.index.centroids,
+                                      artifact.index.centroids)
+        np.testing.assert_array_equal(loaded.index.cell_items,
+                                      artifact.index.cell_items)
+        query = Query(users=np.arange(N_USERS), k=10, mode="approx",
+                      n_probe=N_PROBE)
+        original = artifact.query(query)
+        reloaded = loaded.query(query)
+        assert original.items.tobytes() == reloaded.items.tobytes()
+        assert original.scores.tobytes() == reloaded.scores.tobytes()
+
+    def test_corrupt_index_bytes_fail_digest_verification(self, tmp_path):
+        path = _artifact().save(tmp_path / "corrupt.artifact.npz",
+                                compressed=False)
+        blob = bytearray(path.read_bytes())
+        with zipfile.ZipFile(path) as archive:
+            info = archive.getinfo("ivf.cell_items.npy")
+            start = blob.index(b"ivf.cell_items.npy",
+                               info.header_offset)
+        # Flip a bit well past the member's npy header, inside its data.
+        blob[start + 256] ^= 0x40
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactIntegrityError):
+            ServingArtifact.load(path, mmap_mode="r")
+
+    def test_missing_index_entries_are_integrity_errors(self, tmp_path):
+        # meta.has_ivf promises an index the bundle does not carry.
+        artifact = _artifact(with_index=False)
+        path = artifact.save(tmp_path / "liar.artifact.npz")
+        import repro.utils.io as io_mod
+        arrays = io_mod.load_arrays(path)
+        arrays["meta.has_ivf"] = io_mod.pack_scalar(True)
+        io_mod.save_arrays(path, arrays, digests=True)
+        with pytest.raises(ArtifactIntegrityError, match="IVF"):
+            ServingArtifact.load(path)
+
+    def test_version_1_bundles_still_load(self, tmp_path):
+        # A v1 writer: today's layout minus the ivf entries and flag,
+        # stamped format_version=1.
+        artifact = _artifact(with_index=False)
+        path = artifact.save(tmp_path / "v1.artifact.npz")
+        import repro.utils.io as io_mod
+        arrays = io_mod.load_arrays(path)
+        arrays["meta.format_version"] = io_mod.pack_scalar(1)
+        del arrays["meta.has_ivf"]
+        io_mod.save_arrays(path, arrays, digests=True)
+        loaded = ServingArtifact.load(path)
+        assert not loaded.has_index
+        query = Query(users=np.arange(12), k=8)
+        assert (loaded.query(query).items.tobytes()
+                == artifact.query(query).items.tobytes())
+
+    def test_unknown_version_rejected(self, tmp_path):
+        artifact = _artifact(with_index=False)
+        path = artifact.save(tmp_path / "v99.artifact.npz")
+        import repro.utils.io as io_mod
+        arrays = io_mod.load_arrays(path)
+        arrays["meta.format_version"] = io_mod.pack_scalar(99)
+        io_mod.save_arrays(path, arrays, digests=True)
+        with pytest.raises(ArtifactIntegrityError, match="version"):
+            ServingArtifact.load(path)
+
+
+# --------------------------------------------------------------------------- #
+# service: mode plumbing + the cache-identity bugfix
+# --------------------------------------------------------------------------- #
+class TestServiceQueryIdentity:
+    def test_mode_and_candidates_do_not_collide_in_cache(self):
+        artifact = _artifact()
+        service = RecommenderService(artifact, max_wait_ms=0.0)
+        exact = service.recommend(3, k=10)
+        approx = service.recommend(3, k=10, mode="approx", n_probe=1)
+        restricted = service.recommend(3, k=10,
+                                       candidates=np.arange(40, 60))
+        # Distinct query identities — none may serve another's cached row.
+        assert not np.array_equal(exact, restricted)
+        assert set(restricted.tolist()) <= set(range(40, 60)) | {-1}
+        again = service.recommend(3, k=10, mode="approx", n_probe=1)
+        np.testing.assert_array_equal(again, approx)
+        stats = service.stats
+        assert stats["cache_hits"] == 1  # only the repeated approx call
+
+    def test_candidate_lists_hash_into_the_key(self):
+        service = RecommenderService(_artifact(), max_wait_ms=0.0)
+        first = service.recommend(5, k=5, candidates=np.arange(0, 50))
+        second = service.recommend(5, k=5, candidates=np.arange(50, 100))
+        assert not np.array_equal(first, second)
+        assert service.stats["cache_hits"] == 0
+
+    def test_approx_matches_artifact_path(self):
+        artifact = _artifact()
+        service = RecommenderService(artifact, max_wait_ms=0.0)
+        expected = artifact.query(
+            Query(users=[9], k=10, mode="approx", n_probe=N_PROBE)).items[0]
+        got = service.recommend(9, k=10, mode="approx", n_probe=N_PROBE)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_validation(self):
+        service = RecommenderService(_artifact(), max_wait_ms=0.0)
+        with pytest.raises(ValueError, match="mode"):
+            service.recommend(0, mode="fuzzy")
+        with pytest.raises(ValueError, match="n_probe"):
+            service.recommend(0, n_probe=4)
+        with pytest.raises(ValueError, match="candidates"):
+            service.recommend(0, mode="approx", candidates=[1, 2])
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end over the socket tier
+# --------------------------------------------------------------------------- #
+class TestSocketTier:
+    @pytest.fixture(scope="class")
+    def indexed_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("retrieval") / "ivf.artifact.npz"
+        return _artifact().save(path, compressed=False)
+
+    def test_wire_round_trip_carries_mode(self):
+        query = Query(users=[3], k=7, mode="approx", n_probe=5)
+        kind, meta, tensors = wire.decode_frame(wire.encode_query(query))
+        decoded, _ = wire.decode_query(meta, tensors)
+        assert decoded.mode == "approx"
+        assert decoded.n_probe == 5
+
+    def test_legacy_frames_default_to_exact(self):
+        blob = wire.encode_frame("query", {"k": 5},
+                                 {"users": np.array([1], dtype=np.int64)})
+        _, meta, tensors = wire.decode_frame(blob)
+        decoded, _ = wire.decode_query(meta, tensors)
+        assert decoded.mode == "exact"
+        assert decoded.n_probe is None
+
+    def test_approx_recall_gate_end_to_end(self, indexed_path):
+        artifact = ServingArtifact.load(indexed_path)
+        users = np.arange(N_USERS)
+        _, counts = artifact.probe_candidates(users, n_probe=N_PROBE)
+        assert int(counts.max()) < N_ITEMS  # sub-linear candidate sets
+        with RecommenderServer(indexed_path, n_workers=2) as server:
+            with ServingClient(server.address) as client:
+                assert client.ping()["stats"]["coalesced_queries"] == 0
+                exact = client.query(Query(users=users, k=10))
+                approx = client.query(
+                    Query(users=users, k=10, mode="approx", n_probe=N_PROBE))
+        recall = _recall_at_k(approx.items, exact.items)
+        assert recall >= 0.95, f"socket-tier recall@10 {recall:.3f} < 0.95"
+
+    def test_concurrent_singles_coalesce(self, indexed_path, monkeypatch):
+        # One deliberately slow worker: the first query holds it while the
+        # rest pile into the coalescing bucket, so the next worker trip
+        # must carry a merged batch.
+        monkeypatch.setenv("REPRO_FAULTS", "serving.worker=delay:0.25@1")
+        artifact = ServingArtifact.load(indexed_path)
+        expected = artifact.query(Query(users=np.arange(16), k=10))
+        results = {}
+        failures = []
+
+        def one(user):
+            try:
+                with ServingClient(server.address) as client:
+                    results[user] = client.query(Query(users=[user], k=10))
+            except BaseException as error:  # noqa: BLE001
+                failures.append(error)
+
+        with RecommenderServer(indexed_path, n_workers=1) as server:
+            threads = [threading.Thread(target=one, args=(user,))
+                       for user in range(16)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = server.stats
+        assert not failures
+        for user, result in results.items():
+            np.testing.assert_array_equal(result.items[0],
+                                          expected.items[user])
+        # At least one merged frame: strictly fewer worker trips than
+        # queries, and the merged queries are counted.
+        assert stats["coalesced_queries"] >= 2
+        assert stats["answered"] < 16
+
+    def test_multi_user_and_deadline_queries_bypass_coalescing(
+            self, indexed_path):
+        with RecommenderServer(indexed_path, n_workers=1) as server:
+            with ServingClient(server.address) as client:
+                client.query(Query(users=[1, 2], k=5))
+                client.query(Query(users=[3], k=5, deadline_ms=5000.0))
+                client.query(Query(users=[4], k=5,
+                                   candidates=np.arange(100)))
+                stats = client.ping()["stats"]
+        assert stats["coalesced_queries"] == 0
+        assert stats["answered"] == 3

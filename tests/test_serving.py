@@ -659,7 +659,8 @@ class TestCacheAliasing:
 
         name = service.registry.names()[0]
         version = service.registry.version(name)
-        cached = service._cache.get((name, version, 4, 5, True))
+        cached = service._cache.get(
+            (name, version, 4, 5, True, "exact", None, None))
         assert cached is not None
         assert not np.shares_memory(cached, captured[0])
 
