@@ -1,0 +1,169 @@
+"""Micro-benchmark for the streaming vertical.
+
+Records, into ``BENCH_streaming.json``:
+
+* **ingestion events/s** — the full online path (matrix append + table
+  growth + one ``fit_more`` epoch per refresh) draining a drifting
+  synthetic stream through :class:`~repro.streaming.online.StreamingTrainer`,
+  plus the raw data-layer append rate without training;
+* **event-log throughput** — durable fsynced appends/s and verified
+  replay events/s of the checksummed :class:`~repro.streaming.events.EventLog`;
+* **delta-publish latency vs full re-export** — wall time of the cheap
+  refresh path (``export_delta`` -> ``publish_delta``, copy-on-write IVF
+  patch) against the full path (``export_serving`` -> ``save`` ->
+  ``publish_path``), with the delta's payload bytes next to the full
+  bundle's for the bandwidth story.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines.bpr import BPR
+from repro.data.interactions import InteractionMatrix
+from repro.data.synthetic import generate_event_stream
+from repro.serving.service import RecommenderService
+from repro.streaming import EventLog, InMemoryStream, StreamingTrainer
+
+from recording import record_benchmark
+
+_N_USERS = 600
+_N_ITEMS = 800
+_WARM_EVENTS = 4000
+_STREAM_EVENTS = 4000
+_BATCH_EVENTS = 500
+_LOG_FRAMES = 50
+
+
+def _warm_trainer():
+    events = generate_event_stream(
+        n_users=_N_USERS, n_items=_N_ITEMS,
+        n_events=_WARM_EVENTS + _STREAM_EVENTS, random_state=0)
+    warm, stream = events[:_WARM_EVENTS], events[_WARM_EVENTS:]
+    users = np.fromiter((e.user for e in warm), dtype=np.int64)
+    items = np.fromiter((e.item for e in warm), dtype=np.int64)
+    matrix = InteractionMatrix(int(users.max()) + 1, int(items.max()) + 1,
+                               users, items)
+    model = BPR(embedding_dim=16, n_epochs=1, batch_size=512,
+                random_state=0).fit(matrix)
+    trainer = StreamingTrainer(model, epochs_per_refresh=1, random_state=7)
+    return trainer, stream
+
+
+def _ingest_rows(trainer, stream):
+    started = time.perf_counter()
+    reports = trainer.drain(InMemoryStream(stream),
+                            batch_events=_BATCH_EVENTS)
+    online_s = time.perf_counter() - started
+
+    users = np.fromiter((e.user for e in stream), dtype=np.int64)
+    items = np.fromiter((e.item for e in stream), dtype=np.int64)
+    stamps = np.fromiter((e.timestamp for e in stream), dtype=np.float64)
+    append_only = InteractionMatrix(_N_USERS, _N_ITEMS, [], [])
+    append_only.encoded_positive_keys()  # arm the incremental merge path
+    started = time.perf_counter()
+    for start in range(0, users.size, _BATCH_EVENTS):
+        stop = start + _BATCH_EVENTS
+        append_only.append_interactions(users[start:stop], items[start:stop],
+                                        timestamps=stamps[start:stop])
+    append_s = time.perf_counter() - started
+    return {
+        "online_events_per_s": len(stream) / online_s,
+        "append_events_per_s": users.size / append_s,
+        "refreshes": len(reports),
+        "new_users": int(sum(r.n_new_users for r in reports)),
+        "new_items": int(sum(r.n_new_items for r in reports)),
+    }
+
+
+def _event_log_rows(stream, tmp_path):
+    log = EventLog(tmp_path / "bench.events.log")
+    frame = max(1, len(stream) // _LOG_FRAMES)
+    started = time.perf_counter()
+    for start in range(0, len(stream), frame):
+        log.append(stream[start:start + frame])
+    append_s = time.perf_counter() - started
+    started = time.perf_counter()
+    n_replayed = sum(1 for _ in log.events())
+    replay_s = time.perf_counter() - started
+    return {
+        "append_events_per_s": len(stream) / append_s,
+        "replay_events_per_s": n_replayed / replay_s,
+        "fsyncs": -(-len(stream) // frame),
+        "bytes": log.path.stat().st_size,
+    }
+
+
+def _refresh_rows(trainer, fresh_events, tmp_path):
+    base = trainer.export_serving("stream-bench").build_index(
+        n_cells=16, random_state=3)
+    service = RecommenderService({"stream-bench": base}, max_wait_ms=0.0)
+    # Ingest one more micro-batch between base export and refresh, so the
+    # delta carries a realistic touched-row set instead of an empty diff.
+    trainer.drain(InMemoryStream(fresh_events), batch_events=_BATCH_EVENTS)
+
+    # Delta first: publish_delta verifies the delta against the *live*
+    # version, which must still be the base it was diffed from.
+    started = time.perf_counter()
+    delta = trainer.export_delta(base)
+    service.publish_delta("stream-bench", delta, index_random_state=3)
+    delta_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    full = trainer.export_serving("stream-bench")
+    full_path = full.build_index(n_cells=16, random_state=3).save(
+        tmp_path / "full.artifact.npz", compressed=False)
+    service.publish_path("stream-bench", full_path)
+    full_s = time.perf_counter() - started
+
+    return {
+        "full_republish_ms": full_s * 1e3,
+        "delta_publish_ms": delta_s * 1e3,
+        "speedup": full_s / delta_s if delta_s else float("inf"),
+        "delta_bytes": delta.nbytes(),
+        "full_bytes": full_path.stat().st_size,
+        "delta_rows": delta.n_updated_rows(),
+    }
+
+
+def test_streaming_throughput(benchmark, capsys, tmp_path):
+    trainer, stream = _warm_trainer()
+    benchmark.pedantic(
+        lambda: trainer.interactions.encoded_positive_keys(),
+        rounds=1, iterations=1)
+
+    drained, fresh = stream[:-_BATCH_EVENTS], stream[-_BATCH_EVENTS:]
+    ingest = _ingest_rows(trainer, drained)
+    log = _event_log_rows(drained, tmp_path)
+    refresh = _refresh_rows(trainer, fresh, tmp_path)
+    recorded = {"ingest": ingest, "event_log": log, "refresh": refresh}
+
+    with capsys.disabled():
+        print()
+        print(f"stream: {_STREAM_EVENTS} events over "
+              f"{_N_USERS}x{_N_ITEMS} (warm start {_WARM_EVENTS})")
+        print(f"  online ingest+train: {ingest['online_events_per_s']:>10,.0f}"
+              f" events/s across {ingest['refreshes']} refreshes "
+              f"(+{ingest['new_users']} users, +{ingest['new_items']} items)")
+        print(f"  matrix append only:  "
+              f"{ingest['append_events_per_s']:>10,.0f} events/s")
+        print(f"  event log append:    {log['append_events_per_s']:>10,.0f}"
+              f" events/s ({log['fsyncs']} fsyncs, {log['bytes']:,} bytes)")
+        print(f"  event log replay:    "
+              f"{log['replay_events_per_s']:>10,.0f} events/s")
+        print(f"  full re-export+publish: {refresh['full_republish_ms']:8.1f} ms"
+              f" ({refresh['full_bytes']:,} bytes)")
+        print(f"  delta publish:          {refresh['delta_publish_ms']:8.1f} ms"
+              f" ({refresh['delta_bytes']:,} bytes, "
+              f"{refresh['delta_rows']} rows) -> "
+              f"{refresh['speedup']:.1f}x faster")
+
+    record_benchmark(
+        "streaming", recorded,
+        preset=(f"synthetic drift stream {_STREAM_EVENTS} events, "
+                f"{_N_USERS}x{_N_ITEMS}, batch={_BATCH_EVENTS}, "
+                f"BPR dim=16, 1 epoch/refresh"))

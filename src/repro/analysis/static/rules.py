@@ -232,10 +232,12 @@ class _PickleVisitor(RuleVisitor):
 class PickleFreeIoRule(Rule):
     rule_id = "PICKLE-FREE-IO"
     description = ("no pickle imports and no np.load without "
-                   "allow_pickle=False in serving/ and utils/io.py")
+                   "allow_pickle=False in serving/, streaming/ and "
+                   "utils/io.py")
 
     def applies_to(self, path: Path) -> bool:
         return ("repro/serving/" in path.as_posix()
+                or "repro/streaming/" in path.as_posix()
                 or path_endswith(path, "repro/utils/io.py"))
 
     def check(self, tree: ast.AST, path: Path) -> List[Violation]:
@@ -464,12 +466,13 @@ class _AtomicIoVisitor(RuleVisitor):
 @register_rule
 class AtomicIoRule(Rule):
     rule_id = "ATOMIC-IO"
-    description = ("durable-path modules (serving/, utils/io.py, training/"
-                   "checkpoint.py, benchmarks/recording.py) must write "
-                   "through repro.utils.io.atomic_write")
+    description = ("durable-path modules (serving/, streaming/, utils/io.py, "
+                   "training/checkpoint.py, benchmarks/recording.py) must "
+                   "write through repro.utils.io.atomic_write")
 
     def applies_to(self, path: Path) -> bool:
         return ("repro/serving/" in path.as_posix()
+                or "repro/streaming/" in path.as_posix()
                 or path_endswith(path, "repro/utils/io.py")
                 or path_endswith(path, "repro/training/checkpoint.py")
                 or path_endswith(path, "benchmarks/recording.py"))

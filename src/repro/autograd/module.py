@@ -70,6 +70,13 @@ class Module:
         """Return all parameters of this module and its children."""
         return [parameter for _, parameter in self.named_parameters()]
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs, self first, depth first."""
+        yield (prefix, self)
+        for child_name, module in self._modules.items():
+            child_prefix = f"{prefix}.{child_name}" if prefix else child_name
+            yield from module.named_modules(prefix=child_prefix)
+
     def zero_grad(self) -> None:
         """Clear gradients on every parameter."""
         for parameter in self.parameters():
@@ -141,6 +148,7 @@ class Embedding(Module):
         rng = ensure_rng(random_state)
         self.n_embeddings = n_embeddings
         self.dim = dim
+        self.std = std
         if spherical:
             weight = init.spherical((n_embeddings, dim), random_state=rng)
         else:
@@ -149,6 +157,43 @@ class Embedding(Module):
 
     def forward(self, indices) -> Tensor:
         return self.weight.gather_rows(np.asarray(indices, dtype=np.int64))
+
+    def grow_rows(self, n_new: int, init_rows: Optional[np.ndarray] = None,
+                  random_state: RandomState = None) -> None:
+        """Append ``n_new`` rows to the table in place (streaming growth).
+
+        New rows come from ``init_rows`` when given, of shape
+        ``(n_new, dim)`` — the hook cold-start policies use for fold-in
+        initialisation; otherwise they are drawn with the constructor's
+        initialiser from ``random_state``.  Spherical tables renormalise
+        the injected rows so the on-sphere invariant survives any init.
+        The :class:`Parameter` object is kept (only its ``data`` is rebound
+        to the taller array), so optimizer state keyed by ``id(parameter)``
+        still addresses it — callers must follow up with
+        ``optimizer.grow_state()`` before the next update touches new rows.
+        """
+        if n_new <= 0:
+            raise ValueError(f"n_new must be positive, got {n_new}")
+        spherical = getattr(self.weight, "spherical", False)
+        if init_rows is not None:
+            block = np.asarray(init_rows, dtype=np.float64).copy()
+            if block.shape != (n_new, self.dim):
+                raise ValueError(
+                    f"init_rows must have shape {(n_new, self.dim)}, "
+                    f"got {block.shape}")
+            if spherical:
+                norms = np.linalg.norm(block, axis=1, keepdims=True)
+                block = block / np.maximum(norms, 1e-12)
+        else:
+            rng = ensure_rng(random_state)
+            if spherical:
+                block = init.spherical((n_new, self.dim), random_state=rng)
+            else:
+                block = init.normal((n_new, self.dim), std=self.std,
+                                    random_state=rng)
+        self.weight.data = np.ascontiguousarray(
+            np.concatenate([self.weight.data, block], axis=0))
+        self.n_embeddings += int(n_new)
 
     def clip_to_unit_ball(self, rows: Optional[np.ndarray] = None) -> None:
         """Project embedding rows into the closed unit ball (CML censoring).

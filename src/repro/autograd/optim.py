@@ -89,6 +89,35 @@ class Optimizer:
                     f"has {parameter.data.shape}")
             slots[id(parameter)] = value.copy()
 
+    def _state_tables(self) -> List[Dict[int, np.ndarray]]:
+        """The per-parameter state dicts (``id(parameter)`` keyed) to grow."""
+        return []
+
+    def grow_state(self) -> None:
+        """Row-pad per-parameter state after parameter tables grew.
+
+        Streaming ingestion grows embedding tables row-wise for newly seen
+        users/items (``parameter.data`` is rebound to a taller array).  Any
+        state recorded at the old shape is padded with zero rows, so new
+        ids start with fresh statistics while existing rows keep their
+        history — exactly the state a fresh id would have accumulated had
+        it been present from the start.  Only axis-0 growth is supported.
+        """
+        for table in self._state_tables():
+            for parameter in self.parameters:
+                state = table.get(id(parameter))
+                if state is None or state.shape == parameter.data.shape:
+                    continue
+                if (state.ndim != parameter.data.ndim
+                        or state.shape[1:] != parameter.data.shape[1:]
+                        or state.shape[0] > parameter.data.shape[0]):
+                    raise ValueError(
+                        f"optimizer state of shape {state.shape} cannot be "
+                        f"grown to parameter shape {parameter.data.shape}")
+                padded = np.zeros(parameter.data.shape, dtype=state.dtype)
+                padded[:state.shape[0]] = state
+                table[id(parameter)] = padded
+
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -152,6 +181,9 @@ class SGD(Optimizer):
                              "weight_decay=0")
         parameter.data[rows] = parameter.data[rows] - self.lr * row_grads
 
+    def _state_tables(self) -> List[Dict[int, np.ndarray]]:
+        return [self._velocity]
+
     def state_dict(self) -> Dict[str, np.ndarray]:
         return self._slot_state(self._velocity, "velocity")
 
@@ -214,6 +246,9 @@ class Adagrad(Optimizer):
         parameter.data[rows] = (parameter.data[rows]
                                 - self.lr * row_grads / (np.sqrt(acc[rows]) + self.eps))
 
+    def _state_tables(self) -> List[Dict[int, np.ndarray]]:
+        return [self._accumulator]
+
     def state_dict(self) -> Dict[str, np.ndarray]:
         return self._slot_state(self._accumulator, "accumulator")
 
@@ -259,6 +294,9 @@ class Adam(Optimizer):
             # holds is the one that gets updated; rebinding ``.data`` would
             # swap the buffer out from under them (HOGWILD-SAFETY).
             parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _state_tables(self) -> List[Dict[int, np.ndarray]]:
+        return [self._m, self._v]
 
     def state_dict(self) -> Dict[str, np.ndarray]:
         state = self._slot_state(self._m, "m")

@@ -76,6 +76,17 @@ class TransCF(EmbeddingRecommender):
         item_norm = matrix.T.multiply(1.0 / item_deg[:, None]).tocsr()
         return user_norm, item_norm
 
+    def _on_interactions_changed(self, old_n_users: int, n_users: int,
+                                 old_n_items: int, n_items: int) -> None:
+        """Streaming hook: the normalised adjacency is a fit-time snapshot.
+
+        Rebuild it from the live, already-appended matrix so the next
+        refresh's context vectors see the new edges and id ranges — with
+        the stale snapshot a grown item table would not even matmul.
+        """
+        self._norm_user, self._norm_item = self._normalised_adjacency(
+            self._train_interactions)
+
     def _on_epoch_start(self, epoch: int, interactions: InteractionMatrix) -> None:
         net: _TransCFNetwork = self.network
         # context_u = mean of embeddings of items the user interacted with;

@@ -152,6 +152,37 @@ class MultiFacetRecommender(RuntimeTrainedModel, BaseRecommender):
         self._prepare_training(interactions)
         self.runtime_.run(self.config.n_epochs)
 
+    def _on_interactions_changed(self, old_n_users: int, n_users: int,
+                                 old_n_items: int, n_items: int) -> None:
+        """Streaming hook: extend per-id state living outside the network.
+
+        The streaming trainer grows the embedding tables itself; this grows
+        what it cannot see — the per-user margin vector, which is a plain
+        array, not a parameter — and re-enforces the Eq. 11/17 norm
+        constraint on the freshly grown rows, whose fold-in initialisation
+        knows nothing about it.  Existing users keep their fit-time margins
+        (a warm stream must not silently reshape the loss surface); new
+        users get theirs from the current, already-appended matrix.
+        """
+        if self.margins_ is not None and n_users > self.margins_.shape[0]:
+            old = int(self.margins_.shape[0])
+            if self.config.adaptive_margin:
+                grown = adaptive_margins(
+                    self._train_interactions,
+                    min_margin=self.config.min_margin)[old:n_users]
+            else:
+                grown = np.full(n_users - old, self.config.margin)
+            self.margins_ = np.concatenate([self.margins_, grown])
+        if self.network is not None and (n_users > old_n_users
+                                         or n_items > old_n_items):
+            empty = np.empty(0, dtype=np.int64)
+            self._apply_constraints(
+                self.network,
+                user_rows=(np.arange(old_n_users, n_users)
+                           if n_users > old_n_users else empty),
+                item_rows=(np.arange(old_n_items, n_items)
+                           if n_items > old_n_items else empty))
+
     # ------------------------------------------------------------------ #
     # TrainableModel protocol (consumed by the training runtime)
     # ------------------------------------------------------------------ #

@@ -83,9 +83,8 @@ class TripletBatcher:
         if user_sampling not in ("frequency", "uniform"):
             raise ValueError("user_sampling must be 'frequency' or 'uniform'")
         self.user_sampling = user_sampling
+        self.beta = beta
 
-        degrees = interactions.user_degrees()
-        active = np.flatnonzero(degrees > 0)
         if user_subset is not None:
             subset = np.unique(np.asarray(user_subset, dtype=np.int64))
             if subset.size == 0:
@@ -94,27 +93,44 @@ class TripletBatcher:
                 raise ValueError(
                     f"user_subset ids must be in [0, {interactions.n_users}), "
                     f"got range [{subset[0]}, {subset[-1]}]")
-            active = np.intersect1d(active, subset, assume_unique=True)
             self.user_subset: Optional[np.ndarray] = subset
         else:
             self.user_subset = None
+
+        self._rng = ensure_rng(random_state)
+        self._seen_version = interactions.version
+        self._snapshot()
+
+    def _snapshot(self) -> None:
+        """(Re)build every per-matrix view this batcher samples from.
+
+        Called at construction and again whenever the interaction matrix's
+        :attr:`~repro.data.interactions.InteractionMatrix.version` moves
+        (streaming ingestion appends in place).  The batcher's own RNG
+        stream is threaded through unchanged, so refreshing never perturbs
+        the draw sequence of an unmutated matrix.
+        """
+        interactions = self.interactions
+        degrees = interactions.user_degrees()
+        active = np.flatnonzero(degrees > 0)
+        if self.user_subset is not None:
+            active = np.intersect1d(active, self.user_subset, assume_unique=True)
         self._active_users = active
         if self._active_users.size == 0:
             raise ValueError("no users with interactions"
-                             + (" in user_subset" if user_subset is not None else ""))
+                             + (" in user_subset" if self.user_subset is not None else ""))
         # Interactions an epoch should cover: the subset's share when
         # sharded, every observed interaction otherwise.
         self._epoch_interactions = (
-            int(degrees[self._active_users].sum()) if user_subset is not None
+            int(degrees[self._active_users].sum()) if self.user_subset is not None
             else interactions.n_interactions)
 
-        self._rng = ensure_rng(random_state)
         self._negative_sampler = UniformNegativeSampler(interactions, random_state=self._rng)
         self._user_sampler: Optional[FrequencyBiasedUserSampler] = None
-        if user_sampling == "frequency":
+        if self.user_sampling == "frequency":
             self._user_sampler = FrequencyBiasedUserSampler(
-                interactions, beta=beta, random_state=self._rng,
-                user_subset=self._active_users if user_subset is not None else None,
+                interactions, beta=self.beta, random_state=self._rng,
+                user_subset=self._active_users if self.user_subset is not None else None,
             )
         # CSR-style positive lists — the interaction matrix's own indptr /
         # indices arrays — so positive sampling is a single vectorised
@@ -123,6 +139,11 @@ class TripletBatcher:
         self._positive_counts = degrees
         self._positive_offsets = matrix.indptr.astype(np.int64)
         self._positive_items = matrix.indices.astype(np.int64)
+
+    def _refresh_if_stale(self) -> None:
+        if self.interactions.version != self._seen_version:
+            self._snapshot()
+            self._seen_version = self.interactions.version
 
     # ------------------------------------------------------------------ #
     def n_batches_per_epoch(self) -> int:
@@ -147,6 +168,7 @@ class TripletBatcher:
         ``batch_size`` overrides the configured size for this draw only; it
         must be a positive integer when given.
         """
+        self._refresh_if_stale()
         if batch_size is None:
             size = self.batch_size
         else:
@@ -170,5 +192,6 @@ class TripletBatcher:
 
     def epoch(self) -> Iterator[TripletBatch]:
         """Yield the batches of one epoch."""
+        self._refresh_if_stale()
         for _ in range(self.n_batches_per_epoch()):
             yield self.sample_batch()

@@ -52,6 +52,7 @@ class InteractionMatrix:
         matrix.data[:] = 1.0  # merge duplicates into binary entries
         matrix.eliminate_zeros()
         self._matrix = matrix
+        self._version = 0
 
         self._timestamps: Dict[Tuple[int, int], float] = {}
         if timestamps is not None:
@@ -95,6 +96,17 @@ class InteractionMatrix:
     @property
     def shape(self) -> Tuple[int, int]:
         return (self.n_users, self.n_items)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every observable in-place change.
+
+        Consumers that snapshot derived state (samplers, batchers, cached
+        seen-masks) record the version they were built against and
+        re-snapshot when it moves; a matrix that was never mutated always
+        reports version 0.
+        """
+        return self._version
 
     @property
     def n_interactions(self) -> int:
@@ -202,6 +214,115 @@ class InteractionMatrix:
     # ------------------------------------------------------------------ #
     # editing
     # ------------------------------------------------------------------ #
+    def append_interactions(self, user_indices: Sequence[int],
+                            item_indices: Sequence[int],
+                            timestamps: Optional[Sequence[float]] = None, *,
+                            n_users: Optional[int] = None,
+                            n_items: Optional[int] = None) -> int:
+        """Append interactions in place, growing the matrix when needed.
+
+        Parameters
+        ----------
+        user_indices, item_indices:
+            Parallel coordinate arrays of the new interactions.  Ids beyond
+            the current shape grow the matrix (new rows/columns start with
+            no other interactions).
+        timestamps:
+            Optional per-interaction timestamps; for duplicated pairs the
+            most recent timestamp wins, matching the constructor.
+        n_users, n_items:
+            Optional explicit new dimensions (must not shrink).  Useful to
+            pre-announce ids that have no interactions yet.
+
+        Returns
+        -------
+        int
+            The number of *newly observed* distinct ``(user, item)`` pairs
+            (duplicates of existing interactions count zero).
+
+        Notes
+        -----
+        The cached sorted pair-key index from :meth:`encoded_positive_keys`
+        is refreshed *incrementally* — the new keys are merged into the
+        existing sorted array in ``O(nnz)`` without a full re-sort — unless
+        ``n_items`` changes, which alters the key encoding and forces a
+        rebuild on next access.  All other derived caches are invalidated
+        and the :attr:`version` counter is bumped so snapshotting consumers
+        can detect the mutation.
+        """
+        users = np.asarray(user_indices, dtype=np.int64)
+        items = np.asarray(item_indices, dtype=np.int64)
+        if users.shape != items.shape or users.ndim != 1:
+            raise ValueError("user_indices and item_indices must be equal-length 1-D arrays")
+        if users.size and (users.min() < 0 or items.min() < 0):
+            raise ValueError("interaction indices must be non-negative")
+
+        new_n_users = self.n_users if n_users is None else check_positive_int(n_users, "n_users")
+        new_n_items = self.n_items if n_items is None else check_positive_int(n_items, "n_items")
+        if new_n_users < self.n_users or new_n_items < self.n_items:
+            raise ValueError("append_interactions cannot shrink the matrix")
+        if users.size:
+            new_n_users = max(new_n_users, int(users.max()) + 1)
+            new_n_items = max(new_n_items, int(items.max()) + 1)
+        if users.size == 0 and new_n_users == self.n_users and new_n_items == self.n_items:
+            return 0
+
+        stamps = None
+        if timestamps is not None:
+            stamps = np.asarray(timestamps, dtype=np.float64)
+            if stamps.shape != users.shape:
+                raise ValueError("timestamps must align with the interaction arrays")
+
+        # Incrementally merge the sorted pair-key cache while the old key
+        # encoding (user * n_items + item) is still valid.  Growing n_users
+        # keeps the encoding; growing n_items does not.
+        keys_valid = hasattr(self, "_positive_keys_cache") and new_n_items == self.n_items
+        if keys_valid and users.size:
+            old_keys = self._positive_keys_cache
+            fresh = np.unique(users * np.int64(self.n_items) + items)
+            if old_keys.size:
+                positions = np.searchsorted(old_keys, fresh)
+                present = positions < old_keys.size
+                present[present] = old_keys[positions[present]] == fresh[present]
+            else:
+                positions = np.zeros(fresh.size, dtype=np.int64)
+                present = np.zeros(fresh.size, dtype=bool)
+            fresh = fresh[~present]
+            positions = positions[~present]
+            merged = np.empty(old_keys.size + fresh.size, dtype=np.int64)
+            insert_at = positions + np.arange(fresh.size, dtype=np.int64)
+            is_new = np.zeros(merged.size, dtype=bool)
+            is_new[insert_at] = True
+            merged[is_new] = fresh
+            merged[~is_new] = old_keys
+            self._positive_keys_cache = merged
+        elif hasattr(self, "_positive_keys_cache") and new_n_items != self.n_items:
+            del self._positive_keys_cache
+
+        old_nnz = int(self._matrix.nnz)
+        coo = self._matrix.tocoo()
+        all_users = np.concatenate([coo.row.astype(np.int64), users])
+        all_items = np.concatenate([coo.col.astype(np.int64), items])
+        data = np.ones(all_users.size, dtype=np.float64)
+        matrix = sparse.coo_matrix((data, (all_users, all_items)),
+                                   shape=(new_n_users, new_n_items)).tocsr()
+        matrix.data[:] = 1.0
+        matrix.eliminate_zeros()
+        self._matrix = matrix
+        self.n_users = int(new_n_users)
+        self.n_items = int(new_n_items)
+
+        if stamps is not None:
+            for u, i, t in zip(users, items, stamps):
+                key = (int(u), int(i))
+                if key not in self._timestamps or t > self._timestamps[key]:
+                    self._timestamps[key] = float(t)
+
+        if hasattr(self, "_csc_cache"):
+            del self._csc_cache
+        self._version += 1
+        return int(self._matrix.nnz) - old_nnz
+
     def without_pairs(self, pairs: Iterable[Tuple[int, int]]) -> "InteractionMatrix":
         """Return a copy with the given ``(user, item)`` pairs removed."""
         remove = {(int(u), int(i)) for u, i in pairs}

@@ -36,6 +36,20 @@ class UniformNegativeSampler:
         # is cached on (and shared through) the interaction matrix, so the
         # per-shard samplers of sharded training all point at one copy.
         self._pair_keys = interactions.encoded_positive_keys()
+        self._seen_version = interactions.version
+
+    def _resnapshot(self) -> None:
+        """Re-derive every per-matrix snapshot after the matrix mutated."""
+        self._pair_keys = self.interactions.encoded_positive_keys()
+        self._positive_sets_cache = None
+
+    def _refresh_if_stale(self) -> None:
+        # Streaming ingestion mutates the interaction matrix in place; a
+        # sampler holding a pre-append pair-key index would silently emit
+        # observed interactions as "negatives".
+        if self.interactions.version != self._seen_version:
+            self._resnapshot()
+            self._seen_version = self.interactions.version
 
     @property
     def _positive_sets(self) -> list:
@@ -57,6 +71,7 @@ class UniformNegativeSampler:
 
     def sample(self, user: int, size: int = 1) -> np.ndarray:
         """Draw ``size`` negative items for ``user`` (with rejection)."""
+        self._refresh_if_stale()
         positives = self._positive_sets[user]
         n_items = self.interactions.n_items
         if len(positives) >= n_items:
@@ -90,6 +105,7 @@ class UniformNegativeSampler:
         proposal rounds is ``O(log(batch) / log(1 / density))`` instead of
         one Python-level rejection loop per user.
         """
+        self._refresh_if_stale()
         users = np.asarray(users, dtype=np.int64)
         if users.size == 0:
             return np.empty(0, dtype=np.int64)
@@ -127,15 +143,23 @@ class PopularityNegativeSampler(UniformNegativeSampler):
         super().__init__(interactions, random_state=random_state,
                          max_rejections=max_rejections)
         self.exponent = check_in_range(exponent, "exponent", 0.0, 10.0)
-        degrees = interactions.item_degrees().astype(np.float64)
+        self._compute_item_probs()
+
+    def _compute_item_probs(self) -> None:
+        degrees = self.interactions.item_degrees().astype(np.float64)
         weights = (degrees + 1.0) ** self.exponent
         self._item_probs = weights / weights.sum()
+
+    def _resnapshot(self) -> None:
+        super()._resnapshot()
+        self._compute_item_probs()
 
     def _propose(self, size: int) -> np.ndarray:
         return self._rng.choice(self.interactions.n_items, size=size,
                                 p=self._item_probs).astype(np.int64)
 
     def sample(self, user: int, size: int = 1) -> np.ndarray:
+        self._refresh_if_stale()
         positives = self._positive_sets[user]
         negatives = np.empty(size, dtype=np.int64)
         for slot in range(size):
@@ -168,14 +192,22 @@ class FrequencyBiasedUserSampler:
                  user_subset: Optional[np.ndarray] = None) -> None:
         self.beta = check_in_range(beta, "beta", 0.0, 10.0)
         self._rng = ensure_rng(random_state)
+        self._interactions = interactions
+        self._user_subset = (None if user_subset is None
+                             else np.asarray(user_subset, dtype=np.int64).copy())
+        self._resnapshot()
+        self._seen_version = interactions.version
+
+    def _resnapshot(self) -> None:
+        interactions = self._interactions
         frequencies = interactions.user_degrees().astype(np.float64)
         weights = np.where(frequencies > 0, frequencies ** self.beta, 0.0)
-        if user_subset is not None:
+        if self._user_subset is not None:
             # Restrict Eq. 10 to a user shard: weights outside the subset are
             # zeroed and the remaining mass renormalised, so the conditional
             # distribution over the shard matches the unrestricted sampler.
             mask = np.zeros(interactions.n_users, dtype=bool)
-            mask[np.asarray(user_subset, dtype=np.int64)] = True
+            mask[self._user_subset] = True
             weights = np.where(mask, weights, 0.0)
         total = weights.sum()
         if total <= 0:
@@ -190,4 +222,7 @@ class FrequencyBiasedUserSampler:
 
     def sample(self, size: int = 1) -> np.ndarray:
         """Draw ``size`` user ids."""
+        if self._interactions.version != self._seen_version:
+            self._resnapshot()
+            self._seen_version = self._interactions.version
         return self._rng.choice(self.n_users, size=size, p=self._probs)

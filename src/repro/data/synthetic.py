@@ -21,7 +21,7 @@ the Figure 7 / Table V-VI case studies (item categories, user facet mixes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,80 @@ from repro.data.dataset import ImplicitFeedbackDataset, train_validation_test_sp
 from repro.data.interactions import InteractionMatrix
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_in_range, check_positive_int
+
+
+def generate_event_stream(n_users: int = 200, n_items: int = 300,
+                          n_events: int = 2000, *,
+                          popularity_exponent: float = 0.8,
+                          drift: float = 1.0,
+                          cold_start_fraction: float = 0.2,
+                          random_state: RandomState = None) -> List:
+    """Sample a timestamped interaction stream with drifting item popularity.
+
+    The stream drives the :mod:`repro.streaming` vertical end to end: it is
+    timestamp-ordered (``timestamp = event index``), its item popularity
+    profile *drifts* — two independently permuted power-law profiles are
+    interpolated from stream start to stream end, so the head of the
+    catalogue at ``t=0`` is mostly tail by the final event — and the active
+    user/item prefixes grow over time, so a trainer draining it keeps
+    encountering genuinely new ids (the cold-start path).
+
+    Parameters
+    ----------
+    n_users, n_items:
+        Final id ranges; early events are confined to a prefix of each.
+    n_events:
+        Stream length.
+    popularity_exponent:
+        Power-law exponent of both endpoint popularity profiles.
+    drift:
+        How far the popularity profile travels, in ``[0, 1]``: ``0`` keeps
+        the start profile throughout, ``1`` interpolates all the way to the
+        (independently permuted) end profile.
+    cold_start_fraction:
+        Fraction of each id range *not* yet active at stream start; the
+        active prefixes grow linearly until the last event can touch every
+        id.
+    random_state:
+        Seed; all draws go through :func:`~repro.utils.rng.ensure_rng`, so
+        equal seeds produce bitwise-identical streams.
+
+    Returns
+    -------
+    list of :class:`~repro.streaming.events.InteractionEvent`, in
+    timestamp order.
+    """
+    from repro.streaming.events import InteractionEvent
+
+    check_positive_int(n_users, "n_users")
+    check_positive_int(n_items, "n_items")
+    check_positive_int(n_events, "n_events")
+    check_in_range(drift, "drift", 0.0, 1.0)
+    check_in_range(cold_start_fraction, "cold_start_fraction", 0.0, 1.0)
+    rng = ensure_rng(random_state)
+
+    ranks = np.arange(1, n_items + 1, dtype=np.float64) ** (-popularity_exponent)
+    start_profile = rng.permutation(ranks)
+    end_profile = rng.permutation(ranks)
+
+    start_users = max(1, int(round(n_users * (1.0 - cold_start_fraction))))
+    start_items = max(1, int(round(n_items * (1.0 - cold_start_fraction))))
+
+    events = []
+    for step in range(n_events):
+        progress = step / max(n_events - 1, 1)
+        # Linearly growing active prefixes: the last event can reach
+        # every id, the first only the warm-start prefix.
+        active_users = start_users + int(round(progress * (n_users - start_users)))
+        active_items = start_items + int(round(progress * (n_items - start_items)))
+        profile = ((1.0 - drift * progress) * start_profile
+                   + drift * progress * end_profile)[:active_items]
+        probabilities = profile / profile.sum()
+        user = int(rng.integers(0, active_users))
+        item = int(rng.choice(active_items, p=probabilities))
+        events.append(InteractionEvent(timestamp=float(step), user=user,
+                                       item=item))
+    return events
 
 
 @dataclass

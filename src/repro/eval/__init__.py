@@ -8,7 +8,12 @@ from repro.eval.metrics import (
     precision_at_k,
     recall_at_k,
 )
-from repro.eval.protocol import EvaluationResult, LeaveOneOutEvaluator
+from repro.eval.protocol import (
+    EvaluationResult,
+    LeaveOneOutEvaluator,
+    PrequentialEvaluator,
+    TemporalSplitEvaluator,
+)
 
 __all__ = [
     "hit_ratio_at_k",
@@ -19,4 +24,6 @@ __all__ = [
     "average_precision_at_k",
     "LeaveOneOutEvaluator",
     "EvaluationResult",
+    "PrequentialEvaluator",
+    "TemporalSplitEvaluator",
 ]

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.base import BaseRecommender
 from repro.data.dataset import ImplicitFeedbackDataset
+from repro.data.interactions import InteractionMatrix
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 from repro.eval import metrics as M
@@ -30,6 +31,55 @@ from repro.eval import metrics as M
 #: the default 101-wide candidate lists this scores ~10k users per chunk,
 #: keeping the vectorised models' scratch arrays bounded at any user count.
 _EVAL_BATCH_ELEMENT_BUDGET = 1_000_000
+
+
+def _score_in_chunks(score_batch, users: np.ndarray,
+                     matrix: np.ndarray) -> np.ndarray:
+    """Score a fixed-width ``(U, C)`` candidate matrix in bounded chunks.
+
+    ``score_batch`` is any ``score_items_batch``-shaped callable (live
+    model, serving artifact, streaming trainer).  Chunking only bounds the
+    scorer's scratch allocations; the returned scores are bitwise what one
+    monolithic call would produce, because every family scorer is
+    row-independent.
+    """
+    width = matrix.shape[1]
+    chunk = max(1, _EVAL_BATCH_ELEMENT_BUDGET // max(int(width), 1))
+    scores = np.empty(matrix.shape, dtype=np.float64)
+    for start in range(0, users.size, chunk):
+        rows = slice(start, start + chunk)
+        block = np.asarray(score_batch(users[rows], matrix[rows]),
+                           dtype=np.float64)
+        if block.shape != matrix[rows].shape:
+            raise ValueError(
+                f"scorer returned shape {block.shape}, expected "
+                f"{matrix[rows].shape}")
+        scores[rows] = block
+    return scores
+
+
+def _target_ranks(scores: np.ndarray) -> np.ndarray:
+    """Rank of the column-0 target under a stable descending sort.
+
+    The target never reappears among the negatives, so its rank equals the
+    number of candidates scoring *strictly* higher — identical to where a
+    stable ``argsort(-scores)`` would place it, without materialising the
+    sorted lists.  This is the single rank kernel every protocol in this
+    module (leave-one-out, temporal split, prequential) shares.
+    """
+    return np.sum(scores > scores[:, :1], axis=1)
+
+
+def _rank_metrics(ranks: np.ndarray, width: int,
+                  cutoffs: Sequence[int]) -> Dict[str, np.ndarray]:
+    """Per-row HR@K / nDCG@K / MRR from target ranks at one list width."""
+    out: Dict[str, np.ndarray] = {}
+    for k in cutoffs:
+        hit = ranks < min(k, width)
+        out[f"hr@{k}"] = hit.astype(np.float64)
+        out[f"ndcg@{k}"] = np.where(hit, 1.0 / np.log2(ranks + 2.0), 0.0)
+    out["mrr"] = 1.0 / (ranks + 1.0)
+    return out
 
 
 @dataclass
@@ -182,21 +232,12 @@ class LeaveOneOutEvaluator:
                 rows = group_rows[start:start + chunk]
                 group = np.array([users[row] for row in rows], dtype=np.int64)
                 matrix = np.stack([self._candidates[int(user)] for user in group])
-                scores = np.asarray(model.score_items_batch(group, matrix),
-                                    dtype=np.float64)
-                if scores.shape != matrix.shape:
-                    raise ValueError(
-                        f"{type(model).__name__}.score_items_batch returned shape "
-                        f"{scores.shape}, expected {matrix.shape}"
-                    )
-                ranks = np.sum(scores > scores[:, :1], axis=1)
-                for k in self.cutoffs:
-                    hit = ranks < min(k, width)
-                    per_user[f"hr@{k}"][rows] = hit.astype(np.float64)
-                    per_user[f"ndcg@{k}"][rows] = np.where(
-                        hit, 1.0 / np.log2(ranks + 2.0), 0.0
-                    )
-                per_user["mrr"][rows] = 1.0 / (ranks + 1.0)
+                scores = _score_in_chunks(model.score_items_batch, group,
+                                          matrix)
+                ranks = _target_ranks(scores)
+                for name, values in _rank_metrics(ranks, int(width),
+                                                  self.cutoffs).items():
+                    per_user[name][rows] = values
 
         aggregated = {name: float(np.mean(values)) if n_users else 0.0
                       for name, values in per_user.items()}
@@ -234,3 +275,276 @@ class LeaveOneOutEvaluator:
     def evaluate_many(self, models: Dict[str, "BaseRecommender"]) -> Dict[str, EvaluationResult]:
         """Evaluate several fitted models on identical candidate lists."""
         return {name: self.evaluate(model) for name, model in models.items()}
+
+
+class TemporalSplitEvaluator:
+    """Train-before-``t`` / test-after-``t`` evaluation over timestamped events.
+
+    The leave-one-out protocol above samples the held-out item at random,
+    which leaks future interactions into training.  The temporal protocol
+    does what a deployed system experiences: every event strictly before
+    ``split_time`` is training data, every event at or after it is a test
+    case, and a model fitted on :meth:`train_matrix` is asked to rank each
+    test event's item against ``n_negatives`` items its user never
+    interacts with in the *entire* stream (so a "negative" is never secretly
+    a future positive).  Test events whose user has no pre-``t`` history are
+    excluded — those are cold-start cases, measured separately through
+    :class:`~repro.streaming.coldstart.ColdStartPolicy` — and every retained
+    test event is therefore *after* its user's train horizon by
+    construction.
+
+    Scoring reuses the same batched rank kernel as
+    :class:`LeaveOneOutEvaluator` (``_target_ranks`` over
+    ``score_items_batch`` chunks), so artifacts, live models and streaming
+    trainers are all evaluable and batched/per-event paths agree exactly.
+
+    Parameters
+    ----------
+    events:
+        The full timestamped stream — any iterable of
+        :class:`~repro.streaming.events.InteractionEvent` or a
+        :class:`~repro.streaming.events.StreamSource`.
+    split_time:
+        The horizon ``t``: train is ``timestamp < t``, test ``>= t``.
+    n_users, n_items:
+        Id ranges; ``None`` infers them from the events (max id + 1).
+    n_negatives, cutoffs, random_state:
+        As in :class:`LeaveOneOutEvaluator`; candidates are pre-sampled
+        once, so evaluating several models is paired.
+    """
+
+    def __init__(self, events, split_time: float,
+                 n_users: Optional[int] = None,
+                 n_items: Optional[int] = None,
+                 n_negatives: int = 100, cutoffs: Sequence[int] = (10, 20),
+                 random_state: RandomState = 0) -> None:
+        if hasattr(events, "events"):
+            events = events.events()
+        events = sorted(events)
+        self.split_time = float(split_time)
+        self.n_negatives = check_positive_int(n_negatives, "n_negatives")
+        self.cutoffs = tuple(check_positive_int(k, "cutoff") for k in cutoffs)
+        self._rng = ensure_rng(random_state)
+
+        users = np.fromiter((e.user for e in events), dtype=np.int64,
+                            count=len(events))
+        items = np.fromiter((e.item for e in events), dtype=np.int64,
+                            count=len(events))
+        stamps = np.fromiter((e.timestamp for e in events), dtype=np.float64,
+                             count=len(events))
+        self.n_users = int(n_users) if n_users is not None else \
+            int(users.max()) + 1 if users.size else 0
+        self.n_items = int(n_items) if n_items is not None else \
+            int(items.max()) + 1 if items.size else 0
+        train_mask = stamps < self.split_time
+        if not train_mask.any():
+            raise ValueError(
+                f"no events precede split_time={self.split_time}; nothing "
+                "to train on")
+        self._train = (users[train_mask], items[train_mask],
+                       stamps[train_mask])
+        self._test = (users[~train_mask], items[~train_mask],
+                      stamps[~train_mask])
+        # Lifetime interaction sets drive the negative pools: an item the
+        # user touches at *any* time (before or after t) is never sampled.
+        self._lifetime = InteractionMatrix(self.n_users, self.n_items,
+                                           users, items)
+        train_users = np.zeros(self.n_users, dtype=bool)
+        train_users[self._train[0]] = True
+        evaluable = train_users[self._test[0]]
+        self._test_users = self._test[0][evaluable]
+        self._test_items = self._test[1][evaluable]
+        self._test_stamps = self._test[2][evaluable]
+        self.n_skipped_cold = int((~evaluable).sum())
+        self._candidates = self._build_candidates()
+
+    def train_matrix(self) -> InteractionMatrix:
+        """The pre-``t`` interactions as a fresh, timestamped matrix."""
+        users, items, stamps = self._train
+        return InteractionMatrix(self.n_users, self.n_items, users, items,
+                                 timestamps=stamps)
+
+    @property
+    def n_test_events(self) -> int:
+        """Evaluable test events (cold-user events excluded)."""
+        return int(self._test_users.size)
+
+    def _build_candidates(self) -> List[np.ndarray]:
+        """Pre-sample ``[target, negatives...]`` per evaluable test event."""
+        candidates: List[np.ndarray] = []
+        all_items = np.arange(self.n_items, dtype=np.int64)
+        for user, item in zip(self._test_users, self._test_items):
+            pool = np.setdiff1d(all_items,
+                                self._lifetime.items_of_user(int(user)),
+                                assume_unique=False)
+            size = min(self.n_negatives, pool.size)
+            negatives = self._rng.choice(pool, size=size, replace=False)
+            candidates.append(
+                np.concatenate([[item], negatives]).astype(np.int64))
+        return candidates
+
+    def evaluate(self, model, batched: bool = True) -> EvaluationResult:
+        """Rank every evaluable test event's item against its negatives.
+
+        ``model`` is anything with the ``score_items_batch`` contract
+        (fitted recommender, serving artifact,
+        :class:`~repro.streaming.online.StreamingTrainer` via its
+        ``score_candidates``).  Metrics average over *events*, the
+        prequential convention, not over users.
+        """
+        score_batch = getattr(model, "score_items_batch", None)
+        if score_batch is None:
+            score_batch = model.score_candidates
+        n_events = len(self._candidates)
+        per_event: Dict[str, np.ndarray] = {
+            name: np.zeros(n_events)
+            for name in _metric_names(self.cutoffs)}
+        widths = np.array([c.size for c in self._candidates], dtype=np.int64)
+        for width in np.unique(widths):
+            rows = np.flatnonzero(widths == width)
+            users = self._test_users[rows]
+            matrix = np.stack([self._candidates[row] for row in rows])
+            if batched:
+                scores = _score_in_chunks(score_batch, users, matrix)
+            else:
+                scores = np.stack([
+                    np.asarray(score_batch(users[index:index + 1],
+                                           matrix[index:index + 1])[0],
+                               dtype=np.float64)
+                    for index in range(users.size)])
+            ranks = _target_ranks(scores)
+            for name, values in _rank_metrics(ranks, int(width),
+                                              self.cutoffs).items():
+                per_event[name][rows] = values
+        aggregated = {name: float(np.mean(values)) if n_events else 0.0
+                      for name, values in per_event.items()}
+        return EvaluationResult(metrics=aggregated, per_user=per_event,
+                                n_users=n_events)
+
+
+class PrequentialEvaluator:
+    """Rolling evaluate-then-train over a stream (interleaved test-then-learn).
+
+    The prequential protocol replays a stream in micro-batches: each batch
+    is first *scored* by the current model state — every event's item
+    ranked against freshly sampled never-yet-interacted negatives — and
+    only then *ingested* by the
+    :class:`~repro.streaming.online.StreamingTrainer`, so every event is
+    evaluated exactly once, by a model that has never seen it.  Counters
+    are cumulative sums, so replaying a longer prefix of the same stream
+    can only grow ``n_events`` and every metric *sum* — the monotonicity
+    the streaming certification asserts.
+
+    Cold users are scored through the trainer's
+    :meth:`~repro.streaming.online.StreamingTrainer.score_candidates`
+    popularity fallback (never an error); events whose *item* is outside
+    the current catalogue are counted as misses — no scorer can rank an
+    item it has no row for, and silently skipping them would inflate the
+    metrics.
+
+    ``batched=False`` scores each event through an independent per-event
+    call — the reference loop the batched kernel is certified against.
+    """
+
+    def __init__(self, trainer, n_negatives: int = 100,
+                 cutoffs: Sequence[int] = (10, 20),
+                 random_state: RandomState = 0) -> None:
+        self.trainer = trainer
+        self.n_negatives = check_positive_int(n_negatives, "n_negatives")
+        self.cutoffs = tuple(check_positive_int(k, "cutoff") for k in cutoffs)
+        self._rng = ensure_rng(random_state)
+        self._names = _metric_names(self.cutoffs)
+        self._sums: Dict[str, float] = {name: 0.0 for name in self._names}
+        self.n_events = 0
+        self.history: List[Dict[str, float]] = []
+
+    # ------------------------------------------------------------------ #
+    def _sample_candidates(self, user: int, item: int,
+                           n_items: int) -> np.ndarray:
+        """``[target, negatives...]`` against the *current* catalogue."""
+        seen = (self.trainer.interactions.items_of_user(user)
+                if user < self.trainer.interactions.n_users
+                else np.empty(0, dtype=np.int64))
+        exclude = np.union1d(seen, np.asarray([item], dtype=np.int64))
+        pool = np.setdiff1d(np.arange(n_items, dtype=np.int64), exclude,
+                            assume_unique=True)
+        size = min(self.n_negatives, pool.size)
+        negatives = self._rng.choice(pool, size=size, replace=False)
+        return np.concatenate([[item], negatives]).astype(np.int64)
+
+    def _score_batch(self, batch, batched: bool):
+        """Evaluate one micro-batch against the current model state."""
+        n_items = self.trainer.interactions.n_items
+        scorable = [e for e in batch if e.item < n_items]
+        n_unscorable = len(batch) - len(scorable)
+        # Candidates are sampled in event order regardless of the scoring
+        # path, so batched and per-event runs consume identical RNG draws.
+        users = np.fromiter((e.user for e in scorable), dtype=np.int64,
+                            count=len(scorable))
+        candidates = [self._sample_candidates(int(e.user), int(e.item),
+                                              n_items) for e in scorable]
+        sums = {name: 0.0 for name in self._names}
+        if candidates:
+            widths = np.array([c.size for c in candidates], dtype=np.int64)
+            for width in np.unique(widths):
+                rows = np.flatnonzero(widths == width)
+                matrix = np.stack([candidates[row] for row in rows])
+                group = users[rows]
+                if batched:
+                    scores = _score_in_chunks(
+                        self.trainer.score_candidates, group, matrix)
+                else:
+                    scores = np.stack([
+                        np.asarray(self.trainer.score_candidates(
+                            group[index:index + 1],
+                            matrix[index:index + 1])[0], dtype=np.float64)
+                        for index in range(group.size)])
+                ranks = _target_ranks(scores)
+                for name, values in _rank_metrics(ranks, int(width),
+                                                  self.cutoffs).items():
+                    sums[name] += float(values.sum())
+        # Out-of-catalogue items: counted, never scored — a miss on every
+        # metric (they add to the denominator only).
+        return sums, len(scorable) + n_unscorable
+
+    def run(self, source, batch_events: int = 256,
+            batched: bool = True) -> "PrequentialEvaluator":
+        """Replay ``source`` with evaluate-then-train micro-batches.
+
+        After each batch the cumulative metric means are appended to
+        :attr:`history` (each entry also records ``n_events``).  Returns
+        ``self`` for chaining into :meth:`result`.
+        """
+        check_positive_int(batch_events, "batch_events")
+        batch = []
+        for event in source.events():
+            batch.append(event)
+            if len(batch) >= batch_events:
+                self._step(batch, batched)
+                batch = []
+        if batch:
+            self._step(batch, batched)
+        return self
+
+    def _step(self, batch, batched: bool) -> None:
+        sums, n_scored = self._score_batch(batch, batched)
+        for name, value in sums.items():
+            self._sums[name] += value
+        self.n_events += n_scored
+        self.trainer.ingest(batch)
+        snapshot = self.result().metrics
+        snapshot["n_events"] = float(self.n_events)
+        self.history.append(snapshot)
+
+    def result(self) -> EvaluationResult:
+        """Cumulative prequential metrics over every event replayed so far."""
+        aggregated = {
+            name: (self._sums[name] / self.n_events) if self.n_events else 0.0
+            for name in self._names}
+        return EvaluationResult(metrics=aggregated, n_users=self.n_events)
+
+
+def _metric_names(cutoffs: Sequence[int]) -> List[str]:
+    names = [f"hr@{k}" for k in cutoffs] + [f"ndcg@{k}" for k in cutoffs]
+    names.append("mrr")
+    return names

@@ -54,6 +54,11 @@ from repro.serving.query import Query, QueryResult
 _LAZY = {
     "ServingArtifact": "repro.serving.artifact",
     "ARTIFACT_FORMAT_VERSION": "repro.serving.artifact",
+    "ArtifactDelta": "repro.serving.artifact",
+    "DELTA_FORMAT_VERSION": "repro.serving.artifact",
+    "make_delta": "repro.serving.artifact",
+    "save_delta": "repro.serving.artifact",
+    "load_delta": "repro.serving.artifact",
     "ModelRegistry": "repro.serving.service",
     "RecommenderService": "repro.serving.service",
     "DEFAULT_MODEL": "repro.serving.service",

@@ -21,6 +21,8 @@ invariants" section of ``ROADMAP.md``).
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
 from pathlib import Path
 from types import MappingProxyType
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
@@ -31,6 +33,7 @@ from repro.reliability.errors import ArtifactIntegrityError
 from repro.serving.kernel import broadcast_candidates, encode_seen_keys, run_query
 from repro.serving.query import Query, QueryResult
 from repro.serving.retrieval import (
+    APPROX_FAMILIES,
     DEFAULT_KMEANS_ITERATIONS,
     IVFIndex,
     build_ivf_index,
@@ -59,6 +62,15 @@ ARTIFACT_FORMAT_VERSION = 2
 
 #: Format versions :meth:`ServingArtifact.load` understands.
 _SUPPORTED_FORMAT_VERSIONS = (1, 2)
+
+#: On-disk format version of *delta* bundles — sparse row-wise updates
+#: against a published base artifact (see :class:`ArtifactDelta`,
+#: :func:`save_delta` / :func:`load_delta`).  Deltas are a different kind
+#: of file from full artifacts: :meth:`ServingArtifact.load` refuses them
+#: with a pointer at the delta path instead of misreading them.
+DELTA_FORMAT_VERSION = 3
+
+_DELTA_PREFIX = "delta."
 
 
 class ServingArtifact:
@@ -350,6 +362,13 @@ class ServingArtifact:
         version_entry = arrays.get(_META_PREFIX + "format_version")
         version = (unpack_scalar(version_entry)
                    if version_entry is not None else None)
+        kind_entry = arrays.get(_META_PREFIX + "kind")
+        if kind_entry is not None and unpack_scalar(kind_entry) == "delta":
+            raise ArtifactIntegrityError(
+                f"{path} is a delta bundle (format v{version}), not a full "
+                "artifact; read it with load_delta() and apply it via "
+                "ServingArtifact.delta_update() or "
+                "ModelRegistry.publish_delta()")
         if version not in _SUPPORTED_FORMAT_VERSIONS:
             raise ArtifactIntegrityError(
                 f"{path} has serving-artifact format version {version!r}; "
@@ -384,6 +403,182 @@ class ServingArtifact:
                    index=index)
 
     # ------------------------------------------------------------------ #
+    # delta refresh
+    # ------------------------------------------------------------------ #
+    def content_digest(self) -> str:
+        """SHA-256 over everything that defines this artifact's answers.
+
+        Covers the family, the id ranges, every tensor (name, dtype, shape
+        and bytes), the seen CSR and the IVF index arrays.  Two artifacts
+        with equal digests answer every query bitwise-identically; a delta
+        records its base's digest so :meth:`delta_update` can refuse to
+        patch the wrong base.  Memory-mapped and heap-resident copies of
+        the same bundle hash the same (the hash reads bytes, not storage).
+        """
+        digest = hashlib.sha256()
+        digest.update(self.family.encode("utf-8"))
+        digest.update(f"|{self.n_users}|{self.n_items}|".encode("ascii"))
+        for name in sorted(self.tensors):
+            tensor = self.tensors[name]
+            digest.update(name.encode("utf-8"))
+            digest.update(f"|{tensor.dtype.str}|{tensor.shape}|".encode("ascii"))
+            digest.update(np.ascontiguousarray(tensor).tobytes())
+        if self._seen is not None:
+            digest.update(b"|seen|")
+            digest.update(np.ascontiguousarray(self._seen[0]).tobytes())
+            digest.update(np.ascontiguousarray(self._seen[1]).tobytes())
+        if self._index is not None:
+            digest.update(b"|ivf|")
+            digest.update(np.ascontiguousarray(self._index.centroids).tobytes())
+            digest.update(np.ascontiguousarray(self._index.cell_indptr).tobytes())
+            digest.update(np.ascontiguousarray(self._index.cell_items).tobytes())
+        return digest.hexdigest()
+
+    def delta_update(self, delta: "ArtifactDelta", *,
+                     drift_threshold: float = 0.25,
+                     index_random_state: RandomState = 0,
+                     n_iterations: int = DEFAULT_KMEANS_ITERATIONS,
+                     ) -> "ServingArtifact":
+        """Apply a row-wise :class:`ArtifactDelta`, returning a new artifact.
+
+        Copy-on-write: tensors the delta does not touch are *shared* with
+        this artifact (both are frozen, so sharing is safe); touched
+        tensors are rebuilt once with the updated rows scattered in, and
+        rows past the old height grow the tensor (streaming growth).
+        Updates whose ``rows`` is ``None`` replace the tensor wholesale
+        (new tensors, 0-d scalars, non-leading-axis reshapes).  The
+        delta must target exactly this artifact — its recorded base digest
+        is checked against :meth:`content_digest` and a mismatch raises
+        :class:`ArtifactIntegrityError` before anything is patched.
+
+        A bundled IVF index is *patched*, not rebuilt: only items whose
+        vectors changed (or are new) are reassigned to their nearest
+        existing centroid — the same assignment rule k-means itself uses —
+        so a small refresh costs O(changed x cells) instead of a full
+        clustering pass.  When more than ``drift_threshold`` of the
+        catalogue moved, patching would let centroids drift arbitrarily far
+        from the data, so the index is rebuilt from scratch with the same
+        cell count (seeded by ``index_random_state``).
+        """
+        if delta.family != self.family:
+            raise ArtifactIntegrityError(
+                f"delta targets family {delta.family!r}; this artifact is "
+                f"{self.family!r}")
+        base_digest = self.content_digest()
+        if delta.base_digest != base_digest:
+            raise ArtifactIntegrityError(
+                f"delta was diffed against base {delta.base_digest[:12]}..., "
+                f"but this artifact's content digest is "
+                f"{base_digest[:12]}...; refusing to patch the wrong base")
+        if delta.n_users < self.n_users or delta.n_items < self.n_items:
+            raise ArtifactIntegrityError(
+                f"delta shrinks the id ranges ({delta.n_users} users / "
+                f"{delta.n_items} items vs {self.n_users} / {self.n_items}); "
+                "artifacts only grow")
+        tensors: Dict[str, np.ndarray] = dict(self.tensors)
+        for name, (rows, values) in delta.updates.items():
+            if rows is None:
+                # Wholesale replacement: a brand-new tensor, a 0-d scalar,
+                # or a reshape row-diffing cannot express (e.g. growth along
+                # a non-leading axis of the (K, U, D) facet tables).
+                tensors[name] = values
+                continue
+            base = tensors.get(name)
+            if base is None:
+                raise ArtifactIntegrityError(
+                    f"delta updates unknown tensor {name!r}; this artifact "
+                    f"has {sorted(tensors)}")
+            if base.ndim == 0:
+                raise ArtifactIntegrityError(
+                    f"delta ships row updates for 0-d tensor {name!r}; "
+                    "scalars can only be replaced wholesale")
+            if values.shape[1:] != base.shape[1:] or values.dtype != base.dtype:
+                raise ArtifactIntegrityError(
+                    f"delta rows for {name!r} have dtype/shape "
+                    f"{values.dtype}/{values.shape[1:]}, tensor has "
+                    f"{base.dtype}/{base.shape[1:]}")
+            old_height = base.shape[0]
+            new_height = max(old_height,
+                             int(rows.max()) + 1 if rows.size else 0)
+            grown = np.arange(old_height, new_height, dtype=np.int64)
+            if grown.size and not np.isin(grown, rows).all():
+                raise ArtifactIntegrityError(
+                    f"delta grows {name!r} to {new_height} rows but does "
+                    "not provide every row past the old height")
+            patched = np.empty((new_height,) + base.shape[1:],
+                               dtype=base.dtype)
+            patched[:old_height] = base
+            patched[rows] = values
+            tensors[name] = patched
+        seen = delta.seen
+        if seen is None and self._seen is not None:
+            indptr, indices = self._seen
+            if delta.n_users > self.n_users:
+                # Grown users have no train-set history yet: extend the
+                # CSR with empty rows instead of dropping exclude_seen.
+                indptr = np.concatenate([
+                    indptr,
+                    np.full(delta.n_users - self.n_users, indptr[-1],
+                            dtype=np.int64)])
+            seen = (indptr, indices)
+        index = None
+        if self._index is not None:
+            index = self._patch_index(tensors, delta.n_items,
+                                      drift_threshold=drift_threshold,
+                                      index_random_state=index_random_state,
+                                      n_iterations=n_iterations)
+        return ServingArtifact(family=self.family, tensors=tensors,
+                               n_users=delta.n_users, n_items=delta.n_items,
+                               seen=seen,
+                               model_name=delta.model_name or self.model_name,
+                               index=index)
+
+    def _patch_index(self, new_tensors: Dict[str, np.ndarray], n_items: int,
+                     *, drift_threshold: float,
+                     index_random_state: RandomState,
+                     n_iterations: int) -> IVFIndex:
+        """Reassign only moved/new items; full k-means rebuild past drift."""
+        spec = APPROX_FAMILIES[self.family]
+        old_vectors = spec.item_vectors(dict(self.tensors))
+        new_vectors = spec.item_vectors(new_tensors)
+        centroids = self._index.centroids
+        if new_vectors.shape[1] != centroids.shape[1]:
+            # The item-vector dimensionality changed: old centroids are
+            # meaningless, only a rebuild makes sense.
+            return build_ivf_index(self.family, new_tensors,
+                                   self._index.n_cells,
+                                   random_state=index_random_state,
+                                   n_iterations=n_iterations)
+        old_n = old_vectors.shape[0]
+        common = min(old_n, new_vectors.shape[0])
+        changed = np.flatnonzero(np.any(
+            old_vectors[:common] != new_vectors[:common], axis=1))
+        touched = np.concatenate([
+            changed, np.arange(old_n, n_items, dtype=np.int64)])
+        if touched.size == 0 and n_items == old_n:
+            return self._index  # nothing moved: share the frozen index
+        if touched.size / max(n_items, 1) > drift_threshold:
+            return build_ivf_index(self.family, new_tensors,
+                                   self._index.n_cells,
+                                   random_state=index_random_state,
+                                   n_iterations=n_iterations)
+        assignments = np.empty(n_items, dtype=np.int64)
+        assignments[:old_n] = self._index.assignments()
+        # Nearest-centroid via the Gram expansion — identical tie-breaking
+        # (argmax -> lowest cell id) to the k-means assignment step, so a
+        # patched cell list is exactly what assignment against these
+        # centroids would have produced.
+        cent_sq = np.einsum("cd,cd->c", centroids, centroids)
+        affinity = 2.0 * (new_vectors[touched] @ centroids.T) \
+            - cent_sq[None, :]
+        assignments[touched] = np.argmax(affinity, axis=1)
+        cell_items = np.argsort(assignments, kind="stable").astype(np.int64)
+        sizes = np.bincount(assignments, minlength=centroids.shape[0])
+        cell_indptr = np.zeros(centroids.shape[0] + 1, dtype=np.int64)
+        np.cumsum(sizes, out=cell_indptr[1:])
+        return IVFIndex(centroids, cell_indptr, cell_items)
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def nbytes(self) -> int:
@@ -404,6 +599,208 @@ class ServingArtifact:
                 f"model={self.model_name!r}, users={self.n_users}, "
                 f"items={self.n_items}, {seen}, {ivf}, "
                 f"{self.nbytes() / 1e6:.1f} MB)")
+
+
+@dataclass(frozen=True)
+class ArtifactDelta:
+    """Sparse row-wise difference between two serving artifacts.
+
+    ``updates`` maps each touched tensor name to ``(rows, values)``:
+    ``rows`` the sorted int64 row indices that changed (or are new) and
+    ``values`` the replacement rows, ``(len(rows),) + tensor.shape[1:]``.
+    ``rows`` may instead be ``None``, meaning ``values`` *replaces* the
+    whole tensor — used for brand-new tensors, 0-d scalars, and reshapes
+    row-diffing cannot express (growth along a non-leading axis, e.g. the
+    multifacet family's ``(K, n_users, D)`` facet tables).
+    ``base_digest`` pins the artifact the delta was diffed against —
+    :meth:`ServingArtifact.delta_update` refuses any other base.  ``seen``
+    (when present) *replaces* the base's seen CSR wholesale: the CSR is a
+    compact train-set summary whose rows re-pack on every append, so
+    row-diffing it would save nothing.
+    """
+
+    base_digest: str
+    family: str
+    model_name: str
+    n_users: int
+    n_items: int
+    updates: Mapping[str, Tuple[Optional[np.ndarray], np.ndarray]]
+    seen: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def n_updated_rows(self) -> int:
+        """Total updated/new rows across all touched tensors.
+
+        A wholesale replacement counts its leading-axis height (1 for a
+        0-d scalar), matching what a row-wise update of the same payload
+        would report.
+        """
+        total = 0
+        for rows, values in self.updates.values():
+            if rows is None:
+                total += int(values.shape[0]) if values.ndim else 1
+            else:
+                total += int(rows.size)
+        return total
+
+    def nbytes(self) -> int:
+        """Payload bytes the delta ships (rows + values + seen CSR)."""
+        total = sum((rows.nbytes if rows is not None else 0) + values.nbytes
+                    for rows, values in self.updates.values())
+        if self.seen is not None:
+            total += self.seen[0].nbytes + self.seen[1].nbytes
+        return int(total)
+
+
+def make_delta(base: ServingArtifact, fresh: ServingArtifact) -> ArtifactDelta:
+    """Diff ``fresh`` against ``base`` into a row-wise :class:`ArtifactDelta`.
+
+    Both artifacts must be the same family and ``fresh`` must cover at
+    least ``base``'s id ranges (streaming state only grows).  Per tensor,
+    the rows that differ on the common height plus every row past it are
+    recorded; tensors that did not move contribute nothing.  Tensors
+    row-diffing cannot express — brand new, 0-d scalars, reshaped along a
+    non-leading axis (the multifacet ``(K, n_users, D)`` facet tables grow
+    this way) — ship wholesale with ``rows=None``.  ``fresh``'s
+    seen CSR (when bundled) rides along wholesale.  ``fresh`` does *not*
+    need an IVF index — applying the delta patches the base's index from
+    the updated item vectors instead (see
+    :meth:`ServingArtifact.delta_update`).
+    """
+    if fresh.family != base.family:
+        raise ValueError(
+            f"cannot diff family {fresh.family!r} against {base.family!r}")
+    if fresh.n_users < base.n_users or fresh.n_items < base.n_items:
+        raise ValueError(
+            f"fresh artifact shrinks the id ranges ({fresh.n_users} users / "
+            f"{fresh.n_items} items vs {base.n_users} / {base.n_items}); "
+            "deltas only grow")
+    missing = set(base.tensors) - set(fresh.tensors)
+    if missing:
+        raise ValueError(
+            f"fresh artifact is missing tensors {sorted(missing)} present "
+            "in the base")
+    updates: Dict[str, Tuple[Optional[np.ndarray], np.ndarray]] = {}
+    for name, new in fresh.tensors.items():
+        old = base.tensors.get(name)
+        if old is None or old.ndim == 0 or new.ndim == 0 \
+                or old.shape[1:] != new.shape[1:] or old.dtype != new.dtype:
+            # Brand-new tensor, 0-d scalar, or a reshape row-diffing cannot
+            # express (growth along a non-leading axis, e.g. the multifacet
+            # (K, n_users, D) facet tables): ship the whole tensor.
+            if old is not None and np.array_equal(old, new) \
+                    and old.dtype == new.dtype:
+                continue
+            # np.ascontiguousarray would promote 0-d to (1,); asarray with
+            # order="C" makes contiguous while preserving the shape.
+            updates[name] = (None, np.asarray(new, order="C"))
+            continue
+        common = min(old.shape[0], new.shape[0])
+        if new.ndim == 1:
+            moved = old[:common] != new[:common]
+        else:
+            tail_axes = tuple(range(1, new.ndim))
+            moved = np.any(old[:common] != new[:common], axis=tail_axes)
+        rows = np.concatenate([
+            np.flatnonzero(moved).astype(np.int64),
+            np.arange(common, new.shape[0], dtype=np.int64)])
+        if rows.size == 0:
+            continue
+        updates[name] = (rows, np.ascontiguousarray(new[rows]))
+    seen = None
+    if fresh.has_seen:
+        seen = (np.asarray(fresh._seen[0], dtype=np.int64),
+                np.asarray(fresh._seen[1], dtype=np.int64))
+    return ArtifactDelta(base_digest=base.content_digest(),
+                         family=base.family,
+                         model_name=fresh.model_name or base.model_name,
+                         n_users=fresh.n_users, n_items=fresh.n_items,
+                         updates=updates, seen=seen)
+
+
+def save_delta(delta: ArtifactDelta, path: Union[str, Path], *,
+               compressed: bool = True) -> Path:
+    """Persist a delta bundle (format v3) — atomic and digest-verified.
+
+    Same write discipline as :meth:`ServingArtifact.save`: one pickle-free
+    ``.npz``, temp-file + fsync + rename, SHA-256 per entry, so
+    :func:`load_delta` rejects truncated or bit-flipped delta files before
+    anything is patched.
+    """
+    arrays: Dict[str, np.ndarray] = {
+        _META_PREFIX + "format_version": pack_scalar(DELTA_FORMAT_VERSION),
+        _META_PREFIX + "kind": pack_scalar("delta"),
+        _META_PREFIX + "family": pack_scalar(delta.family),
+        _META_PREFIX + "model_name": pack_scalar(delta.model_name),
+        _META_PREFIX + "base_digest": pack_scalar(delta.base_digest),
+        _META_PREFIX + "n_users": pack_scalar(delta.n_users),
+        _META_PREFIX + "n_items": pack_scalar(delta.n_items),
+        _META_PREFIX + "has_seen": pack_scalar(delta.seen is not None),
+    }
+    for name, (rows, values) in delta.updates.items():
+        if rows is None:
+            arrays[_DELTA_PREFIX + name + ".full"] = values
+        else:
+            arrays[_DELTA_PREFIX + name + ".rows"] = rows
+            arrays[_DELTA_PREFIX + name + ".values"] = values
+    if delta.seen is not None:
+        arrays["seen_indptr"], arrays["seen_indices"] = delta.seen
+    return save_arrays(path, arrays, digests=True, compressed=compressed)
+
+
+def load_delta(path: Union[str, Path]) -> ArtifactDelta:
+    """Restore a delta bundle written by :func:`save_delta`.
+
+    Entry digests are verified by :func:`~repro.utils.io.load_arrays`;
+    files that are not v3 delta bundles raise
+    :class:`ArtifactIntegrityError` (a *full* artifact file points back at
+    :meth:`ServingArtifact.load`).
+    """
+    arrays = load_arrays(path, digests="auto")
+    version_entry = arrays.get(_META_PREFIX + "format_version")
+    version = (unpack_scalar(version_entry)
+               if version_entry is not None else None)
+    kind_entry = arrays.get(_META_PREFIX + "kind")
+    kind = unpack_scalar(kind_entry) if kind_entry is not None else None
+    if kind != "delta":
+        raise ArtifactIntegrityError(
+            f"{path} is not a delta bundle"
+            + ("; it looks like a full serving artifact — read it with "
+               "ServingArtifact.load()" if version in
+               _SUPPORTED_FORMAT_VERSIONS else ""))
+    if version != DELTA_FORMAT_VERSION:
+        raise ArtifactIntegrityError(
+            f"{path} has delta format version {version!r}; this build "
+            f"reads version {DELTA_FORMAT_VERSION}")
+    updates: Dict[str, Tuple[Optional[np.ndarray], np.ndarray]] = {}
+    for name, array in arrays.items():
+        if name.startswith(_DELTA_PREFIX) and name.endswith(".rows"):
+            tensor = name[len(_DELTA_PREFIX):-len(".rows")]
+            try:
+                values = arrays[_DELTA_PREFIX + tensor + ".values"]
+            except KeyError:
+                raise ArtifactIntegrityError(
+                    f"{path}: delta rows for {tensor!r} have no matching "
+                    "values entry") from None
+            rows = np.asarray(array, dtype=np.int64)
+            if rows.ndim != 1 or values.shape[:1] != rows.shape:
+                raise ArtifactIntegrityError(
+                    f"{path}: delta entry {tensor!r} is malformed "
+                    f"(rows {rows.shape}, values {values.shape})")
+            updates[tensor] = (rows, values)
+        elif name.startswith(_DELTA_PREFIX) and name.endswith(".full"):
+            tensor = name[len(_DELTA_PREFIX):-len(".full")]
+            updates[tensor] = (None, array)
+    seen = None
+    if unpack_scalar(arrays[_META_PREFIX + "has_seen"]):
+        seen = (np.asarray(arrays["seen_indptr"], dtype=np.int64),
+                np.asarray(arrays["seen_indices"], dtype=np.int64))
+    return ArtifactDelta(
+        base_digest=unpack_scalar(arrays[_META_PREFIX + "base_digest"]),
+        family=unpack_scalar(arrays[_META_PREFIX + "family"]),
+        model_name=unpack_scalar(arrays[_META_PREFIX + "model_name"]),
+        n_users=unpack_scalar(arrays[_META_PREFIX + "n_users"]),
+        n_items=unpack_scalar(arrays[_META_PREFIX + "n_items"]),
+        updates=updates, seen=seen)
 
 
 def _freeze(array: np.ndarray) -> np.ndarray:

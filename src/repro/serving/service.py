@@ -59,7 +59,7 @@ from repro.reliability.errors import (
     ServiceOverloadedError,
 )
 from repro.reliability.faults import fire as _fire
-from repro.serving.artifact import ServingArtifact
+from repro.serving.artifact import ArtifactDelta, ServingArtifact, load_delta
 from repro.serving.query import Query, QueryResult
 from repro.utils.io import PathLike
 
@@ -99,6 +99,32 @@ class ModelRegistry:
         """
         artifact = ServingArtifact.load(path)
         return self.publish(name, artifact)
+
+    def publish_delta(self, name: str,
+                      delta: Union[ArtifactDelta, PathLike], *,
+                      drift_threshold: float = 0.25,
+                      index_random_state: int = 0) -> int:
+        """Apply a delta to the live artifact and hot-swap the result.
+
+        ``delta`` is either an in-memory
+        :class:`~repro.serving.artifact.ArtifactDelta` or the path of a v3
+        delta bundle (verified by
+        :func:`~repro.serving.artifact.load_delta` before anything is
+        touched).  The patch itself
+        (:meth:`~repro.serving.artifact.ServingArtifact.delta_update`)
+        checks the delta's base digest against the *currently published*
+        version, so a delta diffed against a stale base — or a corrupt
+        delta file — leaves the live version serving, exactly like
+        :meth:`publish_path`.  The swap is the same atomic publish as
+        always; in-flight queries finish on the pre-delta artifact.
+        """
+        if not isinstance(delta, ArtifactDelta):
+            delta = load_delta(delta)
+        artifact, _, resolved = self.get(name)
+        updated = artifact.delta_update(
+            delta, drift_threshold=drift_threshold,
+            index_random_state=index_random_state)
+        return self.publish(resolved, updated)
 
     def get(self, name: Optional[str] = None) -> Tuple[ServingArtifact, int, str]:
         """Resolve ``(artifact, version, name)``; ``name=None`` works when
@@ -289,6 +315,20 @@ class RecommenderService:
         """Verify-then-swap an artifact file (see
         :meth:`ModelRegistry.publish_path`); invalidates cached rows."""
         version = self.registry.publish_path(name, path)
+        self._cache.purge_model(name)
+        return version
+
+    def publish_delta(self, name: str,
+                      delta: Union[ArtifactDelta, PathLike], *,
+                      drift_threshold: float = 0.25,
+                      index_random_state: int = 0) -> int:
+        """Delta-patch the live artifact and hot-swap (see
+        :meth:`ModelRegistry.publish_delta`); invalidates cached rows, so
+        a response cached against the pre-delta version can never be
+        served after the swap."""
+        version = self.registry.publish_delta(
+            name, delta, drift_threshold=drift_threshold,
+            index_random_state=index_random_state)
         self._cache.purge_model(name)
         return version
 

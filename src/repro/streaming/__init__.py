@@ -1,0 +1,38 @@
+"""Online half of the pipeline: event streams, incremental training, cold start.
+
+The batch pipeline fits once on a frozen
+:class:`~repro.data.interactions.InteractionMatrix`; this package adds the
+streaming vertical the ROADMAP's serving north star needs:
+
+* :mod:`repro.streaming.events` — the :class:`InteractionEvent` record, the
+  :class:`StreamSource` protocol, a replayable :class:`InMemoryStream` and a
+  durable checksummed append-only :class:`EventLog`;
+* :mod:`repro.streaming.coldstart` — :class:`ColdStartPolicy`: popularity
+  fallback for cold users, mean-of-neighbours fold-in initialisation for
+  freshly grown embedding rows;
+* :mod:`repro.streaming.online` — :class:`StreamingTrainer`: drains a stream
+  in timestamped micro-batches, grows parameter tables row-wise for unseen
+  ids and drives the resumable ``fit_more`` runtime on fresh spawned RNG
+  streams per refresh.
+"""
+
+from repro.streaming.coldstart import ColdStartPolicy
+from repro.streaming.events import (
+    EventLog,
+    EventLogCorruptionError,
+    InMemoryStream,
+    InteractionEvent,
+    StreamSource,
+)
+from repro.streaming.online import RefreshReport, StreamingTrainer
+
+__all__ = [
+    "ColdStartPolicy",
+    "EventLog",
+    "EventLogCorruptionError",
+    "InMemoryStream",
+    "InteractionEvent",
+    "RefreshReport",
+    "StreamSource",
+    "StreamingTrainer",
+]

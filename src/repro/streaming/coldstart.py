@@ -1,0 +1,153 @@
+"""Cold-start policy: popularity fallback and fold-in row initialisation.
+
+Two distinct cold-start problems arise while streaming:
+
+* **Serving a cold user** — a user id the model has never seen (beyond the
+  trained table) or with fewer than ``min_user_interactions`` observed
+  interactions.  Personalised scores for such users are noise; the policy
+  answers with the non-personalised popularity ranking instead (the same
+  log-damped degree scores as :class:`~repro.baselines.popularity.Popularity`),
+  which is the paper-adjacent "sanity floor" answer — never an error.
+* **Initialising grown rows** — when :class:`~repro.streaming.online.StreamingTrainer`
+  grows an embedding table for newly observed ids, fresh rows should start
+  near their neighbourhood rather than at a random point: a new item is
+  initialised at the mean embedding of the users who interacted with it
+  (fold-in), a new user at the mean embedding of the items they touched,
+  plus a small seeded perturbation so identical neighbourhoods do not
+  collapse onto one point.  Ids with no recorded neighbours fall back to
+  the mean of the existing table.
+
+Every random draw goes through the generator handed in by the caller, so
+streaming replay stays bitwise-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class ColdStartPolicy:
+    """Popularity fallback for cold users, fold-in init for new rows.
+
+    Parameters
+    ----------
+    interactions:
+        The (live, possibly mutating) interaction matrix.  Popularity
+        scores re-derive themselves lazily off the matrix's version
+        counter, so the policy never serves pre-append degrees.
+    min_user_interactions:
+        Users with fewer observed interactions than this are considered
+        cold and served the popularity ranking.
+    noise_std:
+        Standard deviation of the seeded perturbation added to fold-in
+        initialised rows.
+    """
+
+    def __init__(self, interactions: InteractionMatrix,
+                 min_user_interactions: int = 1,
+                 noise_std: float = 0.01) -> None:
+        self.interactions = interactions
+        self.min_user_interactions = check_positive_int(
+            min_user_interactions, "min_user_interactions")
+        if noise_std < 0:
+            raise ValueError(f"noise_std must be non-negative, got {noise_std}")
+        self.noise_std = float(noise_std)
+        self._seen_version: Optional[int] = None
+        self._item_scores: Optional[np.ndarray] = None
+        self._user_degrees: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # popularity fallback (cold users)
+    # ------------------------------------------------------------------ #
+    def _refresh(self) -> None:
+        if self._seen_version == self.interactions.version \
+                and self._item_scores is not None:
+            return
+        degrees = self.interactions.item_degrees().astype(np.float64)
+        # Log-damped counts, matching baselines.popularity.Popularity.
+        self._item_scores = np.log1p(degrees)
+        self._user_degrees = self.interactions.user_degrees()
+        self._seen_version = self.interactions.version
+
+    @property
+    def item_scores(self) -> np.ndarray:
+        """Current popularity score per item (log-damped degree)."""
+        self._refresh()
+        return self._item_scores
+
+    def is_cold_user(self, user: int) -> bool:
+        """Whether ``user`` should be served the popularity fallback."""
+        self._refresh()
+        user = int(user)
+        if user < 0 or user >= self.interactions.n_users:
+            return True
+        return int(self._user_degrees[user]) < self.min_user_interactions
+
+    def popularity_ranking(self, k: int, exclude: Optional[np.ndarray] = None) -> np.ndarray:
+        """Top-``k`` items by popularity (deterministic, ties by item id).
+
+        ``exclude`` removes the given item ids (a known cold user's few
+        seen items) before ranking.
+        """
+        check_positive_int(k, "k")
+        scores = self.item_scores.copy()
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.int64)
+            scores[exclude[exclude < scores.size]] = -np.inf
+        order = np.argsort(-scores, kind="stable")
+        return order[:k].astype(np.int64)
+
+    def popularity_candidate_scores(self, item_matrix: np.ndarray) -> np.ndarray:
+        """Popularity scores of a ``(U, C)`` candidate matrix (cold rows)."""
+        item_matrix = np.asarray(item_matrix, dtype=np.int64)
+        return self.item_scores[item_matrix]
+
+    # ------------------------------------------------------------------ #
+    # fold-in initialisation (new rows)
+    # ------------------------------------------------------------------ #
+    def _fold_in(self, neighbour_lists, neighbour_table: np.ndarray,
+                 own_table: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        dim = own_table.shape[1]
+        fallback = (own_table.mean(axis=0) if own_table.size
+                    else np.zeros(dim, dtype=np.float64))
+        rows = np.empty((len(neighbour_lists), dim), dtype=np.float64)
+        for slot, neighbours in enumerate(neighbour_lists):
+            neighbours = neighbours[neighbours < neighbour_table.shape[0]]
+            if neighbours.size:
+                rows[slot] = neighbour_table[neighbours].mean(axis=0)
+            else:
+                rows[slot] = fallback
+        if self.noise_std:
+            rows = rows + self.noise_std * rng.standard_normal(rows.shape)
+        return rows
+
+    def init_item_rows(self, item_ids: np.ndarray, user_table: np.ndarray,
+                       item_table: np.ndarray,
+                       random_state: RandomState = None) -> np.ndarray:
+        """Fold-in init for new item rows: mean of their users' embeddings.
+
+        ``user_table`` / ``item_table`` are the *existing* (pre-growth)
+        tables; neighbours are read from the already-appended interaction
+        matrix, so a new item lands near the users that just touched it.
+        """
+        rng = ensure_rng(random_state)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        neighbours = [self.interactions.users_of_item(int(item))
+                      for item in item_ids]
+        return self._fold_in(neighbours, user_table, item_table, rng)
+
+    def init_user_rows(self, user_ids: np.ndarray, user_table: np.ndarray,
+                       item_table: np.ndarray,
+                       random_state: RandomState = None) -> np.ndarray:
+        """Fold-in init for new user rows: mean of their items' embeddings."""
+        rng = ensure_rng(random_state)
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        neighbours = [self.interactions.items_of_user(int(user))
+                      for user in user_ids]
+        return self._fold_in(neighbours, item_table, user_table, rng)

@@ -1,0 +1,338 @@
+"""Online trainer: micro-batch ingestion driving the resumable runtime.
+
+:class:`StreamingTrainer` closes the loop between an event stream and a
+fitted, network-backed model:
+
+1. a micro-batch of :class:`~repro.streaming.events.InteractionEvent` is
+   appended in place to the model's own training matrix
+   (:meth:`~repro.data.interactions.InteractionMatrix.append_interactions`),
+   which the samplers/batchers detect through the matrix version counter;
+2. ids beyond the trained tables grow their embedding rows
+   (:meth:`~repro.autograd.module.Embedding.grow_rows`) with the cold-start
+   policy's fold-in initialisation, and any other leading-axis parameter
+   tables (per-item biases, per-user margins) are zero-padded;
+3. the resumable :class:`~repro.training.loop.TrainingLoop` is re-synced
+   (:meth:`~repro.training.loop.TrainingLoop.refresh_data`: optimizer state
+   row-padded, batchers rebuilt on a *fresh spawned stream* — one
+   ``SeedSequence.spawn`` child per refresh, so RNG-DISCIPLINE holds and
+   two replays of the same seeded stream are bitwise identical);
+4. ``fit_more(epochs_per_refresh)`` folds the new evidence into the model.
+
+Until a user accumulates ``min_user_interactions`` observed interactions,
+:meth:`StreamingTrainer.recommend` serves the policy's popularity ranking
+instead of personalised scores — cold users get useful answers, never
+errors.
+
+Supported models: anything network-backed whose per-id state lives in
+leading-axis parameter tables (all the embedding baselines; multifacet
+models grow their per-user facet logits the same way).  When
+``n_users == n_items`` a table's axis is disambiguated by parameter name
+(``user``/``item`` substring); tables matching neither dimension are left
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.autograd.module import Embedding
+from repro.data.interactions import InteractionMatrix
+from repro.streaming.coldstart import ColdStartPolicy
+from repro.streaming.events import InteractionEvent, StreamSource, _as_arrays
+from repro.utils.rng import RandomState, ensure_rng, spawn_generators
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class RefreshReport:
+    """Outcome of one :meth:`StreamingTrainer.ingest` micro-batch."""
+
+    #: Events in the ingested micro-batch.
+    n_events: int
+    #: Newly observed distinct (user, item) pairs among them.
+    n_new_pairs: int
+    #: Users / items the matrix (and parameter tables) grew by.
+    n_new_users: int
+    n_new_items: int
+    #: Epochs of ``fit_more`` run for this refresh.
+    epochs: int
+    #: Batch-mean loss of the refresh's final epoch (``None`` if no epoch ran).
+    mean_loss: Optional[float] = None
+
+
+class StreamingTrainer:
+    """Drain interaction streams into a fitted model, micro-batch by micro-batch.
+
+    Parameters
+    ----------
+    model:
+        A fitted network-backed model (an
+        :class:`~repro.training.loop.RuntimeTrainedModel` with a live
+        ``runtime_``); alternatively an unfitted model plus
+        ``interactions``, in which case the trainer fits it first.
+    interactions:
+        The bootstrap training matrix (required only when ``model`` is not
+        fitted yet).  After construction the trainer always works on
+        ``model``'s own training matrix, mutated in place.
+    epochs_per_refresh:
+        ``fit_more`` epochs run after each ingested micro-batch.
+    min_user_interactions:
+        Cold-user threshold forwarded to :class:`ColdStartPolicy` (ignored
+        when an explicit ``coldstart`` policy is given).
+    coldstart:
+        Policy for cold-user serving and new-row initialisation; defaults
+        to a fresh :class:`ColdStartPolicy` over the live matrix.
+    random_state:
+        Root seed of all streaming-time randomness.  Each refresh spawns
+        fresh child streams (growth init, batcher refresh) from it in a
+        fixed order, so a seeded replay of the same event stream is
+        bitwise-reproducible for serial executors.
+    """
+
+    def __init__(self, model, interactions: Optional[InteractionMatrix] = None,
+                 *, epochs_per_refresh: int = 1,
+                 min_user_interactions: int = 1,
+                 coldstart: Optional[ColdStartPolicy] = None,
+                 random_state: RandomState = 0) -> None:
+        self.epochs_per_refresh = check_positive_int(
+            epochs_per_refresh, "epochs_per_refresh")
+        self._rng = ensure_rng(random_state)
+        if not model.is_fitted:
+            if interactions is None:
+                raise ValueError(
+                    "an unfitted model needs bootstrap interactions")
+            model.fit(interactions)
+        self.model = model
+        self.interactions: InteractionMatrix = model._train_interactions
+        if getattr(model, "network", None) is None:
+            raise ValueError(
+                "StreamingTrainer requires a network-backed model "
+                "(embedding tables to grow); got "
+                f"{type(model).__name__} without a network")
+        if getattr(model, "runtime_", None) is None:
+            raise ValueError(
+                "StreamingTrainer requires a resumable model (fit_more); "
+                f"{type(model).__name__} carries no runtime_")
+        self.coldstart = coldstart if coldstart is not None else \
+            ColdStartPolicy(self.interactions,
+                            min_user_interactions=min_user_interactions)
+        self.reports: List[RefreshReport] = []
+
+    # ------------------------------------------------------------------ #
+    # table growth
+    # ------------------------------------------------------------------ #
+    def _classify_axis(self, name: str, leading: int,
+                       old_u: int, old_i: int) -> Optional[str]:
+        """Which population a leading-axis table indexes (``None``: neither)."""
+        lowered = name.lower()
+        if leading == old_u and leading == old_i:
+            if "user" in lowered:
+                return "user"
+            if "item" in lowered:
+                return "item"
+            return None  # square matrix, no name hint: refuse to guess
+        if leading == old_u:
+            return "user"
+        if leading == old_i:
+            return "item"
+        return None
+
+    def _grow_tables(self, old_u: int, new_u: int, old_i: int, new_i: int,
+                     rng: np.random.Generator) -> None:
+        """Grow every per-id parameter table to the new populations.
+
+        Embeddings get the cold-start policy's fold-in rows (new users near
+        their items, new items near their users — user tables first so item
+        fold-in can see the already-grown user rows); bare leading-axis
+        parameters are zero-padded.  ``optimizer.grow_state()`` runs later
+        inside ``refresh_data``, before any step touches the new rows.
+        """
+        network = self.model.network
+        embeddings = []
+        for name, module in network.named_modules():
+            if isinstance(module, Embedding):
+                axis = self._classify_axis(name, module.n_embeddings,
+                                           old_u, old_i)
+                if axis is not None:
+                    embeddings.append((name, module, axis))
+        user_tables = [m for _, m, axis in embeddings if axis == "user"]
+        item_tables = [m for _, m, axis in embeddings if axis == "item"]
+        primary_item = item_tables[0].weight.data if item_tables else None
+        if new_u > old_u:
+            ids = np.arange(old_u, new_u, dtype=np.int64)
+            for module in user_tables:
+                if primary_item is not None \
+                        and primary_item.shape[1] == module.dim:
+                    rows = self.coldstart.init_user_rows(
+                        ids, module.weight.data, primary_item,
+                        random_state=rng)
+                    module.grow_rows(new_u - old_u, init_rows=rows)
+                else:
+                    module.grow_rows(new_u - old_u, random_state=rng)
+        if new_i > old_i:
+            ids = np.arange(old_i, new_i, dtype=np.int64)
+            primary_user = (user_tables[0].weight.data if user_tables
+                            else None)
+            for module in item_tables:
+                if primary_user is not None \
+                        and primary_user.shape[1] == module.dim:
+                    rows = self.coldstart.init_item_rows(
+                        ids, primary_user, module.weight.data,
+                        random_state=rng)
+                    module.grow_rows(new_i - old_i, init_rows=rows)
+                else:
+                    module.grow_rows(new_i - old_i, random_state=rng)
+        grown = {id(module.weight) for _, module, _ in embeddings}
+        for name, parameter in network.named_parameters():
+            if id(parameter) in grown or parameter.data.ndim == 0:
+                continue
+            axis = self._classify_axis(name, parameter.data.shape[0],
+                                       old_u, old_i)
+            target = new_u if axis == "user" else new_i if axis == "item" else None
+            if target is None or target == parameter.data.shape[0]:
+                continue
+            pad_shape = (target - parameter.data.shape[0],) + parameter.data.shape[1:]
+            parameter.data = np.ascontiguousarray(np.concatenate(
+                [parameter.data, np.zeros(pad_shape, dtype=parameter.data.dtype)],
+                axis=0))
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, events: Iterable[InteractionEvent]) -> RefreshReport:
+        """Append one micro-batch, grow tables, refresh, and train.
+
+        Returns a :class:`RefreshReport`; an empty micro-batch is a no-op
+        (reported with zero counts, no epochs, no RNG consumption).
+        """
+        users, items, stamps = _as_arrays(events)
+        if users.size == 0:
+            report = RefreshReport(0, 0, 0, 0, 0)
+            self.reports.append(report)
+            return report
+        old_u, old_i = self.interactions.shape
+        n_new_pairs = self.interactions.append_interactions(
+            users, items, stamps)
+        new_u, new_i = self.interactions.shape
+        # Fixed spawn order per refresh — growth init first, batcher stream
+        # second — so replays consume the identical stream family whether
+        # or not this particular batch grew the populations.
+        grow_stream, refresh_stream = spawn_generators(self._rng, 2)
+        if new_u > old_u or new_i > old_i:
+            self._grow_tables(old_u, new_u, old_i, new_i, grow_stream)
+        # Models may hold interaction-derived state outside their network
+        # (multifacet per-user margins, TransCF's normalised adjacency);
+        # give them one hook per ingest to bring it up to date.
+        hook = getattr(self.model, "_on_interactions_changed", None)
+        if hook is not None:
+            hook(old_u, new_u, old_i, new_i)
+        self.model.runtime_.refresh_data(random_state=refresh_stream)
+        self.model.fit_more(self.epochs_per_refresh)
+        report = RefreshReport(
+            n_events=int(users.size),
+            n_new_pairs=int(n_new_pairs),
+            n_new_users=int(new_u - old_u),
+            n_new_items=int(new_i - old_i),
+            epochs=self.epochs_per_refresh,
+            mean_loss=float(self.model.loss_history_[-1]),
+        )
+        self.reports.append(report)
+        return report
+
+    def drain(self, source: StreamSource, *, batch_events: int = 512,
+              window: Optional[float] = None) -> List[RefreshReport]:
+        """Replay ``source`` through :meth:`ingest` in micro-batches.
+
+        Batches close after ``batch_events`` events, or — when ``window``
+        is given — as soon as the next event's timestamp leaves the
+        current ``window``-long interval, whichever comes first, so
+        refreshes track stream time instead of raw event counts on bursty
+        streams.
+        """
+        check_positive_int(batch_events, "batch_events")
+        if window is not None and window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        reports: List[RefreshReport] = []
+        batch: List[InteractionEvent] = []
+        window_start: Optional[float] = None
+        for event in source.events():
+            if window is not None:
+                if window_start is None:
+                    window_start = event.timestamp
+                elif event.timestamp >= window_start + window:
+                    if batch:
+                        reports.append(self.ingest(batch))
+                        batch = []
+                    window_start = event.timestamp
+            batch.append(event)
+            if len(batch) >= batch_events:
+                reports.append(self.ingest(batch))
+                batch = []
+                window_start = None
+        if batch:
+            reports.append(self.ingest(batch))
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # cold-start-aware serving
+    # ------------------------------------------------------------------ #
+    def recommend(self, user: int, k: int = 10,
+                  exclude_seen: bool = True) -> np.ndarray:
+        """Top-``k`` items for ``user``; popularity fallback when cold.
+
+        Warm users go through the model's normal read path.  Cold users —
+        unseen ids or ids below the policy's interaction threshold — get
+        the popularity ranking (their few seen items still excluded), so a
+        cold id is *never* an error.
+        """
+        if self.coldstart.is_cold_user(user):
+            exclude = None
+            if exclude_seen and 0 <= int(user) < self.interactions.n_users:
+                exclude = self.interactions.items_of_user(int(user))
+            return self.coldstart.popularity_ranking(k, exclude=exclude)
+        return self.model.recommend(user, k=k, exclude_seen=exclude_seen)
+
+    def score_candidates(self, users: np.ndarray,
+                         item_matrix: np.ndarray) -> np.ndarray:
+        """Cold-aware batched candidate scoring (prequential eval's scorer).
+
+        Warm rows are scored by the model's vectorised candidate kernel;
+        cold rows get popularity scores, mirroring what
+        :meth:`recommend` would serve them.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        item_matrix = np.asarray(item_matrix, dtype=np.int64)
+        cold = np.fromiter((self.coldstart.is_cold_user(int(user))
+                            for user in users), dtype=bool, count=users.size)
+        scores = np.empty(item_matrix.shape, dtype=np.float64)
+        if np.any(~cold):
+            scores[~cold] = self.model._score_candidates(
+                users[~cold], item_matrix[~cold])
+        if np.any(cold):
+            scores[cold] = self.coldstart.popularity_candidate_scores(
+                item_matrix[cold])
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def export_serving(self, model_name: Optional[str] = None):
+        """Full re-export of the current model state (fresh artifact)."""
+        return self.model.export_serving(model_name)
+
+    def export_delta(self, base):
+        """Delta of the current model state against ``base``.
+
+        Re-derives the serving payload and diffs it row-wise against the
+        ``base`` artifact, returning the
+        :class:`~repro.serving.artifact.ArtifactDelta` that
+        ``ModelRegistry.publish_delta`` applies copy-on-write — the cheap
+        refresh path that skips writing a full bundle.
+        """
+        from repro.serving.artifact import make_delta
+
+        fresh = self.model.export_serving(base.model_name)
+        return make_delta(base, fresh)

@@ -482,6 +482,56 @@ class TrainingLoop:
             self._batchers = [self.model.make_batcher(self.interactions)]
 
     # ------------------------------------------------------------------ #
+    def refresh_data(self, random_state: RandomState = None) -> None:
+        """Re-sync the loop after its interaction matrix mutated in place.
+
+        Streaming ingestion appends interactions (possibly growing the
+        user/item population) to the same :class:`InteractionMatrix` this
+        loop trains on.  This hook makes the already-built training state
+        catch up:
+
+        * optimizer state is row-padded to any grown parameter tables
+          (:meth:`~repro.autograd.optim.Optimizer.grow_state`);
+        * under the sharded executor, users are re-partitioned (new users
+          must belong to exactly one shard for the Hogwild disjointness
+          argument) and each shard's batcher is rebuilt on a fresh spawned
+          stream from ``random_state`` (the model's root seed when
+          ``None``);
+        * under the serial executor the single batcher re-snapshots itself
+          lazily off the matrix's version counter, so it is only rebuilt —
+          on a fresh stream — when an explicit ``random_state`` is given
+          (what :class:`~repro.streaming.online.StreamingTrainer` passes
+          per refresh, keeping RNG-DISCIPLINE: one spawned stream per
+          refresh instead of a reused root stream).
+
+        A loop that has never run (no optimizer yet) needs no catch-up: its
+        first :meth:`run` builds everything against the current matrix.
+        """
+        if getattr(self, "_released", False):
+            raise RuntimeError(
+                "this training loop was released; fit the model again to "
+                "continue training")
+        if self._optimizer is None:
+            return
+        self._optimizer.grow_state()
+        if self._auditor is not None:
+            self._auditor.n_users = self.interactions.n_users
+        if self.n_shards > 1:
+            self.shards_ = partition_users(self.interactions, self.n_shards)
+            streams = spawn_generators(
+                self.model.random_state if random_state is None else random_state,
+                self.n_shards)
+            self._batchers = [
+                self.model.make_batcher(self.interactions, user_subset=shard,
+                                        random_state=stream)
+                for shard, stream in zip(self.shards_, streams)
+            ]
+        elif random_state is not None:
+            self._batchers = [
+                self.model.make_batcher(self.interactions,
+                                        random_state=random_state)]
+
+    # ------------------------------------------------------------------ #
     def run(self, n_epochs: int) -> List[EpochReport]:
         """Train for ``n_epochs`` more epochs; returns their reports.
 

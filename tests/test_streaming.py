@@ -1,0 +1,614 @@
+"""Certification suite for the streaming subsystem.
+
+The contracts under test (ISSUE acceptance criteria):
+
+* **Replay reproducibility** — draining the same seeded event stream twice
+  through :class:`StreamingTrainer` + ``fit_more`` produces bitwise-identical
+  parameter tables, including through table growth.
+* **Delta parity** — a delta-refreshed :class:`ServingArtifact` answers
+  bitwise-identically to a full re-export of the same model state, per
+  family, including through a ``compressed=False`` save + ``mmap_mode="r"``
+  reload.
+* **Cold start** — users the model has never seen get non-degenerate
+  popularity answers, never an error.
+* **Temporal protocol** — no test event precedes its user's train horizon;
+  prequential cumulative counters are monotone under replay; the batched
+  scoring path matches the per-event reference loop exactly.
+* **Durability** — the event log survives torn tails, detects corruption of
+  complete frames, and the matrix pair-key cache is never stale after an
+  append.
+* **Cache invalidation** — a response cached against the pre-delta version
+  is never served after ``publish_delta`` hot-swaps the model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bpr import BPR
+from repro.baselines.cml import CML
+from repro.baselines.transcf import TransCF
+from repro.core import MARS
+from repro.data.interactions import InteractionMatrix
+from repro.data.synthetic import generate_event_stream
+from repro.eval.protocol import PrequentialEvaluator, TemporalSplitEvaluator
+from repro.reliability.errors import ArtifactIntegrityError
+from repro.serving.artifact import (
+    ArtifactDelta,
+    ServingArtifact,
+    load_delta,
+    make_delta,
+    save_delta,
+)
+from repro.serving.query import Query
+from repro.serving.service import ModelRegistry, RecommenderService
+from repro.streaming import (
+    ColdStartPolicy,
+    EventLog,
+    EventLogCorruptionError,
+    InMemoryStream,
+    InteractionEvent,
+    StreamingTrainer,
+)
+
+N_USERS, N_ITEMS = 40, 60
+
+
+def _events(n=300, seed=0, n_users=N_USERS, n_items=N_ITEMS):
+    return generate_event_stream(n_users=n_users, n_items=n_items,
+                                 n_events=n, random_state=seed)
+
+
+def _warm_matrix(events):
+    users = np.fromiter((e.user for e in events), dtype=np.int64)
+    items = np.fromiter((e.item for e in events), dtype=np.int64)
+    return InteractionMatrix(int(users.max()) + 1, int(items.max()) + 1,
+                             users, items)
+
+
+def _trainer(model_cls, warm, *, seed=7, **kwargs):
+    model = model_cls(embedding_dim=8, n_epochs=2, random_state=3,
+                      **kwargs).fit(_warm_matrix(warm))
+    return StreamingTrainer(model, epochs_per_refresh=1, random_state=seed)
+
+
+# --------------------------------------------------------------------------- #
+# event streams and the durable log
+# --------------------------------------------------------------------------- #
+class TestEventStream:
+    def test_generator_is_sorted_seeded_and_in_range(self):
+        stream = _events(200, seed=4)
+        assert [e.timestamp for e in stream] == sorted(
+            e.timestamp for e in stream)
+        assert all(0 <= e.user < N_USERS and 0 <= e.item < N_ITEMS
+                   for e in stream)
+        again = _events(200, seed=4)
+        assert stream == again
+        assert stream != _events(200, seed=5)
+
+    def test_drifting_popularity_changes_head(self):
+        stream = _events(4000, seed=1, n_items=50)
+        early = np.bincount([e.item for e in stream[:1000]], minlength=50)
+        late = np.bincount([e.item for e in stream[-1000:]], minlength=50)
+        # The most popular early item should lose its crown under drift.
+        assert early.argmax() != late.argmax()
+
+    def test_in_memory_stream_replays(self):
+        stream = InMemoryStream(_events(50))
+        assert list(stream.events()) == list(stream.events())
+        assert len(stream) == 50
+
+    def test_event_log_roundtrip(self, tmp_path):
+        log = EventLog(tmp_path / "events.log")
+        batch = _events(64, seed=2)
+        assert log.append(batch[:40]) == 40
+        assert log.append(batch[40:]) == 24
+        assert log.append([]) == 0
+        replayed = list(EventLog(tmp_path / "events.log").events())
+        assert replayed == batch
+        assert len(log) == 64
+
+    def test_event_log_tolerates_and_recovers_torn_tail(self, tmp_path):
+        path = tmp_path / "events.log"
+        log = EventLog(path)
+        batch = _events(30, seed=3)
+        log.append(batch)
+        intact = path.stat().st_size
+        log.append(_events(10, seed=9))
+        with open(path, "r+b") as handle:  # simulate a crash mid-append
+            handle.truncate(intact + 13)
+        assert list(EventLog(path).events()) == batch  # tail ignored
+        dropped = EventLog(path).recover()
+        assert dropped == 13
+        assert path.stat().st_size == intact
+        assert EventLog(path).recover() == 0  # idempotent
+
+    def test_event_log_detects_corrupt_frame(self, tmp_path):
+        path = tmp_path / "events.log"
+        EventLog(path).append(_events(20, seed=5))
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # bit-flip inside a complete frame
+        path.write_bytes(bytes(data))
+        with pytest.raises(EventLogCorruptionError):
+            list(EventLog(path).events())
+
+    def test_event_log_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "not-a-log"
+        path.write_bytes(b"something else entirely")
+        with pytest.raises(EventLogCorruptionError):
+            EventLog(path)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionEvent(timestamp=0.0, user=-1, item=0)
+
+
+# --------------------------------------------------------------------------- #
+# matrix append + cache invalidation
+# --------------------------------------------------------------------------- #
+class TestAppendInteractions:
+    def test_incremental_key_merge_matches_rebuild(self):
+        matrix = _warm_matrix(_events(200, seed=6))
+        matrix.encoded_positive_keys()  # arm the incremental path
+        extra = _events(120, seed=8)
+        users = np.fromiter((e.user for e in extra), dtype=np.int64)
+        items = np.fromiter((e.item for e in extra), dtype=np.int64)
+        matrix.append_interactions(users, items)
+        incremental = matrix.encoded_positive_keys().copy()
+        rebuilt = _warm_matrix(_events(200, seed=6))
+        rebuilt.append_interactions(users, items)
+        np.testing.assert_array_equal(incremental,
+                                      rebuilt.encoded_positive_keys())
+
+    def test_append_bumps_version_and_refreshes_keys(self):
+        matrix = _warm_matrix(_events(100, seed=1))
+        keys_before = matrix.encoded_positive_keys().copy()
+        version = matrix.version
+        new_user = matrix.n_users  # grows the matrix
+        matrix.append_interactions([new_user], [0],
+                                   n_users=new_user + 1)
+        assert matrix.version == version + 1
+        keys_after = matrix.encoded_positive_keys()
+        assert keys_after.size == keys_before.size + 1
+        assert np.int64(new_user) * matrix.n_items in keys_after
+
+    def test_growth_changes_key_encoding(self):
+        matrix = _warm_matrix(_events(100, seed=1))
+        matrix.encoded_positive_keys()
+        matrix.append_interactions([0], [matrix.n_items],
+                                   n_items=matrix.n_items + 1)
+        # Every key re-encodes under the new n_items stride.
+        expected = _warm_matrix(_events(100, seed=1))
+        expected.append_interactions([0], [expected.n_items],
+                                     n_items=expected.n_items + 1)
+        np.testing.assert_array_equal(matrix.encoded_positive_keys(),
+                                      expected.encoded_positive_keys())
+
+
+# --------------------------------------------------------------------------- #
+# online trainer: replay reproducibility, growth, cold start
+# --------------------------------------------------------------------------- #
+class TestStreamingTrainer:
+    def _run(self, model_cls, seed=7, **kwargs):
+        warm, stream = _events(250, seed=0), _events(200, seed=11,
+                                                     n_users=N_USERS + 6,
+                                                     n_items=N_ITEMS + 9)
+        trainer = _trainer(model_cls, warm, seed=seed, **kwargs)
+        reports = trainer.drain(InMemoryStream(stream), batch_events=60)
+        return trainer, reports
+
+    def test_seeded_replay_is_bitwise_reproducible(self):
+        first, _ = self._run(BPR)
+        second, _ = self._run(BPR)
+        for (name, p1), (_, p2) in zip(
+                first.model.network.named_parameters(),
+                second.model.network.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data, err_msg=name)
+        assert first.model.loss_history_ == second.model.loss_history_
+
+    def test_different_seed_diverges(self):
+        first, _ = self._run(BPR, seed=7)
+        second, _ = self._run(BPR, seed=8)
+        assert any(
+            not np.array_equal(p1.data, p2.data)
+            for (_, p1), (_, p2) in zip(
+                first.model.network.named_parameters(),
+                second.model.network.named_parameters()))
+
+    def test_tables_grow_for_new_ids(self):
+        trainer, reports = self._run(BPR)
+        assert sum(r.n_new_users for r in reports) > 0
+        assert sum(r.n_new_items for r in reports) > 0
+        net = trainer.model.network
+        assert net.user_embeddings.n_embeddings == trainer.interactions.n_users
+        assert net.item_embeddings.n_embeddings == trainer.interactions.n_items
+        assert net.item_bias.data.shape[0] == trainer.interactions.n_items
+
+    def test_spherical_tables_stay_on_sphere_after_growth(self):
+        trainer, _ = self._run(CML)
+        weights = trainer.model.network.item_embeddings.weight.data
+        norms = np.linalg.norm(weights, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)  # CML censors to the unit ball
+
+    def test_cold_user_gets_nondegenerate_popularity_answer(self):
+        warm = _events(250, seed=0)
+        trainer = _trainer(BPR, warm)
+        cold_user = trainer.interactions.n_users + 100
+        ranking = trainer.recommend(cold_user, k=10)
+        assert ranking.shape == (10,)
+        assert np.unique(ranking).size == 10
+        degrees = trainer.interactions.item_degrees()
+        # Non-degenerate: the fallback ranks by observed popularity.
+        assert degrees[ranking[0]] == degrees.max()
+        policy = ColdStartPolicy(trainer.interactions)
+        np.testing.assert_array_equal(ranking,
+                                      policy.popularity_ranking(10))
+
+    def test_warm_user_uses_model_scores(self):
+        warm = _events(250, seed=0)
+        trainer = _trainer(BPR, warm)
+        busiest = int(trainer.interactions.user_degrees().argmax())
+        np.testing.assert_array_equal(
+            trainer.recommend(busiest, k=5),
+            trainer.model.recommend(busiest, k=5))
+
+    def test_score_candidates_mixes_cold_and_warm_rows(self):
+        warm = _events(250, seed=0)
+        trainer = _trainer(BPR, warm)
+        cold_user = trainer.interactions.n_users + 3
+        busiest = int(trainer.interactions.user_degrees().argmax())
+        matrix = np.tile(np.arange(6, dtype=np.int64), (2, 1))
+        scores = trainer.score_candidates(
+            np.array([busiest, cold_user]), matrix)
+        assert scores.shape == (2, 6)
+        assert np.isfinite(scores).all()
+        policy = ColdStartPolicy(trainer.interactions)
+        np.testing.assert_array_equal(
+            scores[1], policy.popularity_candidate_scores(matrix[1:2])[0])
+
+
+# --------------------------------------------------------------------------- #
+# models with interaction-derived state outside the network
+# --------------------------------------------------------------------------- #
+class TestStreamingModelHooks:
+    """``_on_interactions_changed`` keeps non-network state in sync.
+
+    MARS keeps a per-user margin vector and sphere constraints outside
+    the embedding tables; TransCF snapshots a normalised adjacency at
+    fit time.  Without the hook both crash (or silently go stale) the
+    moment the trainer grows the id ranges.
+    """
+
+    def _grown(self, model_cls, **kwargs):
+        warm, stream = _events(250, seed=0), _events(
+            150, seed=11, n_users=N_USERS + 4, n_items=N_ITEMS + 5)
+        trainer = _trainer(model_cls, warm, **kwargs)
+        trainer.drain(InMemoryStream(stream), batch_events=50)
+        return trainer
+
+    def test_mars_margins_and_sphere_survive_growth(self):
+        trainer = self._grown(MARS, n_facets=2)
+        model = trainer.model
+        assert model.margins_.shape[0] == trainer.interactions.n_users
+        for table in (model.network.user_embeddings,
+                      model.network.item_embeddings):
+            norms = np.linalg.norm(table.weight.data, axis=-1)
+            np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_transcf_adjacency_tracks_growth(self):
+        trainer = self._grown(TransCF)
+        matrix = trainer.interactions
+        assert trainer.model._norm_user.shape == (matrix.n_users,
+                                                  matrix.n_items)
+        assert trainer.model._norm_item.shape == (matrix.n_items,
+                                                  matrix.n_users)
+
+
+# --------------------------------------------------------------------------- #
+# temporal evaluation
+# --------------------------------------------------------------------------- #
+class TestTemporalSplit:
+    def test_no_test_event_precedes_the_users_train_horizon(self):
+        events = _events(500, seed=2)
+        ev = TemporalSplitEvaluator(events, split_time=350.0,
+                                    n_users=N_USERS, n_items=N_ITEMS,
+                                    n_negatives=20, random_state=1)
+        train = ev.train_matrix()
+        assert train.n_users == N_USERS and train.n_items == N_ITEMS
+        train_users, _, train_stamps = ev._train
+        assert (train_stamps < 350.0).all()
+        assert (ev._test_stamps >= 350.0).all()
+        horizon = {}
+        for user, stamp in zip(train_users, train_stamps):
+            horizon[int(user)] = min(horizon.get(int(user), np.inf),
+                                     float(stamp))
+        for user, stamp in zip(ev._test_users, ev._test_stamps):
+            assert int(user) in horizon
+            assert float(stamp) > horizon[int(user)]
+
+    def test_negatives_never_future_positives(self):
+        events = _events(500, seed=2)
+        ev = TemporalSplitEvaluator(events, split_time=350.0,
+                                    n_negatives=20, random_state=1)
+        lifetime = {}
+        for event in events:
+            lifetime.setdefault(event.user, set()).add(event.item)
+        for user, candidates in zip(ev._test_users, ev._candidates):
+            assert not (set(candidates[1:].tolist())
+                        & lifetime[int(user)])
+
+    def test_batched_matches_per_event_reference(self):
+        events = _events(500, seed=2)
+        ev = TemporalSplitEvaluator(events, split_time=350.0,
+                                    n_negatives=20, random_state=1)
+        model = BPR(embedding_dim=8, n_epochs=2,
+                    random_state=3).fit(ev.train_matrix())
+        batched = ev.evaluate(model, batched=True)
+        reference = ev.evaluate(model, batched=False)
+        assert batched.metrics == reference.metrics
+        for name in batched.per_user:
+            np.testing.assert_array_equal(batched.per_user[name],
+                                          reference.per_user[name])
+
+    def test_requires_training_history(self):
+        with pytest.raises(ValueError):
+            TemporalSplitEvaluator(_events(50, seed=1), split_time=-1.0)
+
+
+class TestPrequential:
+    def _run(self, batched, seed=5, n_batches=None):
+        warm, stream = _events(250, seed=0), _events(200, seed=11)
+        trainer = _trainer(BPR, warm, seed=9)
+        evaluator = PrequentialEvaluator(trainer, n_negatives=15,
+                                         random_state=seed)
+        source = InMemoryStream(
+            stream if n_batches is None else stream[:n_batches * 50])
+        evaluator.run(source, batch_events=50, batched=batched)
+        return evaluator
+
+    def test_batched_matches_per_event_reference(self):
+        batched = self._run(batched=True)
+        reference = self._run(batched=False)
+        assert batched.n_events == reference.n_events
+        assert batched.result().metrics == reference.result().metrics
+        assert batched.history == reference.history
+
+    def test_counters_monotone_under_replay(self):
+        evaluator = self._run(batched=True)
+        counts = [entry["n_events"] for entry in evaluator.history]
+        assert counts == sorted(counts) and counts[-1] == evaluator.n_events
+        for name in evaluator._sums:
+            sums = [entry[name] * entry["n_events"]
+                    for entry in evaluator.history]
+            assert all(b >= a - 1e-9 for a, b in zip(sums, sums[1:]))
+
+    def test_prefix_replay_agrees(self):
+        # Replaying a prefix produces exactly the prefix of the history.
+        full = self._run(batched=True)
+        prefix = self._run(batched=True, n_batches=2)
+        assert prefix.history == full.history[:2]
+
+    def test_replay_is_bitwise_reproducible(self):
+        assert self._run(batched=True).history == \
+            self._run(batched=True).history
+
+
+# --------------------------------------------------------------------------- #
+# artifact delta refresh
+# --------------------------------------------------------------------------- #
+class TestDeltaRefresh:
+    def _delta_pair(self, model_cls, tmp_path, **kwargs):
+        warm, stream = _events(250, seed=0), _events(150, seed=11,
+                                                     n_users=N_USERS + 4,
+                                                     n_items=N_ITEMS + 5)
+        trainer = _trainer(model_cls, warm, **kwargs)
+        base = trainer.export_serving("m").build_index(n_cells=4,
+                                                       random_state=13)
+        trainer.drain(InMemoryStream(stream), batch_events=50)
+        delta = trainer.export_delta(base)
+        full = trainer.export_serving("m")
+        return base, delta, full
+
+    @pytest.mark.parametrize("model_cls", [BPR, CML],
+                             ids=["dot_bias", "euclidean"])
+    def test_delta_matches_full_reexport_bitwise_through_mmap(
+            self, model_cls, tmp_path):
+        base, delta, full = self._delta_pair(model_cls, tmp_path)
+        patched = base.delta_update(delta, index_random_state=13)
+        assert patched.n_users == full.n_users
+        assert patched.n_items == full.n_items
+        for name, tensor in full.tensors.items():
+            np.testing.assert_array_equal(np.asarray(tensor),
+                                          np.asarray(patched.tensors[name]),
+                                          err_msg=name)
+        query = Query(users=np.arange(patched.n_users), k=10,
+                      exclude_seen=True)
+        direct, reference = patched.query(query), full.query(query)
+        np.testing.assert_array_equal(direct.items, reference.items)
+        np.testing.assert_array_equal(direct.scores, reference.scores)
+        # ... and through a raw (uncompressed) save + mmap reload.
+        path = patched.save(tmp_path / "patched.npz", compressed=False)
+        mapped = ServingArtifact.load(path, mmap_mode="r")
+        assert mapped.memory_mapped
+        served = mapped.query(query)
+        np.testing.assert_array_equal(served.items, reference.items)
+        np.testing.assert_array_equal(served.scores, reference.scores)
+        assert mapped.content_digest() == patched.content_digest()
+
+    def test_delta_bundle_roundtrip(self, tmp_path):
+        base, delta, _ = self._delta_pair(BPR, tmp_path)
+        path = save_delta(delta, tmp_path / "refresh.delta.npz")
+        loaded = load_delta(path)
+        assert loaded.base_digest == delta.base_digest
+        assert loaded.n_users == delta.n_users
+        assert sorted(loaded.updates) == sorted(delta.updates)
+        patched = base.delta_update(loaded, index_random_state=13)
+        reference = base.delta_update(delta, index_random_state=13)
+        assert patched.content_digest() == reference.content_digest()
+
+    def test_delta_bundle_detects_corruption(self, tmp_path):
+        _, delta, _ = self._delta_pair(BPR, tmp_path)
+        path = save_delta(delta, tmp_path / "refresh.delta.npz")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(Exception):  # digest or zip-structure failure
+            load_delta(path)
+
+    def test_full_loader_refuses_delta_files(self, tmp_path):
+        _, delta, _ = self._delta_pair(BPR, tmp_path)
+        path = save_delta(delta, tmp_path / "refresh.delta.npz")
+        with pytest.raises(ArtifactIntegrityError, match="delta bundle"):
+            ServingArtifact.load(path)
+
+    def test_delta_loader_refuses_full_artifacts(self, tmp_path):
+        base, _, _ = self._delta_pair(BPR, tmp_path)
+        path = base.save(tmp_path / "full.artifact.npz")
+        with pytest.raises(ArtifactIntegrityError,
+                           match="not a delta bundle"):
+            load_delta(path)
+
+    def test_wrong_base_is_refused(self, tmp_path):
+        _, delta, full = self._delta_pair(BPR, tmp_path)
+        with pytest.raises(ArtifactIntegrityError, match="wrong base"):
+            full.delta_update(delta)
+
+    def test_unchanged_index_is_shared_and_patched_index_consistent(
+            self, tmp_path):
+        base, delta, _ = self._delta_pair(BPR, tmp_path)
+        patched = base.delta_update(delta, index_random_state=13)
+        index = patched.index
+        assert index is not None
+        assert index.n_items == patched.n_items
+        # Every item sits in the cell whose centroid scores it highest —
+        # the invariant both k-means assignment and the patch share.
+        from repro.serving.retrieval import APPROX_FAMILIES
+        vectors = APPROX_FAMILIES[patched.family].item_vectors(
+            dict(patched.tensors))
+        cent_sq = np.einsum("cd,cd->c", index.centroids, index.centroids)
+        affinity = 2.0 * (vectors @ index.centroids.T) - cent_sq[None, :]
+        np.testing.assert_array_equal(index.assignments(),
+                                      np.argmax(affinity, axis=1))
+
+    def test_drift_threshold_triggers_full_rebuild(self, tmp_path):
+        base, delta, _ = self._delta_pair(BPR, tmp_path)
+        rebuilt = base.delta_update(delta, drift_threshold=0.0,
+                                    index_random_state=13)
+        patched = base.delta_update(delta, drift_threshold=1.0,
+                                    index_random_state=13)
+        # Patching keeps the base centroids; a rebuild re-clusters.
+        np.testing.assert_array_equal(patched.index.centroids,
+                                      base.index.centroids)
+        assert rebuilt.index.n_cells == base.index.n_cells
+
+    def test_multifacet_growth_ships_facet_tables_wholesale(self, tmp_path):
+        warm, stream = _events(250, seed=0), _events(
+            150, seed=11, n_users=N_USERS + 4, n_items=N_ITEMS + 5)
+        trainer = _trainer(MARS, warm, n_facets=2)
+        base = trainer.export_serving("mars")
+        trainer.drain(InMemoryStream(stream), batch_events=50)
+        delta = trainer.export_delta(base)
+        full = trainer.export_serving("mars")
+        # The facet tables are (K, n_users, D): growth moves a trailing
+        # axis, which row-diffing cannot express, so they ship wholesale.
+        wholesale = {name for name, (rows, _) in delta.updates.items()
+                     if rows is None}
+        assert {"user_facets", "item_facets"} <= wholesale
+        assert "spherical" not in delta.updates  # unchanged 0-d scalar
+        path = save_delta(delta, tmp_path / "mars.delta.npz")
+        loaded = load_delta(path)
+        assert {name for name, (rows, _) in loaded.updates.items()
+                if rows is None} == wholesale
+        patched = base.delta_update(loaded)
+        assert patched.content_digest() == full.content_digest()
+
+    def test_scalar_and_new_tensor_ship_wholesale_and_roundtrip(
+            self, tmp_path):
+        scores = np.linspace(1.0, 2.0, 8)
+        base = ServingArtifact("popularity",
+                               {"item_scores": scores,
+                                "temperature": np.asarray(0.5)},
+                               n_users=4, n_items=8, model_name="pop")
+        fresh = ServingArtifact("popularity",
+                                {"item_scores": scores[::-1].copy(),
+                                 "temperature": np.asarray(0.7),
+                                 "aux": np.arange(6.0).reshape(2, 3)},
+                                n_users=4, n_items=8, model_name="pop")
+        delta = make_delta(base, fresh)
+        assert delta.updates["temperature"][0] is None   # 0-d scalar
+        assert delta.updates["aux"][0] is None           # brand-new tensor
+        assert delta.updates["item_scores"][0] is not None  # plain row diff
+        loaded = load_delta(save_delta(delta, tmp_path / "pop.delta.npz"))
+        assert loaded.updates["temperature"][0] is None
+        patched = base.delta_update(loaded)
+        assert patched.content_digest() == fresh.content_digest()
+
+    def test_row_updates_for_scalar_tensor_are_refused(self):
+        base = ServingArtifact("popularity",
+                               {"item_scores": np.arange(8.0),
+                                "temperature": np.asarray(0.5)},
+                               n_users=4, n_items=8, model_name="pop")
+        bogus = ArtifactDelta(
+            base_digest=base.content_digest(), family="popularity",
+            model_name="pop", n_users=4, n_items=8,
+            updates={"temperature": (np.asarray([0], dtype=np.int64),
+                                     np.asarray([0.7]))})
+        with pytest.raises(ArtifactIntegrityError, match="0-d"):
+            base.delta_update(bogus)
+
+
+# --------------------------------------------------------------------------- #
+# registry / service integration
+# --------------------------------------------------------------------------- #
+class TestPublishDelta:
+    def _manual_pair(self):
+        """Popularity artifacts whose delta provably flips the top item."""
+        scores = np.linspace(1.0, 2.0, 8)
+        base = ServingArtifact("popularity", {"item_scores": scores},
+                               n_users=4, n_items=8, model_name="pop")
+        flipped = scores[::-1].copy()
+        fresh = ServingArtifact("popularity", {"item_scores": flipped},
+                                n_users=4, n_items=8, model_name="pop")
+        return base, make_delta(base, fresh), fresh
+
+    def test_registry_publish_delta_bumps_version(self):
+        base, delta, fresh = self._manual_pair()
+        registry = ModelRegistry()
+        registry.publish("pop", base)
+        version = registry.publish_delta("pop", delta)
+        assert version == 2
+        artifact, _, _ = registry.get("pop")
+        assert artifact.content_digest() == fresh.content_digest()
+
+    def test_registry_publish_delta_from_path(self, tmp_path):
+        base, delta, fresh = self._manual_pair()
+        path = save_delta(delta, tmp_path / "pop.delta.npz")
+        registry = ModelRegistry()
+        registry.publish("pop", base)
+        registry.publish_delta("pop", path)
+        artifact, _, _ = registry.get("pop")
+        assert artifact.content_digest() == fresh.content_digest()
+
+    def test_stale_delta_leaves_live_version_serving(self):
+        base, delta, fresh = self._manual_pair()
+        registry = ModelRegistry()
+        registry.publish("pop", base)
+        registry.publish_delta("pop", delta)
+        with pytest.raises(ArtifactIntegrityError):
+            registry.publish_delta("pop", delta)  # now diffed vs stale base
+        artifact, version, _ = registry.get("pop")
+        assert version == 2  # the good swap survived the bad one
+        assert artifact.content_digest() == fresh.content_digest()
+
+    def test_cached_pre_delta_answer_never_served_post_swap(self):
+        base, delta, fresh = self._manual_pair()
+        service = RecommenderService({"pop": base}, max_wait_ms=0.0)
+        before = service.recommend(1, k=3, exclude_seen=False)
+        assert service.stats["cache_misses"] == 1
+        np.testing.assert_array_equal(
+            before, service.recommend(1, k=3, exclude_seen=False))
+        assert service.stats["cache_hits"] == 1  # the row is truly cached
+        service.publish_delta("pop", delta)
+        after = service.recommend(1, k=3, exclude_seen=False)
+        expected = fresh.recommend_batch([1], k=3, exclude_seen=False)[0]
+        np.testing.assert_array_equal(after, expected)
+        assert not np.array_equal(after, before)  # the flip is observable
